@@ -1,0 +1,32 @@
+//! `fix-attest`: signed results and a compute marketplace (paper §6).
+//!
+//! A Fix computation has one unambiguous answer, named by a
+//! content-addressed Handle. That makes outsourced computing
+//! *commoditizable*:
+//!
+//! * a provider can sign the 64-byte statement "`f(x) → y`, according
+//!   to Provider Z" ([`Attestation`]);
+//! * a customer can bid a job out to whichever provider is cheapest
+//!   ([`Marketplace`]), and double-check by asking several — answers
+//!   compare by Handle equality, no data movement needed;
+//! * disagreement is arbitrated by majority, and signed wrong answers
+//!   cost the dissenting provider its insurance payout
+//!   ([`InsurancePolicy`]).
+//!
+//! Content addressing does the heavy lifting twice over: answers are
+//! comparable across administrative domains, and a provider *serving*
+//! result bytes cannot substitute different data for an attested
+//! handle — the parcel parser re-hashes everything on import.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod market;
+mod provider;
+mod registry;
+mod statement;
+
+pub use market::{CheckPolicy, Claim, InsurancePolicy, JobOutcome, Marketplace};
+pub use provider::{Behavior, Provider};
+pub use registry::KeyRegistry;
+pub use statement::{Attestation, ProviderId};

@@ -1,0 +1,382 @@
+//! The compute marketplace: bidding, double-checking, arbitration, and
+//! wrong-answer insurance (paper §6).
+//!
+//! "Because computations will have a single, unambiguous result,
+//! providers could sign statements with their answers … and customers
+//! could bid out jobs to any provider that carries acceptable
+//! 'wrong answer' insurance and double-check answers if and when they
+//! choose."
+//!
+//! The flow implemented here:
+//!
+//! 1. the customer ships a self-contained job parcel;
+//! 2. providers are ranked by ask; the cheapest `n` (per the checking
+//!    policy) each answer with a signed [`Attestation`];
+//! 3. statements with bad signatures are discarded; the rest vote by
+//!    result Handle — equality is the whole comparison, thanks to
+//!    content addressing;
+//! 4. on disagreement, the dispute escalates to every remaining
+//!    provider, the majority answer wins, and each dissenting provider
+//!    owes the policy's payout.
+
+use crate::registry::KeyRegistry;
+use crate::statement::{Attestation, ProviderId};
+use crate::Provider;
+use fix_billing::Money;
+use fix_core::error::{Error, Result};
+use fix_core::handle::Handle;
+use std::collections::HashMap;
+
+/// How much verification the customer buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckPolicy {
+    /// Trust the cheapest provider outright.
+    TrustCheapest,
+    /// Ask the `n` cheapest providers and require agreement.
+    Replicate(usize),
+}
+
+/// The published insurance terms every participating provider carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsurancePolicy {
+    /// What a provider pays the customer per wrong answer.
+    pub payout_per_wrong_answer: Money,
+}
+
+impl Default for InsurancePolicy {
+    fn default() -> Self {
+        InsurancePolicy {
+            payout_per_wrong_answer: Money::from_dollars(10),
+        }
+    }
+}
+
+/// A settled insurance claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// The provider that signed a losing answer.
+    pub provider: ProviderId,
+    /// The job it answered wrongly.
+    pub thunk: Handle,
+    /// The payout owed.
+    pub payout: Money,
+}
+
+/// The outcome of one job submission.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The winning result handle.
+    pub result: Handle,
+    /// Every *valid* attestation gathered (winners and losers).
+    pub attestations: Vec<Attestation>,
+    /// Total the customer paid in asks.
+    pub paid: Money,
+    /// Whether arbitration was needed.
+    pub disputed: bool,
+    /// Claims settled against wrong-answering providers.
+    pub claims: Vec<Claim>,
+}
+
+/// A marketplace over a set of providers.
+pub struct Marketplace {
+    providers: Vec<Provider>,
+    registry: KeyRegistry,
+    policy: InsurancePolicy,
+    claims: Vec<Claim>,
+}
+
+impl Marketplace {
+    /// Opens a marketplace; registers every provider's verification key.
+    pub fn new(providers: Vec<Provider>, policy: InsurancePolicy) -> Marketplace {
+        let registry = KeyRegistry::new();
+        for p in &providers {
+            registry.register(p.id().clone(), p.verification_key());
+        }
+        Marketplace {
+            providers,
+            registry,
+            policy,
+            claims: Vec::new(),
+        }
+    }
+
+    /// The public key registry (what customers verify against).
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    /// All claims settled so far.
+    pub fn claims(&self) -> &[Claim] {
+        &self.claims
+    }
+
+    /// Indices of providers sorted by ask (cheapest first; stable for
+    /// equal asks so outcomes are deterministic).
+    fn ranked(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.providers.len()).collect();
+        idx.sort_by_key(|&i| (self.providers[i].ask(), i));
+        idx
+    }
+
+    /// Gathers verified attestations from the given providers; invalid
+    /// signatures are dropped (and would void that provider's answer).
+    fn gather(&self, indices: &[usize], job: &[u8]) -> Result<(Vec<Attestation>, Money)> {
+        let mut atts = Vec::new();
+        let mut paid = Money::ZERO;
+        for &i in indices {
+            let p = &self.providers[i];
+            let att = p.answer(job)?;
+            if self.registry.verify(&att) {
+                paid += p.ask();
+                atts.push(att);
+            }
+        }
+        Ok((atts, paid))
+    }
+
+    /// Splits attestations into (majority answer, dissenting statements).
+    ///
+    /// Returns `None` on a tie — the caller escalates.
+    fn majority(atts: &[Attestation]) -> Option<(Handle, Vec<Attestation>)> {
+        let mut votes: HashMap<Handle, usize> = HashMap::new();
+        for a in atts {
+            *votes.entry(a.result).or_default() += 1;
+        }
+        let best = *votes.values().max()?;
+        let winners: Vec<Handle> = votes
+            .iter()
+            .filter(|(_, &c)| c == best)
+            .map(|(h, _)| *h)
+            .collect();
+        if winners.len() != 1 {
+            return None;
+        }
+        let winner = winners[0];
+        let losers = atts
+            .iter()
+            .filter(|a| a.result != winner)
+            .cloned()
+            .collect();
+        Some((winner, losers))
+    }
+
+    /// Submits a job under a checking policy.
+    ///
+    /// With [`CheckPolicy::Replicate`], disagreement escalates to every
+    /// provider in the market and the majority wins; dissenters owe the
+    /// insurance payout. A market-wide tie is an error (the customer
+    /// needs an out-of-band referee).
+    pub fn submit(&mut self, job: &[u8], check: CheckPolicy) -> Result<JobOutcome> {
+        let ranked = self.ranked();
+        if ranked.is_empty() {
+            return Err(Error::Trap("no providers in the market".into()));
+        }
+        let n = match check {
+            CheckPolicy::TrustCheapest => 1,
+            CheckPolicy::Replicate(n) => n.clamp(1, ranked.len()),
+        };
+        let (mut atts, mut paid) = self.gather(&ranked[..n], job)?;
+        if atts.is_empty() {
+            return Err(Error::Trap("no valid attestations gathered".into()));
+        }
+
+        let agreed = atts.iter().all(|a| a.result == atts[0].result);
+        let mut disputed = false;
+        if !agreed {
+            // Escalate: every provider not yet asked answers too.
+            disputed = true;
+            let (more, extra) = self.gather(&ranked[n..], job)?;
+            paid += extra;
+            atts.extend(more);
+        }
+        let (result, losers) = Self::majority(&atts).ok_or_else(|| {
+            Error::Trap("market-wide tie: no majority answer".into())
+        })?;
+
+        let claims: Vec<Claim> = losers
+            .iter()
+            .map(|a| Claim {
+                provider: a.provider.clone(),
+                thunk: a.thunk,
+                payout: self.policy.payout_per_wrong_answer,
+            })
+            .collect();
+        self.claims.extend(claims.iter().cloned());
+        Ok(JobOutcome {
+            result,
+            attestations: atts,
+            paid,
+            disputed,
+            claims,
+        })
+    }
+
+    /// Fetches the winning result's bytes from any provider that
+    /// attested to it (content addressing guarantees the bytes match
+    /// the handle, so the customer can't be served a substitute).
+    pub fn fetch(&self, outcome: &JobOutcome, into: &fixpoint::Runtime) -> Result<Handle> {
+        if outcome.result.is_literal() {
+            return Ok(outcome.result);
+        }
+        for att in &outcome.attestations {
+            if att.result != outcome.result {
+                continue;
+            }
+            let provider = self
+                .providers
+                .iter()
+                .find(|p| p.id() == &att.provider)
+                .expect("attesting provider exists");
+            if let Ok(parcel) = provider.serve(outcome.result) {
+                return Ok(into.store().import(parcel));
+            }
+        }
+        Err(Error::NotFound(outcome.result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::Behavior;
+    use fix_core::data::Blob;
+    use fix_core::limits::ResourceLimits;
+    use fixpoint::Runtime;
+
+    /// A self-contained job: sum three u64 blobs via a VM codelet. The
+    /// output is 40 bytes, so results are never literals and fetching
+    /// exercises the serve path.
+    fn sum_job(a: u64, b: u64) -> (Vec<u8>, u64) {
+        let rt = Runtime::builder().build();
+        let padded_add = rt
+            .install_vm_module(
+                r#"
+                func apply args=0 locals=0
+                  const 64
+                  mem.grow
+                  drop
+                  const 0
+                  const 0
+                  const 2
+                  tree.get
+                  const 0
+                  blob.read_u64
+                  const 0
+                  const 3
+                  tree.get
+                  const 0
+                  blob.read_u64
+                  add
+                  mem.store64
+                  const 0
+                  const 40
+                  blob.create
+                  ret_handle
+                end
+                "#,
+            )
+            .unwrap();
+        let thunk = rt
+            .apply(
+                ResourceLimits::default_limits(),
+                padded_add,
+                &[
+                    rt.put_blob(Blob::from_u64(a)),
+                    rt.put_blob(Blob::from_u64(b)),
+                ],
+            )
+            .unwrap();
+        (rt.store().export(thunk).unwrap().to_bytes(), a + b)
+    }
+
+    fn market(shady_every: u64) -> Marketplace {
+        Marketplace::new(
+            vec![
+                Provider::new("Budget", Money::from_micros(10), Behavior::WrongEvery(shady_every)),
+                Provider::new("Mid", Money::from_micros(25), Behavior::Honest),
+                Provider::new("Premium", Money::from_micros(90), Behavior::Honest),
+            ],
+            InsurancePolicy::default(),
+        )
+    }
+
+    #[test]
+    fn trusting_the_cheapest_takes_one_bid() {
+        let mut m = market(0); // Everyone honest.
+        let (job, expect) = sum_job(20, 22);
+        let out = m.submit(&job, CheckPolicy::TrustCheapest).unwrap();
+        assert!(!out.disputed);
+        assert_eq!(out.paid, Money::from_micros(10));
+        let customer = Runtime::builder().build();
+        let h = m.fetch(&out, &customer).unwrap();
+        let blob = customer.get_blob(h).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(blob.as_slice()[..8].try_into().unwrap()),
+            expect
+        );
+    }
+
+    #[test]
+    fn replication_catches_the_liar_and_pays_out() {
+        let mut m = market(1); // Budget lies on every job.
+        let (job, expect) = sum_job(3, 4);
+        let out = m.submit(&job, CheckPolicy::Replicate(2)).unwrap();
+        assert!(out.disputed, "cheapest two must disagree");
+        // Majority (Mid + Premium) wins; Budget owes the payout.
+        assert_eq!(out.claims.len(), 1);
+        assert_eq!(out.claims[0].provider, ProviderId("Budget".into()));
+        assert_eq!(
+            out.claims[0].payout,
+            InsurancePolicy::default().payout_per_wrong_answer
+        );
+        // Escalation paid all three asks.
+        assert_eq!(out.paid, Money::from_micros(10 + 25 + 90));
+        let customer = Runtime::builder().build();
+        let h = m.fetch(&out, &customer).unwrap();
+        let blob = customer.get_blob(h).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(blob.as_slice()[..8].try_into().unwrap()),
+            expect
+        );
+        assert_eq!(m.claims().len(), 1);
+    }
+
+    #[test]
+    fn trusting_the_cheapest_can_be_fooled() {
+        // The flip side: without double-checking, the lie stands — the
+        // paper's argument for customers buying verification.
+        let mut m = market(1);
+        let (job, expect) = sum_job(5, 6);
+        let out = m.submit(&job, CheckPolicy::TrustCheapest).unwrap();
+        assert!(!out.disputed);
+        let customer = Runtime::builder().build();
+        let h = m.fetch(&out, &customer).unwrap();
+        let blob = customer.get_blob(h).unwrap();
+        let got = u64::from_le_bytes(blob.as_slice()[..8].try_into().unwrap());
+        assert_ne!(got, expect, "the fabricated answer went unchallenged");
+    }
+
+    #[test]
+    fn occasional_cheater_passes_some_audits() {
+        // WrongEvery(3): jobs 1 and 2 are honest, job 3 lies. Claims
+        // accumulate only on dishonest rounds.
+        let mut m = market(3);
+        let (job, _) = sum_job(1, 1);
+        for round in 1..=3u32 {
+            let out = m.submit(&job, CheckPolicy::Replicate(2)).unwrap();
+            if round == 3 {
+                assert!(out.disputed);
+            } else {
+                assert!(!out.disputed, "round {round} should agree");
+            }
+        }
+        assert_eq!(m.claims().len(), 1);
+    }
+
+    #[test]
+    fn empty_market_is_an_error() {
+        let mut m = Marketplace::new(vec![], InsurancePolicy::default());
+        let (job, _) = sum_job(1, 2);
+        assert!(m.submit(&job, CheckPolicy::TrustCheapest).is_err());
+    }
+}

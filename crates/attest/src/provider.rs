@@ -1,0 +1,209 @@
+//! Simulated compute providers: independent Fixpoint nodes that accept
+//! jobs as Fix parcels, evaluate them, and sign their answers.
+//!
+//! Each provider owns its own runtime and storage — jobs arrive as
+//! self-contained [`fix_core::wire::Parcel`]s (code as FixVM module
+//! blobs, data as content-addressed objects), so no registration or
+//! shared state is needed. A provider can be configured to misbehave,
+//! which is what the marketplace's double-checking and insurance exist
+//! to catch.
+
+use crate::statement::{Attestation, ProviderId};
+use fix_billing::Money;
+use fix_core::data::Blob;
+use fix_core::error::{Error, Result};
+use fix_core::handle::Handle;
+use fix_core::wire::Parcel;
+use fixpoint::Runtime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a provider behaves when answering jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Always evaluates faithfully.
+    Honest,
+    /// Signs a fabricated answer on every `n`-th job (1-based): a
+    /// buggy stack, a cosmic ray, or outright fraud — indistinguishable
+    /// to the customer, which is the point of double-checking.
+    WrongEvery(u64),
+}
+
+/// One provider: identity, signing key, price, and a private runtime.
+pub struct Provider {
+    id: ProviderId,
+    key: [u8; 32],
+    /// Flat ask per job (a real provider would quote a
+    /// `fix_billing::PriceSheet`; a scalar keeps bidding legible).
+    ask: Money,
+    behavior: Behavior,
+    runtime: Runtime,
+    jobs_handled: AtomicU64,
+}
+
+impl Provider {
+    /// Creates a provider. The signing key is derived from the name so
+    /// simulations are deterministic; real deployments provision keys.
+    pub fn new(name: &str, ask: Money, behavior: Behavior) -> Provider {
+        let mut key = [0u8; 32];
+        let digest = fix_hash::hash(name.as_bytes());
+        key.copy_from_slice(&digest);
+        Provider {
+            id: ProviderId(name.to_string()),
+            key,
+            ask,
+            behavior,
+            runtime: Runtime::builder().build(),
+            jobs_handled: AtomicU64::new(0),
+        }
+    }
+
+    /// The provider's identity.
+    pub fn id(&self) -> &ProviderId {
+        &self.id
+    }
+
+    /// The provider's verification key (what it registers publicly).
+    pub fn verification_key(&self) -> [u8; 32] {
+        self.key
+    }
+
+    /// The provider's flat ask per job.
+    pub fn ask(&self) -> Money {
+        self.ask
+    }
+
+    /// Jobs answered so far.
+    pub fn jobs_handled(&self) -> u64 {
+        self.jobs_handled.load(Ordering::Relaxed)
+    }
+
+    /// Accepts a job parcel, evaluates it, and signs the answer.
+    ///
+    /// The parcel must be self-contained (the customer ships the
+    /// minimum repository; see `Store::export`). Strict evaluation
+    /// ensures the claimed result's bytes exist locally, so the
+    /// provider can serve them afterwards.
+    pub fn answer(&self, parcel_bytes: &[u8]) -> Result<Attestation> {
+        let parcel = Parcel::from_bytes(parcel_bytes)?;
+        let root = self.runtime.store().import(parcel);
+        let honest = self.runtime.eval_strict(root)?;
+        let n = self.jobs_handled.fetch_add(1, Ordering::Relaxed) + 1;
+        let result = match self.behavior {
+            Behavior::Honest => honest,
+            Behavior::WrongEvery(k) if k == 0 || !n.is_multiple_of(k) => honest,
+            Behavior::WrongEvery(_) => {
+                // Fabricate a plausible-but-wrong answer and store its
+                // bytes so the provider can even "serve" the lie.
+                let mut bogus = format!("bogus-{}-{n}", self.id).into_bytes();
+                bogus.resize(40, 0); // Non-literal, always storable.
+                self.runtime.put_blob(Blob::from_vec(bogus))
+            }
+        };
+        Ok(Attestation::sign(
+            root,
+            result,
+            self.id.clone(),
+            &self.key,
+        ))
+    }
+
+    /// Serves the bytes behind a previously-attested result.
+    pub fn serve(&self, result: Handle) -> Result<Parcel> {
+        if !self.runtime.store().contains(result) {
+            return Err(Error::NotFound(result));
+        }
+        self.runtime.store().export(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_core::limits::ResourceLimits;
+    use fixpoint::Runtime;
+
+    /// A customer-side parcel: square(7) as a self-contained VM job.
+    pub(crate) fn square_job(x: u64) -> (Vec<u8>, u64) {
+        let rt = Runtime::builder().build();
+        let square = rt
+            .install_vm_module(
+                r#"
+                func apply args=0 locals=0
+                  const 0
+                  const 2
+                  tree.get
+                  const 0
+                  blob.read_u64
+                  const 0
+                  const 2
+                  tree.get
+                  const 0
+                  blob.read_u64
+                  mul
+                  blob.create_u64
+                  ret_handle
+                end
+                "#,
+            )
+            .unwrap();
+        let thunk = rt
+            .apply(
+                ResourceLimits::default_limits(),
+                square,
+                &[rt.put_blob(Blob::from_u64(x))],
+            )
+            .unwrap();
+        // Sanity: the tree exists and exports cleanly.
+        let _ = rt.get_tree(thunk.thunk_definition().unwrap()).unwrap();
+        (rt.store().export(thunk).unwrap().to_bytes(), x * x)
+    }
+
+    #[test]
+    fn honest_provider_answers_and_serves() {
+        let p = Provider::new("Zeta", Money::from_micros(50), Behavior::Honest);
+        let (job, expect) = square_job(7);
+        let att = p.answer(&job).unwrap();
+        assert!(att.verify(&p.verification_key()));
+        // The answer is a literal u64 blob: check by handle decoding.
+        let customer = Runtime::builder().build();
+        let served = p.serve(att.result);
+        // Literals have no bytes to serve; values big enough do.
+        if let Ok(parcel) = served {
+            customer.store().import(parcel);
+        }
+        assert_eq!(customer.get_u64(att.result).unwrap(), expect);
+    }
+
+    #[test]
+    fn wrong_every_fires_on_schedule() {
+        let p = Provider::new("Shady", Money::from_micros(10), Behavior::WrongEvery(2));
+        let (job, expect) = square_job(9);
+        let customer = Runtime::builder().build();
+        let a1 = p.answer(&job).unwrap(); // Job 1: honest.
+        assert_eq!(customer.get_u64(a1.result).unwrap(), expect);
+        let a2 = p.answer(&job).unwrap(); // Job 2: fabricated.
+        assert_ne!(a2.result, a1.result);
+        // Even the lie is properly signed — signatures authenticate the
+        // claim, not its truth.
+        assert!(a2.verify(&p.verification_key()));
+    }
+
+    #[test]
+    fn independent_providers_agree_by_handle_equality() {
+        let a = Provider::new("A", Money::from_micros(10), Behavior::Honest);
+        let b = Provider::new("B", Money::from_micros(20), Behavior::Honest);
+        let (job, _) = square_job(12);
+        let ra = a.answer(&job).unwrap();
+        let rb = b.answer(&job).unwrap();
+        // No bytes compared — content addressing makes answers
+        // comparable across administrative domains.
+        assert_eq!(ra.result, rb.result);
+        assert_ne!(ra.mac, rb.mac, "distinct keys, distinct signatures");
+    }
+
+    #[test]
+    fn malformed_parcel_is_rejected() {
+        let p = Provider::new("Zeta", Money::from_micros(50), Behavior::Honest);
+        assert!(p.answer(b"not a parcel").is_err());
+    }
+}

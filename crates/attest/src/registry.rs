@@ -1,0 +1,70 @@
+//! The public key registry: which verification key vouches for which
+//! provider.
+//!
+//! In the paper's marketplace, a customer only needs two public facts
+//! about a provider: its verification key and its insurance terms.
+//! This registry holds the former; [`crate::market::InsurancePolicy`]
+//! models the latter.
+
+use crate::statement::{Attestation, ProviderId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A concurrent `ProviderId → verification key` map.
+#[derive(Default)]
+pub struct KeyRegistry {
+    keys: RwLock<HashMap<ProviderId, [u8; 32]>>,
+}
+
+impl KeyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> KeyRegistry {
+        KeyRegistry::default()
+    }
+
+    /// Registers (or rotates) a provider's verification key.
+    pub fn register(&self, provider: ProviderId, key: [u8; 32]) {
+        self.keys.write().insert(provider, key);
+    }
+
+    /// Looks up a provider's key.
+    pub fn key_of(&self, provider: &ProviderId) -> Option<[u8; 32]> {
+        self.keys.read().get(provider).copied()
+    }
+
+    /// Verifies an attestation against the signer's registered key.
+    /// Unregistered providers never verify.
+    pub fn verify(&self, att: &Attestation) -> bool {
+        match self.key_of(&att.provider) {
+            Some(key) => att.verify(&key),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_core::data::{Blob, Tree};
+
+    #[test]
+    fn registry_verifies_known_signers_only() {
+        let registry = KeyRegistry::new();
+        let key = [3u8; 32];
+        registry.register(ProviderId("Z".into()), key);
+
+        let def = Tree::from_handles(vec![]);
+        let thunk = def.handle().application().unwrap();
+        let result = Blob::from_slice(&[1u8; 40]).handle();
+        let good = Attestation::sign(thunk, result, ProviderId("Z".into()), &key);
+        assert!(registry.verify(&good));
+
+        // Same key, unregistered name: rejected.
+        let unknown = Attestation::sign(thunk, result, ProviderId("Y".into()), &key);
+        assert!(!registry.verify(&unknown));
+
+        // Key rotation invalidates old statements.
+        registry.register(ProviderId("Z".into()), [4u8; 32]);
+        assert!(!registry.verify(&good));
+    }
+}

@@ -1,0 +1,147 @@
+//! Signed result statements: "`f(x) → y`, according to Provider Z".
+//!
+//! Because a Fix computation has a single, unambiguous result named by
+//! a content-addressed Handle, a provider can commit to its answer in
+//! 32 bytes — and any two providers' answers to the same Thunk are
+//! comparable by Handle equality alone, no data transfer needed
+//! (paper §6, "Commoditizing cloud computing").
+//!
+//! Statements are authenticated with keyed BLAKE3 over a canonical
+//! encoding. A MAC models the paper's signatures without an asymmetric
+//! signature scheme: verification requires the provider's registered
+//! verification key (see [`crate::registry::KeyRegistry`]). The
+//! trust model is the same — a third party holding the key can check
+//! that the provider, and nobody else, issued the statement.
+
+use fix_core::handle::Handle;
+use fix_hash::keyed_hash;
+
+/// A provider's identity: a short, unique display name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProviderId(pub String);
+
+impl std::fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The fixed domain-separation prefix of every statement encoding,
+/// so statement MACs can never collide with other keyed uses.
+const DOMAIN: &[u8] = b"fix-attest/v1";
+
+/// A signed claim that evaluating `thunk` yields `result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attestation {
+    /// The computation (a Thunk handle; its definition names all inputs).
+    pub thunk: Handle,
+    /// The claimed result (a value handle).
+    pub result: Handle,
+    /// Who claims it.
+    pub provider: ProviderId,
+    /// Keyed-BLAKE3 MAC over the canonical statement encoding.
+    pub mac: [u8; 32],
+}
+
+/// The canonical bytes a provider signs.
+fn statement_bytes(thunk: Handle, result: Handle, provider: &ProviderId) -> Vec<u8> {
+    let mut out = Vec::with_capacity(DOMAIN.len() + 64 + provider.0.len());
+    out.extend_from_slice(DOMAIN);
+    out.extend_from_slice(thunk.raw());
+    out.extend_from_slice(result.raw());
+    out.extend_from_slice(provider.0.as_bytes());
+    out
+}
+
+impl Attestation {
+    /// Signs a statement with the provider's key.
+    pub fn sign(
+        thunk: Handle,
+        result: Handle,
+        provider: ProviderId,
+        key: &[u8; 32],
+    ) -> Attestation {
+        let mac = keyed_hash(key, &statement_bytes(thunk, result, &provider));
+        Attestation {
+            thunk,
+            result,
+            provider,
+            mac,
+        }
+    }
+
+    /// Checks the MAC against a verification key. Constant content, so
+    /// any alteration of thunk, result, or provider invalidates it.
+    pub fn verify(&self, key: &[u8; 32]) -> bool {
+        let expect = keyed_hash(key, &statement_bytes(self.thunk, self.result, &self.provider));
+        // Fixed 32-byte comparison; not secret-dependent in length.
+        expect == self.mac
+    }
+}
+
+impl std::fmt::Display for Attestation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} → {}, according to {}",
+            self.thunk, self.result, self.provider
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_core::data::{Blob, Tree};
+
+    fn fixture() -> (Handle, Handle) {
+        let def = Tree::from_handles(vec![Blob::from_slice(&[1u8; 40]).handle()]);
+        let thunk = def.handle().application().unwrap();
+        let result = Blob::from_slice(&[2u8; 40]).handle();
+        (thunk, result)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (thunk, result) = fixture();
+        let key = [7u8; 32];
+        let att = Attestation::sign(thunk, result, ProviderId("Z".into()), &key);
+        assert!(att.verify(&key));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let (thunk, result) = fixture();
+        let att = Attestation::sign(thunk, result, ProviderId("Z".into()), &[7u8; 32]);
+        assert!(!att.verify(&[8u8; 32]));
+    }
+
+    #[test]
+    fn any_field_tamper_fails() {
+        let (thunk, result) = fixture();
+        let key = [7u8; 32];
+        let att = Attestation::sign(thunk, result, ProviderId("Z".into()), &key);
+
+        let mut swapped = att.clone();
+        swapped.result = thunk;
+        assert!(!swapped.verify(&key));
+
+        let mut renamed = att.clone();
+        renamed.provider = ProviderId("Y".into());
+        assert!(!renamed.verify(&key));
+
+        let mut forged = att;
+        forged.mac[0] ^= 1;
+        assert!(!forged.verify(&key));
+    }
+
+    #[test]
+    fn statement_encoding_is_injective_on_provider_names() {
+        // "ab" signing for thunk t must differ from "a" + first byte of b.
+        let (thunk, result) = fixture();
+        let key = [9u8; 32];
+        let a = Attestation::sign(thunk, result, ProviderId("ab".into()), &key);
+        let b = Attestation::sign(thunk, result, ProviderId("a".into()), &key);
+        assert_ne!(a.mac, b.mac);
+    }
+}

@@ -1,0 +1,557 @@
+//! A generalized baseline execution engine.
+//!
+//! Every comparator system in the paper's evaluation is, mechanically, a
+//! combination of a few architectural choices. This engine implements
+//! those choices as explicit knobs; each baseline is a [`Profile`]:
+//!
+//! | knob | OpenWhisk+MinIO+K8s | Ray (blocking) | Ray (CPS) | Pheromone | Faasm |
+//! |---|---|---|---|---|---|
+//! | placement | random (K8s) | data-aware | data-aware | data-aware (collocate) | random |
+//! | binding | early (claim, then fetch) | early (blocks in `ray.get`) | late | early for external data | early |
+//! | dispatch | controller | driver round trip | driver round trip | shipped workflow | controller |
+//! | input source | MinIO (central) | object locations | object locations | buckets (central for external) | local store |
+//! | outputs | MinIO (central) | local | local | collocated | local |
+//! | per-invocation cost | 30.7 ms | 1.29 ms | 1.29 ms | 35 µs–1.05 ms | 10.6 ms |
+//!
+//! The per-invocation costs are the paper's own measurements (see
+//! [`crate::CostModel`]); the mechanisms above produce the *shapes* of
+//! Figs. 7b, 8a, 8b, 9, and 10.
+
+use fix_cluster::{Binding, ClusterSetup, JobGraph, ObjectId, Placement, RunReport, TaskId};
+use fix_netsim::{ClaimId, CoreState, NodeId, Sim, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// The architectural profile of a baseline system.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Display name (table rows).
+    pub name: String,
+    /// Placement policy.
+    pub placement: Placement,
+    /// Resource binding relative to input fetches.
+    pub binding: Binding,
+    /// System time charged per invocation on the executing node.
+    pub invocation_overhead_us: Time,
+    /// If set, every task dispatch round-trips through this node (a Ray
+    /// driver or a FaaS controller) before starting.
+    pub dispatch_via: Option<NodeId>,
+    /// If set, every *fetch* first round-trips through this node to
+    /// resolve the reference (Ray's ObjectRef owner).
+    pub fetch_roundtrip_via: Option<NodeId>,
+    /// Fetches happen one at a time while holding resources (blocking
+    /// `ray.get` style) instead of in parallel.
+    pub sequential_fetches: bool,
+    /// If non-empty, initial input objects are read from these store
+    /// nodes (a MinIO deployment spread over the cluster), regardless of
+    /// where the bytes physically started; each object hashes to one
+    /// store node.
+    pub inputs_from_store: Vec<NodeId>,
+    /// If non-empty, task outputs are written to the store, and
+    /// dependents read them from there.
+    pub outputs_to_store: Vec<NodeId>,
+    /// Service time the driver/controller spends per dispatch; dispatches
+    /// are serialized through it (a single Ray driver launches tasks one
+    /// at a time).
+    pub dispatch_service_us: Time,
+    /// Per store GET/PUT request overhead.
+    pub store_request_us: Time,
+    /// Extra cost the first time a function runs on a node (container
+    /// start, binary load).
+    pub cold_start_us: Time,
+    /// Bytes pulled from the central store (or the first input location)
+    /// on each cold start (function image / executable).
+    pub cold_start_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+struct State {
+    graph: JobGraph,
+    profile: Profile,
+    workers: Vec<NodeId>,
+    client: Option<NodeId>,
+    /// Virtual time at which the driver frees up (dispatch pipelining).
+    driver_free_at: Time,
+    locations: Vec<Vec<NodeId>>,
+    remaining_deps: Vec<usize>,
+    dependents: Vec<Vec<TaskId>>,
+    runnable: HashMap<NodeId, VecDeque<TaskId>>,
+    /// Assigned-but-unfinished tasks per node (placement load signal).
+    assigned_load: HashMap<NodeId, usize>,
+    warm: HashSet<(u32, NodeId)>,
+    finished: usize,
+    finish_time: Time,
+    bytes_moved: u64,
+    rng: StdRng,
+}
+
+type Shared = Rc<RefCell<State>>;
+
+impl State {
+    /// Initial objects are bucket data when `inputs_from_store` is set:
+    /// the system cannot express a dependency on them (Pheromone) or has
+    /// no shared local cache (OpenWhisk actions, Popen'd executables), so
+    /// every invocation GETs them from the store.
+    fn is_store_input(&self, o: ObjectId) -> bool {
+        !self.profile.inputs_from_store.is_empty()
+            && !self.graph.object(o).initial_locations.is_empty()
+    }
+
+    /// The store node an object hashes to.
+    fn store_node(nodes: &[NodeId], o: ObjectId) -> NodeId {
+        nodes[(o.0 as usize) % nodes.len()]
+    }
+
+    fn object_at(&self, o: ObjectId, n: NodeId) -> bool {
+        if self.is_store_input(o) {
+            // Bucket data is behind the store service: the function always
+            // issues a GET, and the scheduler cannot see where the bytes
+            // physically live (Pheromone §5.3.2, OpenWhisk §5.1).
+            return false;
+        }
+        self.locations[o.0 as usize].contains(&n)
+    }
+
+    fn needed_objects(&self, t: TaskId) -> Vec<ObjectId> {
+        let spec = self.graph.task(t);
+        let mut v = spec.inputs.clone();
+        v.extend(spec.deps.iter().map(|d| self.graph.output_of(*d)));
+        v
+    }
+
+    fn source_of(&self, o: ObjectId) -> NodeId {
+        if self.is_store_input(o) {
+            return Self::store_node(&self.profile.inputs_from_store, o);
+        }
+        *self.locations[o.0 as usize]
+            .first()
+            .expect("object has a source")
+    }
+
+    fn missing_bytes(&self, t: TaskId, n: NodeId) -> u64 {
+        self.needed_objects(t)
+            .iter()
+            .filter(|o| !self.object_at(**o, n))
+            .map(|o| self.graph.object(*o).size)
+            .sum()
+    }
+
+    fn choose_node(&mut self, t: TaskId) -> NodeId {
+        match self.profile.placement {
+            Placement::Random => {
+                let i = self.rng.gen_range(0..self.workers.len());
+                self.workers[i]
+            }
+            Placement::Locality => {
+                let mut best: Option<(u64, usize, NodeId)> = None;
+                for &n in &self.workers {
+                    let cost = self.missing_bytes(t, n);
+                    let load = self.assigned_load.get(&n).copied().unwrap_or(0);
+                    match best {
+                        Some((bc, bl, _)) if (cost, load) >= (bc, bl) => {}
+                        _ => best = Some((cost, load, n)),
+                    }
+                }
+                best.expect("at least one worker").2
+            }
+        }
+    }
+}
+
+/// Runs `graph` under a baseline [`Profile`] on the simulated cluster.
+pub fn run_baseline(setup: &ClusterSetup, graph: &JobGraph, profile: &Profile) -> RunReport {
+    graph.validate().expect("valid job graph");
+    let mut sim = Sim::new(&setup.specs, setup.net.clone());
+
+    let n = graph.tasks.len();
+    let mut dependents = vec![Vec::new(); n];
+    let mut remaining = vec![0usize; n];
+    for (i, t) in graph.tasks.iter().enumerate() {
+        remaining[i] = t.deps.len();
+        for d in &t.deps {
+            dependents[d.0 as usize].push(TaskId(i as u64));
+        }
+    }
+    let state: Shared = Rc::new(RefCell::new(State {
+        graph: graph.clone(),
+        profile: profile.clone(),
+        workers: setup.workers.clone(),
+        client: setup.client,
+        driver_free_at: 0,
+        locations: graph
+            .objects
+            .iter()
+            .map(|o| o.initial_locations.clone())
+            .collect(),
+        remaining_deps: remaining,
+        dependents,
+        runnable: HashMap::new(),
+        assigned_load: HashMap::new(),
+        warm: HashSet::new(),
+        finished: 0,
+        finish_time: 0,
+        bytes_moved: 0,
+        rng: StdRng::seed_from_u64(profile.seed),
+    }));
+
+    let ready: Vec<TaskId> = (0..n)
+        .filter(|i| state.borrow().remaining_deps[*i] == 0)
+        .map(|i| TaskId(i as u64))
+        .collect();
+    let origin = setup.client.unwrap_or(setup.workers[0]);
+    let st = Rc::clone(&state);
+    sim.schedule(0, move |sim| {
+        for t in ready {
+            dispatch_task(sim, &st, t, origin);
+        }
+    });
+
+    sim.run();
+    let st = state.borrow();
+    assert_eq!(
+        st.finished, n,
+        "baseline '{}' stalled: {}/{} tasks finished",
+        profile.name, st.finished, n
+    );
+    RunReport {
+        makespan_us: st.finish_time,
+        cpu: sim.cpu_report(&setup.workers),
+        bytes_moved: st.bytes_moved,
+        tasks_run: n as u64,
+    }
+}
+
+/// Routes a ready task through the dispatch path, then places it.
+fn dispatch_task(sim: &mut Sim, state: &Shared, t: TaskId, origin: NodeId) {
+    let (node, via) = {
+        let mut st = state.borrow_mut();
+        let node = st.choose_node(t);
+        (node, st.profile.dispatch_via)
+    };
+    match via {
+        Some(driver) => {
+            // origin -> driver (completion notification / submission),
+            // queueing at the single-threaded driver, then
+            // driver -> worker (task dispatch).
+            let arrive = sim.now() + sim.net().latency(origin, driver);
+            let (service, depart) = {
+                let mut st = state.borrow_mut();
+                let service = st.profile.dispatch_service_us;
+                let start = st.driver_free_at.max(arrive);
+                st.driver_free_at = start + service;
+                (service, start + service)
+            };
+            let _ = service;
+            let delay = (depart - sim.now()) + sim.net().latency(driver, node);
+            let s2 = Rc::clone(state);
+            sim.schedule(delay, move |sim| enqueue(sim, &s2, t, node));
+        }
+        None => enqueue(sim, state, t, node),
+    }
+}
+
+fn enqueue(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId) {
+    {
+        let mut st = state.borrow_mut();
+        *st.assigned_load.entry(node).or_insert(0) += 1;
+        st.runnable.entry(node).or_default().push_back(t);
+    }
+    pump(sim, state, node);
+}
+
+fn pump(sim: &mut Sim, state: &Shared, node: NodeId) {
+    loop {
+        let (t, cores, ram, binding) = {
+            let st = state.borrow();
+            let Some(&t) = st.runnable.get(&node).and_then(|q| q.front()) else {
+                return;
+            };
+            let spec = st.graph.task(t);
+            (t, spec.cores, spec.ram, st.profile.binding)
+        };
+        match binding {
+            Binding::Early => {
+                let Some(claim) = sim.try_claim(node, cores, ram, CoreState::Waiting) else {
+                    return;
+                };
+                state
+                    .borrow_mut()
+                    .runnable
+                    .get_mut(&node)
+                    .expect("queue")
+                    .pop_front();
+                cold_start_then(sim, state, t, node, claim);
+            }
+            Binding::Late => {
+                // Fetch before claiming (fetches need no cores).
+                state
+                    .borrow_mut()
+                    .runnable
+                    .get_mut(&node)
+                    .expect("queue")
+                    .pop_front();
+                fetch_inputs(sim, state, t, node, move |sim, state| {
+                    claim_and_run(sim, state, t, node);
+                });
+            }
+        }
+    }
+}
+
+/// Early binding: container/binary cold start while holding the claim.
+fn cold_start_then(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId, claim: ClaimId) {
+    let (cold_us, cold_bytes, store) = {
+        let mut st = state.borrow_mut();
+        let func = st.graph.task(t).func;
+        let store = if st.profile.inputs_from_store.is_empty() {
+            None
+        } else {
+            Some(State::store_node(
+                &st.profile.inputs_from_store,
+                ObjectId(func as u64),
+            ))
+        };
+        if st.warm.insert((func, node)) {
+            (st.profile.cold_start_us, st.profile.cold_start_bytes, store)
+        } else {
+            (0, 0, store)
+        }
+    };
+    let proceed = move |sim: &mut Sim, state: &Shared| {
+        fetch_inputs(sim, state, t, node, move |sim, state| {
+            begin_run(sim, state, t, node, claim);
+        });
+    };
+    if cold_us == 0 && cold_bytes == 0 {
+        proceed(sim, state);
+        return;
+    }
+    // Pull the image/binary, then pay the start cost.
+    let src = store.unwrap_or(node);
+    state.borrow_mut().bytes_moved += if src == node { 0 } else { cold_bytes };
+    let s2 = Rc::clone(state);
+    sim.transfer(src, node, cold_bytes, move |sim| {
+        let s3 = Rc::clone(&s2);
+        sim.schedule(cold_us, move |sim| proceed(sim, &s3));
+    });
+}
+
+/// Fetches every missing input of `t` to `node`, then calls `done`.
+///
+/// Respects the profile's fetch mechanics: central store redirection,
+/// per-fetch resolution round trips, and sequential (blocking-get)
+/// ordering.
+fn fetch_inputs(
+    sim: &mut Sim,
+    state: &Shared,
+    t: TaskId,
+    node: NodeId,
+    done: impl FnOnce(&mut Sim, &Shared) + 'static,
+) {
+    let missing: Vec<(ObjectId, NodeId, u64)> = {
+        let st = state.borrow();
+        st.needed_objects(t)
+            .into_iter()
+            .filter(|o| !st.object_at(*o, node))
+            .map(|o| (o, st.source_of(o), st.graph.object(o).size))
+            .collect()
+    };
+    if missing.is_empty() {
+        done(sim, state);
+        return;
+    }
+    let sequential = state.borrow().profile.sequential_fetches;
+    if sequential {
+        fetch_sequentially(sim, state, missing, node, Box::new(done));
+    } else {
+        // All fetches in flight at once; count down.
+        let remaining = Rc::new(RefCell::new(missing.len()));
+        let done = Rc::new(RefCell::new(Some(Box::new(done) as DoneBox)));
+        for (o, src, size) in missing {
+            let remaining = Rc::clone(&remaining);
+            let done = Rc::clone(&done);
+            let s2 = Rc::clone(state);
+            fetch_one(sim, state, o, src, size, node, move |sim| {
+                let mut r = remaining.borrow_mut();
+                *r -= 1;
+                if *r == 0 {
+                    if let Some(f) = done.borrow_mut().take() {
+                        f(sim, &s2);
+                    }
+                }
+            });
+        }
+    }
+}
+
+type DoneBox = Box<dyn FnOnce(&mut Sim, &Shared)>;
+
+fn fetch_sequentially(
+    sim: &mut Sim,
+    state: &Shared,
+    mut missing: Vec<(ObjectId, NodeId, u64)>,
+    node: NodeId,
+    done: DoneBox,
+) {
+    if missing.is_empty() {
+        done(sim, state);
+        return;
+    }
+    let (o, src, size) = missing.remove(0);
+    let s2 = Rc::clone(state);
+    fetch_one(sim, state, o, src, size, node, move |sim| {
+        fetch_sequentially(sim, &s2, missing, node, done);
+    });
+}
+
+/// One fetch: optional resolution round trip, store request overhead,
+/// then the data transfer. Updates the location view on arrival.
+fn fetch_one(
+    sim: &mut Sim,
+    state: &Shared,
+    o: ObjectId,
+    src: NodeId,
+    size: u64,
+    node: NodeId,
+    then: impl FnOnce(&mut Sim) + 'static,
+) {
+    let (via, store_us) = {
+        let st = state.borrow();
+        (st.profile.fetch_roundtrip_via, st.profile.store_request_us)
+    };
+    let resolution_delay = match via {
+        Some(owner) => sim.net().latency(node, owner) + sim.net().latency(owner, node),
+        None => 0,
+    };
+    if src != node {
+        state.borrow_mut().bytes_moved += size;
+    }
+    let s2 = Rc::clone(state);
+    sim.schedule(resolution_delay + store_us, move |sim| {
+        sim.transfer(src, node, size, move |sim| {
+            {
+                let mut st = s2.borrow_mut();
+                // Store inputs are per-invocation GETs: no local reuse.
+                if !st.is_store_input(o) {
+                    st.locations[o.0 as usize].push(node);
+                }
+            }
+            then(sim);
+        });
+    });
+}
+
+/// Late binding: inputs local, now claim cores.
+fn claim_and_run(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId) {
+    let (cores, ram) = {
+        let st = state.borrow();
+        let spec = st.graph.task(t);
+        (spec.cores, spec.ram)
+    };
+    match sim.try_claim(node, cores, ram, CoreState::System) {
+        Some(claim) => begin_run(sim, state, t, node, claim),
+        None => {
+            // Park at the node until cores free up; pump() won't see this
+            // task again, so retry on the next completion at this node.
+            let s2 = Rc::clone(state);
+            sim.schedule(100, move |sim| claim_and_run(sim, &s2, t, node));
+        }
+    }
+}
+
+fn begin_run(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId, claim: ClaimId) {
+    let (overhead, compute) = {
+        let st = state.borrow();
+        (
+            st.profile.invocation_overhead_us,
+            st.graph.task(t).compute_us,
+        )
+    };
+    sim.set_claim_state(claim, CoreState::System);
+    let s2 = Rc::clone(state);
+    sim.schedule(overhead, move |sim| {
+        sim.set_claim_state(claim, CoreState::User);
+        let s3 = Rc::clone(&s2);
+        sim.schedule(compute, move |sim| {
+            sim.release(claim);
+            sim.count_task(node);
+            write_output(sim, &s3, t, node);
+        });
+    });
+}
+
+/// Materializes the output (locally or via the central store), then
+/// wakes dependents.
+fn write_output(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId) {
+    let (out, size, store, store_us) = {
+        let st = state.borrow();
+        let out = st.graph.output_of(t);
+        let store = if st.profile.outputs_to_store.is_empty() {
+            None
+        } else {
+            Some(State::store_node(&st.profile.outputs_to_store, out))
+        };
+        (
+            out,
+            st.graph.object(out).size,
+            store,
+            st.profile.store_request_us,
+        )
+    };
+    match store {
+        Some(store) if store != node => {
+            state.borrow_mut().bytes_moved += size;
+            let s2 = Rc::clone(state);
+            sim.schedule(store_us, move |sim| {
+                sim.transfer(node, store, size, move |sim| {
+                    s2.borrow_mut().locations[out.0 as usize].push(store);
+                    complete(sim, &s2, t, node);
+                });
+            });
+        }
+        _ => {
+            state.borrow_mut().locations[out.0 as usize].push(node);
+            complete(sim, state, t, node);
+        }
+    }
+}
+
+fn complete(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId) {
+    let (newly_ready, all_done, client, out_size) = {
+        let mut st = state.borrow_mut();
+        if let Some(load) = st.assigned_load.get_mut(&node) {
+            *load = load.saturating_sub(1);
+        }
+        st.finished += 1;
+        let mut ready = Vec::new();
+        for &d in st.dependents[t.0 as usize].clone().iter() {
+            let r = &mut st.remaining_deps[d.0 as usize];
+            *r -= 1;
+            if *r == 0 {
+                ready.push(d);
+            }
+        }
+        let all_done = st.finished == st.graph.tasks.len();
+        let out_size = st.graph.object(st.graph.output_of(t)).size;
+        (ready, all_done, st.client, out_size)
+    };
+    for d in newly_ready {
+        dispatch_task(sim, state, d, node);
+    }
+    if all_done {
+        match client {
+            Some(client) if client != node => {
+                let s2 = Rc::clone(state);
+                sim.transfer(node, client, out_size, move |sim| {
+                    s2.borrow_mut().finish_time = sim.now();
+                });
+            }
+            _ => state.borrow_mut().finish_time = sim.now(),
+        }
+    }
+    pump(sim, state, node);
+}

@@ -1,0 +1,68 @@
+//! Criterion bench for Fig. 7a: per-invocation overhead of trivial add.
+//!
+//! Measures the real mechanisms available on this machine; the
+//! unavailable comparators are paper-calibrated constants printed by the
+//! `figures` binary instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fix_bench::fig7a::{add_runtime, fixpoint_add_once};
+use std::hint::black_box;
+
+fn bench_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_invocation");
+
+    group.bench_function("static_call", |b| {
+        #[inline(never)]
+        fn add(a: u8, bb: u8) -> u8 {
+            a.wrapping_add(bb)
+        }
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(add(black_box(i), 12))
+        })
+    });
+
+    group.bench_function("fixpoint_native_codelet", |b| {
+        let (rt, native, _) = add_runtime();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(fixpoint_add_once(&rt, native, i))
+        })
+    });
+
+    group.bench_function("fixpoint_vm_codelet", |b| {
+        let (rt, _, vm) = add_runtime();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(fixpoint_add_once(&rt, vm, i))
+        })
+    });
+
+    group.bench_function("fixpoint_warm_memoized", |b| {
+        // The same invocation again: pure relation-cache hit, the floor
+        // of Fix's "pay for results" story.
+        let (rt, native, _) = add_runtime();
+        fixpoint_add_once(&rt, native, 7);
+        b.iter(|| black_box(fixpoint_add_once(&rt, native, 7)))
+    });
+
+    group.sample_size(10);
+    group.bench_function("linux_process_spawn", |b| {
+        b.iter(|| {
+            black_box(
+                std::process::Command::new("true")
+                    .status()
+                    .map(|s| s.success())
+                    .ok(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! `figures`: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|summary|all] [--quick]
+//! ```
+//!
+//! `--quick` runs everything at reduced scale (CI-friendly); without it,
+//! the cluster simulations use the paper's full parameters (984 × 100 MiB
+//! shards, 2000 source files, 6 M keys).
+
+use fix_workloads::wordcount::Fig8bParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Worker mode: `figures --add-worker A B` exits with code A+B — the
+    // spawned "add program" for the Fig. 7a process row.
+    if args.first().map(String::as_str) == Some("--add-worker") {
+        let a: u8 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let b: u8 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+        std::process::exit(a.wrapping_add(b) as i32);
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    // With --self-add, fig7a spawns this very binary as the add program
+    // (closest to the paper's vfork'd add); default is /bin/true, whose
+    // startup is not inflated by the harness binary size.
+    if args.iter().any(|a| a == "--self-add") {
+        std::env::set_var("FIX_BENCH_SELF_ADD", "1");
+    }
+
+    let run_fig = |name: &str| which == "all" || which == name || which == "summary";
+
+    if run_fig("fig7a") {
+        let (iters, pi) = if quick { (20_000, 20) } else { (200_000, 200) };
+        println!("{}\n", fix_bench::fig7a::run(iters, pi));
+    }
+    if run_fig("fig7b") {
+        println!("{}\n", fix_bench::fig7b::run(500));
+    }
+    if run_fig("fig8a") {
+        println!("{}\n", fix_bench::fig8a::run(1024));
+    }
+    if run_fig("fig8b") {
+        let params = if quick {
+            Fig8bParams {
+                n_shards: 123,
+                ..Fig8bParams::default()
+            }
+        } else {
+            Fig8bParams::default()
+        };
+        println!("{}\n", fix_bench::fig8b::run(&params));
+    }
+    if run_fig("fig9") {
+        let (keys, arities): (usize, &[u32]) = if quick {
+            (16_384, &[14, 8, 4])
+        } else {
+            (262_144, &[18, 12, 8, 4])
+        };
+        println!("{}\n", fix_bench::fig9::run(keys, arities));
+    }
+    if which == "all" || which == "table2" {
+        println!("{}", fix_bench::fig9::table2_text());
+    }
+    if run_fig("fig10") {
+        let n = if quick { 500 } else { 2000 };
+        println!("{}\n", fix_bench::fig10::run(n));
+    }
+    // Extension experiments (paper §6 future work, implemented here).
+    if which == "all" || which == "extgc" {
+        let (widths, shard): (&[usize], usize) = if quick {
+            (&[4, 16], 16 << 10)
+        } else {
+            (&[4, 16, 64, 256], 64 << 10)
+        };
+        println!("{}", fix_bench::ext_gc::run(widths, shard));
+    }
+    if which == "all" || which == "extbilling" {
+        let n = if quick { 128 } else { 1024 };
+        println!("{}", fix_bench::ext_billing::run(n));
+    }
+    if which == "all" || which == "extdensity" {
+        let n = if quick { 128 } else { 1024 };
+        println!("{}", fix_bench::ext_density::run(n));
+    }
+}

@@ -1,0 +1,199 @@
+//! A deterministic analytic performance model: instructions, cache
+//! misses per level, and wall time — with and without a noisy neighbor.
+//!
+//! Real deployments read these from hardware counters (`perf`,
+//! RDPMC); this repo has no hardware, so the model below stands in.
+//! What the billing experiments need from it is *structure*, not
+//! absolute accuracy:
+//!
+//! * instructions and L1/L2 misses depend only on the program and its
+//!   working set — they are identical whether or not a neighbor is
+//!   thrashing the shared L3;
+//! * L3 misses and wall time degrade under contention (the neighbor
+//!   steals L3 capacity and memory bandwidth).
+//!
+//! The miss model is the classic cache-capacity approximation: a
+//! uniformly-accessed working set `W` against a cache of size `C`
+//! misses at rate `max(0, 1 − C/W)`, cascaded level by level. Wall
+//! time is instructions at a base IPC plus per-miss stall cycles.
+
+/// Cache hierarchy sizes (per-core L1/L2, shared L3). Defaults follow
+/// the m5.8xlarge's Skylake-SP layout in round numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// L1 data cache size in bytes (per core).
+    pub l1_bytes: u64,
+    /// L2 size in bytes (per core).
+    pub l2_bytes: u64,
+    /// L3 size in bytes (shared across the socket).
+    pub l3_bytes: u64,
+}
+
+impl Default for CacheSpec {
+    fn default() -> Self {
+        CacheSpec {
+            l1_bytes: 32 << 10,
+            l2_bytes: 1 << 20,
+            l3_bytes: 32 << 20,
+        }
+    }
+}
+
+/// Who shares the machine with the invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contention {
+    /// Dedicated socket: the full L3 and memory bandwidth.
+    Isolated,
+    /// A neighbor occupies part of the shared L3 and slows each
+    /// memory-level access.
+    Noisy {
+        /// Percent of L3 capacity still available to this tenant (< 100).
+        l3_available_percent: u8,
+        /// Percent slowdown applied to DRAM accesses (bandwidth sharing).
+        dram_slowdown_percent: u8,
+    },
+}
+
+/// One invocation's synthetic hardware counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfSample {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// L1 data misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 misses (DRAM fills).
+    pub l3_misses: u64,
+    /// Wall-clock execution time in microseconds.
+    pub wall_us: u64,
+}
+
+/// Memory references per instruction, in percent (typical integer code
+/// issues roughly one memory op per three instructions).
+const MEM_REF_PERCENT: u64 = 33;
+/// Base IPC ×1000 on cache hits.
+const BASE_IPC_MILLI: u64 = 2_000;
+/// Clock in MHz (cycles per µs).
+const CLOCK_MHZ: u64 = 3_000;
+/// Stall cycles per miss, by level (L1→L2 fill, L2→L3 fill, L3→DRAM).
+const L1_FILL_CYCLES: u64 = 12;
+const L2_FILL_CYCLES: u64 = 40;
+const DRAM_FILL_CYCLES: u64 = 200;
+
+/// Miss count for `refs` uniform accesses to a working set of
+/// `working_set` bytes against a `cache`-byte cache.
+fn misses(refs: u64, working_set: u64, cache_bytes: u64) -> u64 {
+    if working_set <= cache_bytes || working_set == 0 {
+        // Fits: only cold fills, one per 64-byte line, bounded by refs.
+        return (working_set / 64).min(refs);
+    }
+    // Capacity misses: rate 1 − C/W.
+    let miss_rate_ppm = 1_000_000 - (cache_bytes.saturating_mul(1_000_000) / working_set);
+    ((refs as u128 * miss_rate_ppm as u128) / 1_000_000) as u64
+}
+
+/// Projects counters for `instructions` of work over a uniformly
+/// accessed `working_set_bytes`, under the given contention.
+pub fn project(
+    instructions: u64,
+    working_set_bytes: u64,
+    cache: CacheSpec,
+    contention: Contention,
+) -> PerfSample {
+    let refs = instructions * MEM_REF_PERCENT / 100;
+    let l1_misses = misses(refs, working_set_bytes, cache.l1_bytes);
+    let l2_misses = misses(l1_misses, working_set_bytes, cache.l2_bytes);
+    let (l3_effective, dram_penalty_percent) = match contention {
+        Contention::Isolated => (cache.l3_bytes, 0u64),
+        Contention::Noisy {
+            l3_available_percent,
+            dram_slowdown_percent,
+        } => (
+            cache.l3_bytes * l3_available_percent.min(100) as u64 / 100,
+            dram_slowdown_percent as u64,
+        ),
+    };
+    let l3_misses = misses(l2_misses, working_set_bytes, l3_effective);
+
+    let base_cycles = instructions * 1_000 / BASE_IPC_MILLI;
+    let dram_cycles =
+        l3_misses * DRAM_FILL_CYCLES * (100 + dram_penalty_percent) / 100;
+    let stall_cycles = l1_misses * L1_FILL_CYCLES + l2_misses * L2_FILL_CYCLES + dram_cycles;
+    let wall_us = (base_cycles + stall_cycles).div_ceil(CLOCK_MHZ).max(1);
+
+    PerfSample {
+        instructions,
+        l1_misses,
+        l2_misses,
+        l3_misses,
+        wall_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GI: u64 = 1_000_000_000;
+
+    #[test]
+    fn small_working_set_mostly_hits() {
+        let s = project(GI, 16 << 10, CacheSpec::default(), Contention::Isolated);
+        assert_eq!(s.instructions, GI);
+        // Only cold fills, which propagate through every level to DRAM.
+        assert!(s.l1_misses <= (16 << 10) / 64);
+        assert!(s.l3_misses <= (16 << 10) / 64);
+        // Near base IPC: 10⁹ instr / 2 IPC / 3 GHz ≈ 167 ms.
+        assert!((166_000..=168_000).contains(&s.wall_us), "{}", s.wall_us);
+    }
+
+    #[test]
+    fn misses_cascade_and_shrink_per_level() {
+        let s = project(
+            GI,
+            256 << 20, // Far larger than every cache level.
+            CacheSpec::default(),
+            Contention::Isolated,
+        );
+        assert!(s.l1_misses > s.l2_misses);
+        assert!(s.l2_misses > s.l3_misses);
+        assert!(s.l3_misses > 0);
+    }
+
+    #[test]
+    fn neighbor_inflates_only_l3_and_wall() {
+        let ws = 24 << 20; // Fits in a full L3, not in half of one.
+        let alone = project(GI, ws, CacheSpec::default(), Contention::Isolated);
+        let crowded = project(
+            GI,
+            ws,
+            CacheSpec::default(),
+            Contention::Noisy {
+                l3_available_percent: 50,
+                dram_slowdown_percent: 30,
+            },
+        );
+        assert_eq!(alone.instructions, crowded.instructions);
+        assert_eq!(alone.l1_misses, crowded.l1_misses);
+        assert_eq!(alone.l2_misses, crowded.l2_misses);
+        assert!(crowded.l3_misses > alone.l3_misses);
+        assert!(crowded.wall_us > alone.wall_us);
+    }
+
+    #[test]
+    fn wall_time_never_zero() {
+        let s = project(1, 0, CacheSpec::default(), Contention::Isolated);
+        assert_eq!(s.wall_us, 1);
+    }
+
+    #[test]
+    fn larger_working_sets_run_slower() {
+        let mut last = 0;
+        for ws in [16 << 10, 512 << 10, 8 << 20, 128 << 20] {
+            let s = project(GI, ws, CacheSpec::default(), Contention::Isolated);
+            assert!(s.wall_us >= last, "wall time monotone in working set");
+            last = s.wall_us;
+        }
+    }
+}

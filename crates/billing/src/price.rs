@@ -1,0 +1,102 @@
+//! Price sheets: the provider's published rates.
+//!
+//! Two models share one sheet (paper §1 and §6):
+//!
+//! * **pay-for-effort** — the status quo: a single rate per GiB-ms of
+//!   occupied machine slice, idle or not (AWS Lambda's GB-second);
+//! * **pay-for-results** — an *upfront* cost a client can compute from
+//!   the invocation description alone (input footprint bytes + RAM
+//!   reservation), plus a *runtime* cost from counters that are the
+//!   core's own fault — instructions retired and L1/L2 cache-miss
+//!   penalties — explicitly excluding L3 misses, which a noisy neighbor
+//!   can inflate. Far-deadline invocations get a discount because they
+//!   let the provider spread load.
+//!
+//! Default rates are illustrative, anchored on public serverless
+//! pricing (Lambda ≈ $1.67 × 10⁻⁸ per GiB-ms); what the experiments
+//! depend on is the *structure* — which terms exist — not magnitudes.
+
+use crate::money::Money;
+
+/// Deadline slack tiers and their price multipliers, in basis points.
+///
+/// Immediate work pays full price; work the provider may delay up to an
+/// hour pays half. Tiers (rather than a curve) keep invoices auditable.
+const DEADLINE_TIERS_BPS: &[(u64, u32)] = &[
+    (1_000_000, 10_000),        // < 1 s slack: 100 %
+    (60_000_000, 9_000),        // < 1 min: 90 %
+    (3_600_000_000, 7_500),     // < 1 h: 75 %
+];
+/// Slack beyond the last tier.
+const DEADLINE_FLOOR_BPS: u32 = 5_000;
+
+/// Published rates for one provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriceSheet {
+    /// Pay-for-effort: per GiB-ms of occupied slice (RAM × wall time).
+    pub effort_per_gib_ms: Money,
+    /// Upfront: per GiB of input data footprint (what the platform must
+    /// move or pin for the invocation).
+    pub upfront_per_input_gib: Money,
+    /// Upfront: per GiB of RAM reserved for the invocation.
+    pub upfront_per_ram_gib: Money,
+    /// Runtime: per 10⁹ instructions retired.
+    pub per_giga_instruction: Money,
+    /// Runtime: per 10⁶ L1 misses (the core's fault: poor locality).
+    pub per_mega_l1_miss: Money,
+    /// Runtime: per 10⁶ L2 misses. L3 misses carry no charge — they may
+    /// be the neighbors' fault.
+    pub per_mega_l2_miss: Money,
+}
+
+impl Default for PriceSheet {
+    fn default() -> Self {
+        PriceSheet {
+            // Lambda-like: $0.0000166667 per GiB-s ≈ 16_667 pico$/GiB-ms.
+            effort_per_gib_ms: Money::from_picos(16_667),
+            // S3-GET-plus-transfer-like order of magnitude.
+            upfront_per_input_gib: Money::from_micros(400),
+            upfront_per_ram_gib: Money::from_micros(10),
+            // EC2-like: ~$0.04 per vCPU-hour at ~10⁹ instr/s ⇒ ~$10⁻⁸/GI
+            // rounded up for margin.
+            per_giga_instruction: Money::from_micros(15),
+            per_mega_l1_miss: Money::from_micros(1),
+            per_mega_l2_miss: Money::from_micros(4),
+        }
+    }
+}
+
+impl PriceSheet {
+    /// The deadline multiplier in basis points for an invocation that
+    /// may be delayed by `slack_us` before its result is due.
+    ///
+    /// Monotone nonincreasing in slack, never below the floor.
+    pub fn deadline_multiplier_bps(&self, slack_us: u64) -> u32 {
+        for &(limit, bps) in DEADLINE_TIERS_BPS {
+            if slack_us < limit {
+                return bps;
+            }
+        }
+        DEADLINE_FLOOR_BPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_discount_is_monotone() {
+        let p = PriceSheet::default();
+        let slacks = [0, 999_999, 1_000_000, 59_000_000, 3_599_999_999, u64::MAX];
+        let mut last = u32::MAX;
+        for s in slacks {
+            let bps = p.deadline_multiplier_bps(s);
+            assert!(bps <= last, "discount must not shrink with slack");
+            assert!(bps >= DEADLINE_FLOOR_BPS);
+            last = bps;
+        }
+        assert_eq!(p.deadline_multiplier_bps(0), 10_000);
+        assert_eq!(p.deadline_multiplier_bps(u64::MAX), 5_000);
+    }
+}

@@ -1,0 +1,539 @@
+//! The distributed Fixpoint execution engine (paper §4.2.2), as a policy
+//! over the simulated cluster.
+//!
+//! Because I/O is externalized, the engine sees every task's full data
+//! footprint *before* launch. That enables the two mechanisms the paper
+//! ablates in Figs. 8a/8b:
+//!
+//! * **dataflow-aware placement** — each task runs on the node that
+//!   minimizes data movement, given the engine's view of object
+//!   locations (ablation: random placement);
+//! * **late binding** — CPU and RAM are claimed only after the minimum
+//!   repository is local, so cores never idle waiting on the network
+//!   (ablation: "internal" I/O, which claims resources first and fetches
+//!   after, like a conventional serverless platform).
+
+use crate::graph::{JobGraph, ObjectId, TaskId};
+use crate::report::RunReport;
+use fix_netsim::{ClaimId, CoreState, NetConfig, NodeId, NodeSpec, Sim, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Where tasks may be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Minimize data movement over the location view (Fixpoint).
+    Locality,
+    /// Uniformly random worker (the "no locality" ablation).
+    Random,
+}
+
+/// When resources are claimed relative to input fetches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// Claim cores/RAM only once all inputs are local (Fixpoint).
+    Late,
+    /// Claim first, then fetch while holding resources ("internal" I/O).
+    Early,
+}
+
+/// Configuration of the Fix cluster engine.
+#[derive(Debug, Clone)]
+pub struct FixConfig {
+    /// Placement policy.
+    pub placement: Placement,
+    /// Binding policy.
+    pub binding: Binding,
+    /// Per-invocation platform overhead, charged as System time
+    /// (Fixpoint: ~1.5 µs, Fig. 7a).
+    pub invocation_overhead_us: Time,
+    /// RNG seed (placement ties, random placement).
+    pub seed: u64,
+}
+
+impl Default for FixConfig {
+    fn default() -> Self {
+        FixConfig {
+            placement: Placement::Locality,
+            binding: Binding::Late,
+            invocation_overhead_us: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// The simulated cluster: node specs, network, and role assignment.
+#[derive(Debug, Clone)]
+pub struct ClusterSetup {
+    /// Hardware of every node (workers, storage, client...).
+    pub specs: Vec<NodeSpec>,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// Nodes that execute tasks.
+    pub workers: Vec<NodeId>,
+    /// If set, the job is submitted from (and results returned to) this
+    /// node; its transfer times count toward the makespan.
+    pub client: Option<NodeId>,
+}
+
+impl ClusterSetup {
+    /// A homogeneous cluster of `n` worker nodes (no distinct client).
+    pub fn workers_only(n: usize, spec: NodeSpec, net: NetConfig) -> ClusterSetup {
+        ClusterSetup {
+            specs: vec![spec; n],
+            net,
+            workers: (0..n).map(NodeId).collect(),
+            client: None,
+        }
+    }
+}
+
+struct State {
+    graph: JobGraph,
+    cfg: FixConfig,
+    workers: Vec<NodeId>,
+    client: Option<NodeId>,
+    /// Engine's view of object locations (paper: advanced passively).
+    locations: Vec<Vec<NodeId>>,
+    /// Remaining unfinished dependencies per task.
+    remaining_deps: Vec<usize>,
+    /// Dependent tasks of each task.
+    dependents: Vec<Vec<TaskId>>,
+    /// Chosen node per task.
+    assignment: Vec<Option<NodeId>>,
+    /// Remaining in-flight input fetches per task.
+    pending_fetches: Vec<usize>,
+    /// Per-worker queue of tasks awaiting cores (FIFO).
+    runnable: HashMap<NodeId, VecDeque<TaskId>>,
+    /// In-flight object transfers, with tasks awaiting each.
+    in_flight: HashMap<(ObjectId, NodeId), Vec<TaskId>>,
+    /// Tasks assigned to each node that have not yet completed — the
+    /// load signal for spreading equal-cost parallel jobs (paper §4.2.2:
+    /// "outsource parallel jobs to different nodes").
+    assigned_load: HashMap<NodeId, usize>,
+    /// Claims held by early-binding tasks during their fetch phase.
+    held_claims: Vec<Option<ClaimId>>,
+    finished: usize,
+    finish_time: Time,
+    bytes_moved: u64,
+    rng: StdRng,
+}
+
+impl State {
+    fn object_at(&self, o: ObjectId, n: NodeId) -> bool {
+        self.locations[o.0 as usize].contains(&n)
+    }
+
+    /// Everything the task needs locally: inputs + dependency outputs.
+    fn needed_objects(&self, t: TaskId) -> Vec<ObjectId> {
+        let spec = self.graph.task(t);
+        let mut v = spec.inputs.clone();
+        v.extend(spec.deps.iter().map(|d| self.graph.output_of(*d)));
+        v
+    }
+
+    fn missing_bytes(&self, t: TaskId, n: NodeId) -> u64 {
+        self.needed_objects(t)
+            .iter()
+            .filter(|o| !self.object_at(**o, n))
+            .map(|o| self.graph.object(*o).size)
+            .sum()
+    }
+
+    /// The placement decision (paper §4.2.2).
+    fn choose_node(&mut self, sim: &Sim, t: TaskId) -> NodeId {
+        match self.cfg.placement {
+            Placement::Random => {
+                let i = self.rng.gen_range(0..self.workers.len());
+                self.workers[i]
+            }
+            Placement::Locality => {
+                // Cost = bytes that must move to run here; if the app
+                // hinted a large output and a downstream consumer has a
+                // dominant data location, moving the output there counts
+                // too.
+                let downstream_pull = self.downstream_attraction(t);
+                let mut best: Option<(u128, usize, NodeId)> = None;
+                for &n in &self.workers {
+                    let mut cost = self.missing_bytes(t, n) as u128;
+                    if let (Some(hint), Some((dom_node, _))) =
+                        (self.graph.task(t).output_hint, downstream_pull)
+                    {
+                        if n != dom_node {
+                            cost += hint as u128;
+                        }
+                    }
+                    // Tie-break on assigned-but-unfinished work, then on
+                    // free cores right now.
+                    let _ = sim;
+                    let load = self.assigned_load.get(&n).copied().unwrap_or(0);
+                    match best {
+                        Some((bc, bl, _)) if (cost, load) >= (bc, bl) => {}
+                        _ => best = Some((cost, load, n)),
+                    }
+                }
+                best.expect("at least one worker").2
+            }
+        }
+    }
+
+    /// For hinted tasks: the node holding the largest other input of any
+    /// dependent (where the output will be consumed).
+    fn downstream_attraction(&self, t: TaskId) -> Option<(NodeId, u64)> {
+        let mut best: Option<(NodeId, u64)> = None;
+        for &d in &self.dependents[t.0 as usize] {
+            for o in self.needed_objects(d) {
+                if o == self.graph.output_of(t) {
+                    continue;
+                }
+                let size = self.graph.object(o).size;
+                if let Some(&n) = self.locations[o.0 as usize].first() {
+                    if best.is_none_or(|(_, s)| size > s) {
+                        best = Some((n, size));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+type Shared = Rc<RefCell<State>>;
+
+/// Runs `graph` on the simulated cluster under the Fix engine and
+/// returns the run report.
+///
+/// # Examples
+///
+/// ```
+/// use fix_cluster::{run_fix, ClusterSetup, FixConfig, JobGraphBuilder, small_task};
+/// use fix_netsim::{NodeSpec, NetConfig, NodeId};
+///
+/// let setup = ClusterSetup::workers_only(2, NodeSpec::default(), NetConfig::default());
+/// let mut b = JobGraphBuilder::new();
+/// let mut spec = small_task(1_000, 8);
+/// let input = b.object_at(1 << 20, &[NodeId(1)]);
+/// spec.inputs.push(input);
+/// b.task(spec);
+/// let report = run_fix(&setup, &b.build(), &FixConfig::default());
+/// assert_eq!(report.tasks_run, 1);
+/// // Locality placement runs the task where its input lives: no movement.
+/// assert_eq!(report.bytes_moved, 0);
+/// ```
+pub fn run_fix(setup: &ClusterSetup, graph: &JobGraph, cfg: &FixConfig) -> RunReport {
+    graph.validate().expect("valid job graph");
+    let mut sim = Sim::new(&setup.specs, setup.net.clone());
+
+    let n_tasks = graph.tasks.len();
+    let mut dependents = vec![Vec::new(); n_tasks];
+    let mut remaining = vec![0usize; n_tasks];
+    for (i, t) in graph.tasks.iter().enumerate() {
+        remaining[i] = t.deps.len();
+        for d in &t.deps {
+            dependents[d.0 as usize].push(TaskId(i as u64));
+        }
+    }
+    let locations = graph
+        .objects
+        .iter()
+        .map(|o| o.initial_locations.clone())
+        .collect();
+
+    let state: Shared = Rc::new(RefCell::new(State {
+        graph: graph.clone(),
+        cfg: cfg.clone(),
+        workers: setup.workers.clone(),
+        client: setup.client,
+        locations,
+        remaining_deps: remaining,
+        dependents,
+        assignment: vec![None; n_tasks],
+        pending_fetches: vec![0; n_tasks],
+        runnable: HashMap::new(),
+        in_flight: HashMap::new(),
+        assigned_load: HashMap::new(),
+        held_claims: vec![None; n_tasks],
+        finished: 0,
+        finish_time: 0,
+        bytes_moved: 0,
+        rng: StdRng::seed_from_u64(cfg.seed),
+    }));
+
+    // Submit all initially-ready tasks at t=0 (after the client ships the
+    // job description, if a client is modeled).
+    let ready: Vec<TaskId> = (0..n_tasks)
+        .filter(|i| state.borrow().remaining_deps[*i] == 0)
+        .map(|i| TaskId(i as u64))
+        .collect();
+    let st = Rc::clone(&state);
+    match setup.client {
+        Some(client) => {
+            // One message carries the whole dataflow description — Fix
+            // ships dependencies with the invocation, no per-step
+            // round trips (paper §4.2.1).
+            let first_worker = setup.workers[0];
+            sim.message(client, first_worker, move |sim| {
+                for t in ready {
+                    place_task(sim, &st, t);
+                }
+            });
+        }
+        None => {
+            sim.schedule(0, move |sim| {
+                for t in ready {
+                    place_task(sim, &st, t);
+                }
+            });
+        }
+    }
+
+    sim.run();
+
+    let st = state.borrow();
+    assert_eq!(
+        st.finished, n_tasks,
+        "engine stalled: {}/{} tasks finished",
+        st.finished, n_tasks
+    );
+    RunReport {
+        makespan_us: st.finish_time,
+        cpu: sim.cpu_report(&setup.workers),
+        bytes_moved: st.bytes_moved,
+        tasks_run: n_tasks as u64,
+    }
+}
+
+/// Decides where a ready task runs and starts its fetch/claim sequence.
+fn place_task(sim: &mut Sim, state: &Shared, t: TaskId) {
+    let (node, binding) = {
+        let mut st = state.borrow_mut();
+        let node = st.choose_node(sim, t);
+        st.assignment[t.0 as usize] = Some(node);
+        *st.assigned_load.entry(node).or_insert(0) += 1;
+        (node, st.cfg.binding)
+    };
+    match binding {
+        Binding::Late => start_fetches(sim, state, t, node),
+        Binding::Early => {
+            // Conventional platforms claim the slice first, then the
+            // function performs its own I/O while the slice idles.
+            enqueue_runnable(sim, state, t, node);
+        }
+    }
+}
+
+/// Issues transfers for every missing input of `t` toward `node`.
+fn start_fetches(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId) {
+    let missing: Vec<(ObjectId, NodeId, u64)> = {
+        let st = state.borrow();
+        st.needed_objects(t)
+            .into_iter()
+            .filter(|o| !st.object_at(*o, node))
+            .map(|o| {
+                let src = *st.locations[o.0 as usize]
+                    .first()
+                    .expect("needed object has a location");
+                (o, src, st.graph.object(o).size)
+            })
+            .collect()
+    };
+    if missing.is_empty() {
+        on_inputs_ready(sim, state, t, node);
+        return;
+    }
+    {
+        let mut st = state.borrow_mut();
+        st.pending_fetches[t.0 as usize] = 0;
+    }
+    for (o, src, size) in missing {
+        let mut st = state.borrow_mut();
+        let key = (o, node);
+        if let Some(waiters) = st.in_flight.get_mut(&key) {
+            // Someone is already moving this object here; join them.
+            waiters.push(t);
+            st.pending_fetches[t.0 as usize] += 1;
+            continue;
+        }
+        st.in_flight.insert(key, vec![t]);
+        st.pending_fetches[t.0 as usize] += 1;
+        st.bytes_moved += size;
+        drop(st);
+        let s2 = Rc::clone(state);
+        sim.transfer(src, node, size, move |sim| {
+            object_arrived(sim, &s2, o, node);
+        });
+    }
+    // All inputs may have already been in flight and since arrived.
+    let ready = state.borrow().pending_fetches[t.0 as usize] == 0;
+    if ready {
+        on_inputs_ready(sim, state, t, node);
+    }
+}
+
+/// A transfer completed: update the location view and wake waiters.
+fn object_arrived(sim: &mut Sim, state: &Shared, o: ObjectId, node: NodeId) {
+    let waiters = {
+        let mut st = state.borrow_mut();
+        st.locations[o.0 as usize].push(node);
+        st.in_flight.remove(&(o, node)).unwrap_or_default()
+    };
+    for t in waiters {
+        let now_ready = {
+            let mut st = state.borrow_mut();
+            let p = &mut st.pending_fetches[t.0 as usize];
+            *p -= 1;
+            *p == 0
+        };
+        if now_ready {
+            on_inputs_ready(sim, state, t, node);
+        }
+    }
+}
+
+/// Late binding: inputs are local, now compete for cores.
+fn on_inputs_ready(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId) {
+    let binding = state.borrow().cfg.binding;
+    match binding {
+        Binding::Late => enqueue_runnable(sim, state, t, node),
+        Binding::Early => {
+            // The claim is already held (in Waiting state); start compute.
+            let claim = state.borrow().held_claims[t.0 as usize].expect("claim held");
+            begin_compute(sim, state, t, node, claim);
+        }
+    }
+}
+
+fn enqueue_runnable(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId) {
+    state
+        .borrow_mut()
+        .runnable
+        .entry(node)
+        .or_default()
+        .push_back(t);
+    pump_node(sim, state, node);
+}
+
+/// Grants cores to queued tasks in FIFO order while resources allow.
+fn pump_node(sim: &mut Sim, state: &Shared, node: NodeId) {
+    loop {
+        let (t, cores, ram, binding, overhead) = {
+            let st = state.borrow();
+            let Some(&t) = st.runnable.get(&node).and_then(|q| q.front()) else {
+                return;
+            };
+            let spec = st.graph.task(t);
+            (
+                t,
+                spec.cores,
+                spec.ram,
+                st.cfg.binding,
+                st.cfg.invocation_overhead_us,
+            )
+        };
+        // Early binding claims in Waiting (it still has I/O to do);
+        // late binding claims in System (about to run).
+        let initial = match binding {
+            Binding::Late => CoreState::System,
+            Binding::Early => CoreState::Waiting,
+        };
+        let Some(claim) = sim.try_claim(node, cores, ram, initial) else {
+            return; // Head of queue can't fit; wait for a release.
+        };
+        state
+            .borrow_mut()
+            .runnable
+            .get_mut(&node)
+            .expect("queue exists")
+            .pop_front();
+        match binding {
+            Binding::Late => {
+                // System-time overhead, then user compute.
+                let s2 = Rc::clone(state);
+                sim.schedule(overhead, move |sim| {
+                    sim.set_claim_state(claim, CoreState::User);
+                    begin_compute_after_overhead(sim, &s2, t, node, claim);
+                });
+            }
+            Binding::Early => {
+                // Hold the claim, then fetch inputs ("internal" I/O).
+                state.borrow_mut().held_claims[t.0 as usize] = Some(claim);
+                start_fetches(sim, state, t, node);
+            }
+        }
+    }
+}
+
+/// Early-binding path: inputs arrived while holding the claim.
+fn begin_compute(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId, claim: ClaimId) {
+    let overhead = state.borrow().cfg.invocation_overhead_us;
+    let s2 = Rc::clone(state);
+    sim.set_claim_state(claim, CoreState::System);
+    sim.schedule(overhead, move |sim| {
+        sim.set_claim_state(claim, CoreState::User);
+        begin_compute_after_overhead(sim, &s2, t, node, claim);
+    });
+}
+
+fn begin_compute_after_overhead(
+    sim: &mut Sim,
+    state: &Shared,
+    t: TaskId,
+    node: NodeId,
+    claim: ClaimId,
+) {
+    let compute = state.borrow().graph.task(t).compute_us;
+    let s2 = Rc::clone(state);
+    sim.schedule(compute, move |sim| {
+        sim.release(claim);
+        sim.count_task(node);
+        complete_task(sim, &s2, t, node);
+    });
+}
+
+/// Records completion, materializes the output, and wakes dependents.
+fn complete_task(sim: &mut Sim, state: &Shared, t: TaskId, node: NodeId) {
+    let (newly_ready, all_done, client, out, out_size) = {
+        let mut st = state.borrow_mut();
+        let out = st.graph.output_of(t);
+        st.locations[out.0 as usize].push(node);
+        st.held_claims[t.0 as usize] = None;
+        if let Some(load) = st.assigned_load.get_mut(&node) {
+            *load = load.saturating_sub(1);
+        }
+        st.finished += 1;
+        let mut ready = Vec::new();
+        for &d in st.dependents[t.0 as usize].clone().iter() {
+            let r = &mut st.remaining_deps[d.0 as usize];
+            *r -= 1;
+            if *r == 0 {
+                ready.push(d);
+            }
+        }
+        let all_done = st.finished == st.graph.tasks.len();
+        let out_size = st.graph.object(out).size;
+        (ready, all_done, st.client, out, out_size)
+    };
+    for d in newly_ready {
+        place_task(sim, state, d);
+    }
+    if all_done {
+        match client {
+            Some(client) if client != node => {
+                // Ship the final result back to the client.
+                let s2 = Rc::clone(state);
+                let _ = out;
+                sim.transfer(node, client, out_size, move |sim| {
+                    s2.borrow_mut().finish_time = sim.now();
+                });
+            }
+            _ => {
+                state.borrow_mut().finish_time = sim.now();
+            }
+        }
+    }
+    // Freed cores may admit the next queued task.
+    pump_node(sim, state, node);
+}

@@ -1,0 +1,278 @@
+//! `fix-cluster`: the distributed Fixpoint execution engine, simulated.
+//!
+//! Implements the paper's §4.2.2 over the `fix-netsim` substrate: a
+//! decentralized, dataflow-aware scheduler in which every invocation's
+//! data footprint is known before launch (thanks to I/O externalization),
+//! placement minimizes data movement over a passively-advanced location
+//! view, and physical resources are bound late — after dependencies have
+//! arrived. Both mechanisms can be ablated ([`Placement::Random`],
+//! [`Binding::Early`]) to regenerate the comparisons in Figs. 8a and 8b.
+//!
+//! Workloads are expressed as [`JobGraph`]s (see `fix-workloads` for the
+//! paper's workload generators); baseline engines over the *same* graphs
+//! and simulator live in `fix-baselines`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod density;
+mod engine;
+mod graph;
+mod report;
+
+pub use density::{
+    simulate as simulate_density, simulate_profiles as simulate_density_profiles, Admission,
+    AppProfile, DensityParams, DensityReport, Phase,
+};
+pub use engine::{run_fix, Binding, ClusterSetup, FixConfig, Placement};
+pub use graph::{small_task, JobGraph, JobGraphBuilder, ObjectId, ObjectSpec, TaskId, TaskSpec};
+pub use report::RunReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_netsim::{NetConfig, NodeId, NodeSpec, MS, SEC};
+
+    fn ten_node_setup() -> ClusterSetup {
+        ClusterSetup::workers_only(10, NodeSpec::default(), NetConfig::default())
+    }
+
+    /// A map workload: one task per input chunk, chunks scattered.
+    fn scattered_map(n_chunks: usize, chunk_size: u64, compute_us: u64) -> JobGraph {
+        let mut b = JobGraphBuilder::new();
+        for i in 0..n_chunks {
+            let node = NodeId(i % 10);
+            let o = b.object_at(chunk_size, &[node]);
+            let mut t = small_task(compute_us, 8);
+            t.inputs.push(o);
+            b.task(t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn locality_placement_avoids_all_movement() {
+        let setup = ten_node_setup();
+        let graph = scattered_map(100, 10 << 20, 5_000);
+        let report = run_fix(&setup, &graph, &FixConfig::default());
+        assert_eq!(report.bytes_moved, 0, "chunks should be processed in place");
+        assert_eq!(report.tasks_run, 100);
+    }
+
+    #[test]
+    fn random_placement_moves_data_and_is_slower() {
+        let setup = ten_node_setup();
+        let graph = scattered_map(100, 10 << 20, 5_000);
+        let local = run_fix(&setup, &graph, &FixConfig::default());
+        let random = run_fix(
+            &setup,
+            &graph,
+            &FixConfig {
+                placement: Placement::Random,
+                ..FixConfig::default()
+            },
+        );
+        assert!(random.bytes_moved > 0);
+        assert!(
+            random.makespan_us > local.makespan_us,
+            "random {} vs local {}",
+            random.makespan_us,
+            local.makespan_us
+        );
+    }
+
+    #[test]
+    fn late_binding_avoids_cpu_waiting() {
+        // Fig. 8a in miniature: inputs behind a 150 ms storage node.
+        let storage = NodeId(1);
+        let net = NetConfig::default().with_extra_latency(storage, 150 * MS);
+        let setup = ClusterSetup {
+            specs: vec![
+                NodeSpec {
+                    cores: 32,
+                    ram_bytes: 64 << 30,
+                },
+                NodeSpec::default(),
+            ],
+            net,
+            workers: vec![NodeId(0)],
+            client: None,
+        };
+        let mut b = JobGraphBuilder::new();
+        for _ in 0..64 {
+            let o = b.object_at(64 << 10, &[storage]);
+            let mut t = small_task(100, 8);
+            t.ram = 1 << 30;
+            t.inputs.push(o);
+            b.task(t);
+        }
+        let graph = b.build();
+
+        let late = run_fix(&setup, &graph, &FixConfig::default());
+        let early = run_fix(
+            &setup,
+            &graph,
+            &FixConfig {
+                binding: Binding::Early,
+                ..FixConfig::default()
+            },
+        );
+        // Late binding: fetches overlap, cores only claimed to compute.
+        assert!(late.cpu.waiting_core_us < early.cpu.waiting_core_us);
+        assert!(
+            late.makespan_us < early.makespan_us,
+            "late {} vs early {}",
+            late.makespan_us,
+            early.makespan_us
+        );
+        // Early binding holds cores during the 150 ms fetch.
+        assert!(early.cpu.waiting_core_us >= 32 * 150 * MS);
+    }
+
+    #[test]
+    fn chain_with_remote_client_pays_one_round_trip() {
+        // Fig. 7b: Fix ships the whole 500-step chain in one go.
+        let client = NodeId(1);
+        let rtt_half = 10_650; // 21.3 ms RTT
+        let net = NetConfig::default().with_extra_latency(client, rtt_half);
+        let setup = ClusterSetup {
+            specs: vec![NodeSpec::default(), NodeSpec::default()],
+            net,
+            workers: vec![NodeId(0)],
+            client: Some(client),
+        };
+        // The chain description (code + input) ships with the submission
+        // message — Fix bundles dependencies with invocations, so there is
+        // no separate program fetch.
+        let mut b = JobGraphBuilder::new();
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..500 {
+            let mut t = small_task(1, 8);
+            if let Some(p) = prev {
+                t.deps.push(p);
+            }
+            prev = Some(b.task(t));
+        }
+        let graph = b.build();
+        let report = run_fix(&setup, &graph, &FixConfig::default());
+        // ~ 1 RTT (ship + return) + 500 × (overhead + compute).
+        let rtt = 2 * (rtt_half + 50);
+        assert!(report.makespan_us > rtt);
+        assert!(
+            report.makespan_us < rtt + 10 * MS,
+            "chain took {} µs",
+            report.makespan_us
+        );
+    }
+
+    #[test]
+    fn output_hint_attracts_task_to_consumer_data() {
+        // Pipeline g(f(x)) where f's output is hinted huge and g also
+        // consumes a huge object on node 7: f should run on node 7 so the
+        // intermediate never crosses the network.
+        let setup = ten_node_setup();
+        let mut b = JobGraphBuilder::new();
+        let x = b.object_at(1 << 10, &[NodeId(2)]); // f's input: tiny
+        let z = b.object_at(8 << 30, &[NodeId(7)]); // g's other input: 8 GiB
+        let mut f = small_task(1_000, 4 << 30);
+        f.inputs.push(x);
+        f.output_hint = Some(4 << 30); // f's output: hinted 4 GiB
+        let f_id = b.task(f);
+        let mut g = small_task(1_000, 8);
+        g.inputs.push(z);
+        g.deps.push(f_id);
+        b.task(g);
+        let graph = b.build();
+        let report = run_fix(&setup, &graph, &FixConfig::default());
+        // Only x (1 KiB) should move; not the 4 GiB intermediate.
+        assert!(
+            report.bytes_moved <= 1 << 10,
+            "moved {} bytes",
+            report.bytes_moved
+        );
+    }
+
+    #[test]
+    fn reduction_tree_completes() {
+        // count-string shape: map over chunks, then binary merge.
+        let setup = ten_node_setup();
+        let mut b = JobGraphBuilder::new();
+        let mut layer: Vec<TaskId> = (0..32)
+            .map(|i| {
+                let o = b.object_at(100 << 20, &[NodeId(i % 10)]);
+                let mut t = small_task(20_000, 8);
+                t.inputs.push(o);
+                b.task(t)
+            })
+            .collect();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    let mut m = small_task(50, 8);
+                    m.deps = vec![pair[0], pair[1]];
+                    next.push(b.task(m));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        let graph = b.build();
+        let report = run_fix(&setup, &graph, &FixConfig::default());
+        assert_eq!(report.tasks_run, 32 + 31);
+        // Merge outputs are 8-byte literals: trivial movement only.
+        assert!(report.bytes_moved < 1 << 10);
+        assert!(report.makespan_us < SEC);
+    }
+
+    #[test]
+    fn core_contention_serializes() {
+        // 64 one-core tasks of 1 ms each on a single 32-core node: two
+        // full waves -> ≈ 2 ms.
+        let setup = ClusterSetup::workers_only(1, NodeSpec::default(), NetConfig::default());
+        let mut b = JobGraphBuilder::new();
+        for _ in 0..64 {
+            b.task(small_task(MS, 8));
+        }
+        let graph = b.build();
+        let report = run_fix(&setup, &graph, &FixConfig::default());
+        assert!(report.makespan_us >= 2 * MS);
+        assert!(report.makespan_us < 3 * MS);
+    }
+
+    #[test]
+    fn concurrent_fetches_of_one_object_are_deduplicated() {
+        let setup = ClusterSetup::workers_only(2, NodeSpec::default(), NetConfig::default());
+        let mut b = JobGraphBuilder::new();
+        // One 1 GiB object on node 1; many tasks that all need it but must
+        // run on node 0 (their other input is a huge pinned object there).
+        let shared = b.object_at(1 << 30, &[NodeId(1)]);
+        let anchor = b.object_at(16 << 30, &[NodeId(0)]);
+        for _ in 0..8 {
+            let mut t = small_task(1_000, 8);
+            t.inputs.push(shared);
+            t.inputs.push(anchor);
+            b.task(t);
+        }
+        let graph = b.build();
+        let report = run_fix(&setup, &graph, &FixConfig::default());
+        // The shared gigabyte moves once, not eight times.
+        assert_eq!(report.bytes_moved, 1 << 30);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let setup = ten_node_setup();
+        let graph = scattered_map(50, 1 << 20, 500);
+        let cfg = FixConfig {
+            placement: Placement::Random,
+            seed: 7,
+            ..FixConfig::default()
+        };
+        let a = run_fix(&setup, &graph, &cfg);
+        let b = run_fix(&setup, &graph, &cfg);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        assert_eq!(a.bytes_moved, b.bytes_moved);
+    }
+}

@@ -1,0 +1,45 @@
+//! Run reports: what an engine hands back after executing a job graph.
+
+use fix_netsim::{CpuReport, Time};
+
+/// The outcome of one simulated job execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// End-to-end duration (submission to last result), in µs.
+    pub makespan_us: Time,
+    /// CPU-state aggregation over the worker nodes (paper Fig. 8).
+    pub cpu: CpuReport,
+    /// Total bytes moved over the network.
+    pub bytes_moved: u64,
+    /// Number of task executions.
+    pub tasks_run: u64,
+}
+
+impl RunReport {
+    /// Makespan in seconds (for table printing).
+    pub fn makespan_secs(&self) -> f64 {
+        self.makespan_us as f64 / 1e6
+    }
+
+    /// Task throughput in tasks/second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_us == 0 {
+            return 0.0;
+        }
+        self.tasks_run as f64 * 1e6 / self.makespan_us as f64
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} s, {} tasks ({:.0} tasks/s), {:.1} MiB moved, CPU waiting {:.0}%",
+            self.makespan_secs(),
+            self.tasks_run,
+            self.throughput(),
+            self.bytes_moved as f64 / (1 << 20) as f64,
+            self.cpu.waiting_percent()
+        )
+    }
+}

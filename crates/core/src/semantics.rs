@@ -1,0 +1,519 @@
+//! Storage-agnostic pieces of Fix semantics: data access, dependency
+//! analysis, and minimum-repository (footprint) computation.
+//!
+//! The evaluator itself lives in the `fixpoint` runtime crate; what lives
+//! here is everything that must be *shared understanding* between user
+//! programs, the runtime, and the distributed scheduler — most importantly
+//! the rule for what data an invocation may touch (paper §3.3):
+//!
+//! * Objects reachable from the application tree are in the footprint
+//!   (recursively, through accessible Trees);
+//! * Refs contribute only their metadata;
+//! * Thunks contribute nothing (their definitions are lazily needed only
+//!   if *they* are evaluated);
+//! * Encodes must be resolved before launch, and their results join the
+//!   footprint according to the encode style.
+
+use crate::data::{literal_blob, Blob, Node, Tree};
+use crate::error::{Error, Result};
+use crate::handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};
+use crate::invocation::Selection;
+use std::collections::HashSet;
+
+/// Anything that can produce the data behind canonical handles.
+///
+/// Implemented by `fix-storage`'s store and by in-memory test fixtures.
+/// Lookups are by *payload* (digest); accessibility tags on the handle are
+/// a capability concept, enforced at the guest API layer, not here.
+pub trait DataSource {
+    /// Loads the datum named by `handle`.
+    ///
+    /// Implementations should accept any data handle (Object or Ref, Blob
+    /// or Tree) whose payload they hold, and must return
+    /// [`Error::NotFound`] otherwise.
+    fn load(&self, handle: Handle) -> Result<Node>;
+}
+
+/// Loads a Blob through a [`DataSource`], serving literals inline.
+pub fn load_blob(source: &dyn DataSource, handle: Handle) -> Result<Blob> {
+    match handle.kind() {
+        Kind::Object(DataType::Blob) | Kind::Ref(DataType::Blob) => {
+            if let Some(b) = literal_blob(handle) {
+                Ok(b)
+            } else {
+                source.load(handle)?.as_blob().cloned()
+            }
+        }
+        _ => Err(Error::TypeMismatch {
+            handle,
+            expected: "blob",
+        }),
+    }
+}
+
+/// Loads a Tree through a [`DataSource`].
+pub fn load_tree(source: &dyn DataSource, handle: Handle) -> Result<Tree> {
+    match handle.kind() {
+        Kind::Object(DataType::Tree) | Kind::Ref(DataType::Tree) => {
+            source.load(handle)?.as_tree().cloned()
+        }
+        _ => Err(Error::TypeMismatch {
+            handle,
+            expected: "tree",
+        }),
+    }
+}
+
+/// Resolves previously-computed Encode results.
+///
+/// The runtime implements this with its memoized relation cache; footprint
+/// analysis uses it to fold resolved encodes into the repository.
+pub trait EncodeResolver {
+    /// The result of the encode, if it has already been computed.
+    fn resolved(&self, encode: Handle) -> Option<Handle>;
+}
+
+/// An [`EncodeResolver`] that knows nothing (used before any evaluation).
+pub struct NoResolution;
+
+impl EncodeResolver for NoResolution {
+    fn resolved(&self, _encode: Handle) -> Option<Handle> {
+        None
+    }
+}
+
+/// The minimum repository of a Thunk: what must be resident before launch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Canonical data handles whose contents must be local (deduplicated,
+    /// in discovery order). Literals never appear here.
+    pub objects: Vec<Handle>,
+    /// Total bytes across `objects` (blob lengths + 32 bytes/tree entry).
+    pub total_bytes: u64,
+    /// Encodes that are not yet resolved; the runtime must evaluate these
+    /// before the footprint is complete.
+    pub unresolved_encodes: Vec<Handle>,
+    /// Refs encountered: data that is *named* but must not be fetched.
+    pub refs: Vec<Handle>,
+}
+
+impl Footprint {
+    /// True when every dependency is resolved and the footprint is final.
+    pub fn is_complete(&self) -> bool {
+        self.unresolved_encodes.is_empty()
+    }
+}
+
+/// Computes the minimum repository of `thunk` (paper §3.3).
+///
+/// For Application thunks, walks the definition tree applying the footprint
+/// rules. For Selection and Identification thunks, the target data itself
+/// is required (the runtime performs the extraction). Returns an error if
+/// tree data needed for the analysis is missing from `source`.
+///
+/// # Examples
+///
+/// ```
+/// use fix_core::data::{Blob, Tree};
+/// use fix_core::limits::ResourceLimits;
+/// use fix_core::semantics::{footprint, NoResolution, MapSource};
+///
+/// let mut src = MapSource::default();
+/// let big = Blob::from_slice(&[7u8; 100]);
+/// let tree = Tree::from_handles(vec![
+///     ResourceLimits::default_limits().handle(),
+///     Blob::from_slice(b"code").handle(),
+///     big.handle(),                    // accessible: in footprint
+///     big.handle().as_ref_handle(),    // ref: metadata only
+/// ]);
+/// src.insert_blob(&big);
+/// src.insert_tree(&tree);
+/// let thunk = tree.handle().application().unwrap();
+/// let fp = footprint(&src, thunk, &NoResolution).unwrap();
+/// assert_eq!(fp.objects.len(), 2); // The tree itself + the big blob.
+/// assert!(fp.refs.len() == 1 && fp.is_complete());
+/// ```
+pub fn footprint(
+    source: &dyn DataSource,
+    thunk: Handle,
+    resolver: &dyn EncodeResolver,
+) -> Result<Footprint> {
+    let mut fp = Footprint::default();
+    let mut seen = HashSet::new();
+    match thunk.kind() {
+        Kind::Thunk(ThunkKind::Application) => {
+            let def = thunk.thunk_definition()?;
+            add_object_recursive(source, def, resolver, &mut fp, &mut seen)?;
+        }
+        Kind::Thunk(ThunkKind::Selection) => {
+            let def = thunk.thunk_definition()?;
+            // The definition tree is tiny ([target, begin, end?]) but needed.
+            add_data(source, def, &mut fp, &mut seen)?;
+            let tree = load_tree(source, def)?;
+            let sel = Selection::from_tree(&tree)?;
+            // The target's own data is needed (but not its children): the
+            // runtime reads it to perform the extraction.
+            match sel.target.kind() {
+                Kind::Object(_) | Kind::Ref(_) => add_data(source, sel.target, &mut fp, &mut seen)?,
+                Kind::Thunk(_) => { /* evaluated first; contributes nothing yet */ }
+                Kind::Encode(..) => match resolver.resolved(sel.target) {
+                    Some(r) => add_data(source, r, &mut fp, &mut seen)?,
+                    None => fp.unresolved_encodes.push(sel.target),
+                },
+            }
+        }
+        Kind::Thunk(ThunkKind::Identification) => {
+            let target = thunk.thunk_definition()?;
+            add_data(source, target, &mut fp, &mut seen)?;
+        }
+        _ => {
+            return Err(Error::TypeMismatch {
+                handle: thunk,
+                expected: "a Thunk",
+            })
+        }
+    }
+    Ok(fp)
+}
+
+/// Adds a single datum (no recursion into tree children).
+fn add_data(
+    source: &dyn DataSource,
+    handle: Handle,
+    fp: &mut Footprint,
+    seen: &mut HashSet<[u8; 32]>,
+) -> Result<()> {
+    if handle.is_literal() || !seen.insert(payload_key(handle)) {
+        return Ok(());
+    }
+    // Record canonical-object residency; verify presence so that missing
+    // data is reported at analysis time rather than mid-execution.
+    let node = source.load(handle)?;
+    fp.objects.push(handle.as_object_handle());
+    fp.total_bytes += node.transfer_size();
+    Ok(())
+}
+
+/// Applies the footprint rules recursively from an accessible handle.
+fn add_object_recursive(
+    source: &dyn DataSource,
+    handle: Handle,
+    resolver: &dyn EncodeResolver,
+    fp: &mut Footprint,
+    seen: &mut HashSet<[u8; 32]>,
+) -> Result<()> {
+    match handle.kind() {
+        Kind::Object(DataType::Blob) => add_data(source, handle, fp, seen),
+        Kind::Object(DataType::Tree) => {
+            if !handle.is_literal() && seen.contains(&payload_key(handle)) {
+                return Ok(());
+            }
+            add_data(source, handle, fp, seen)?;
+            let tree = load_tree(source, handle)?;
+            for entry in tree.entries() {
+                add_object_recursive(source, *entry, resolver, fp, seen)?;
+            }
+            Ok(())
+        }
+        Kind::Ref(_) => {
+            fp.refs.push(handle);
+            Ok(())
+        }
+        // Lazy: a thunk's definition is not part of the parent's footprint.
+        Kind::Thunk(_) => Ok(()),
+        Kind::Encode(style, _) => match resolver.resolved(handle) {
+            Some(result) => match style {
+                // Strict results are fully accessible: recurse as Object.
+                EncodeStyle::Strict => {
+                    add_object_recursive(source, result.as_object_handle(), resolver, fp, seen)
+                }
+                // Shallow results are provided as Refs: metadata only.
+                EncodeStyle::Shallow => {
+                    if result.is_value() {
+                        fp.refs.push(result.as_ref_handle());
+                    }
+                    Ok(())
+                }
+            },
+            None => {
+                fp.unresolved_encodes.push(handle);
+                Ok(())
+            }
+        },
+    }
+}
+
+/// The deduplication key for a handle: its payload and type, ignoring
+/// accessibility tags (an Object and a Ref to the same tree are one datum).
+fn payload_key(handle: Handle) -> [u8; 32] {
+    let mut key = *handle.raw();
+    // Normalize the kind byte to Object and keep the type/literal flags.
+    key[30] = 0;
+    key
+}
+
+/// Collects every Encode appearing in an application tree, recursively
+/// through accessible sub-trees. These are the dependencies the runtime
+/// must resolve before the invocation can launch.
+pub fn collect_encodes(source: &dyn DataSource, tree: &Tree) -> Result<Vec<Handle>> {
+    let mut found = Vec::new();
+    let mut seen = HashSet::new();
+    collect_encodes_inner(source, tree, &mut found, &mut seen)?;
+    Ok(found)
+}
+
+fn collect_encodes_inner(
+    source: &dyn DataSource,
+    tree: &Tree,
+    found: &mut Vec<Handle>,
+    seen: &mut HashSet<[u8; 32]>,
+) -> Result<()> {
+    for entry in tree.entries() {
+        match entry.kind() {
+            Kind::Encode(..)
+                if seen.insert(*entry.raw()) => {
+                    found.push(*entry);
+                }
+            Kind::Object(DataType::Tree)
+                if seen.insert(*entry.raw()) => {
+                    let sub = load_tree(source, *entry)?;
+                    collect_encodes_inner(source, &sub, found, seen)?;
+                }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Rewrites a tree, replacing each entry by `f(entry)` (recursing is the
+/// caller's concern). Returns the new tree; identical output is detected
+/// so unchanged trees keep their identity.
+pub fn map_tree(tree: &Tree, mut f: impl FnMut(Handle) -> Result<Handle>) -> Result<Tree> {
+    let mut entries = Vec::with_capacity(tree.len());
+    for e in tree.entries() {
+        entries.push(f(*e)?);
+    }
+    Ok(Tree::from_handles(entries))
+}
+
+/// A simple in-memory [`DataSource`] for tests, examples, and doc tests.
+#[derive(Debug, Default, Clone)]
+pub struct MapSource {
+    items: std::collections::HashMap<[u8; 32], Node>,
+}
+
+impl MapSource {
+    /// Registers a blob.
+    pub fn insert_blob(&mut self, blob: &Blob) -> Handle {
+        let h = blob.handle();
+        if !h.is_literal() {
+            self.items.insert(payload_key(h), Node::Blob(blob.clone()));
+        }
+        h
+    }
+
+    /// Registers a tree (entries are *not* automatically registered).
+    pub fn insert_tree(&mut self, tree: &Tree) -> Handle {
+        let h = tree.handle();
+        self.items.insert(payload_key(h), Node::Tree(tree.clone()));
+        h
+    }
+}
+
+impl DataSource for MapSource {
+    fn load(&self, handle: Handle) -> Result<Node> {
+        if let Some(b) = literal_blob(handle) {
+            return Ok(Node::Blob(b));
+        }
+        self.items
+            .get(&payload_key(handle))
+            .cloned()
+            .ok_or(Error::NotFound(handle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::build;
+    use crate::limits::ResourceLimits;
+
+    fn setup() -> (MapSource, Blob, Blob) {
+        let src = MapSource::default();
+        let code = Blob::from_slice(&[0xC0; 64]);
+        let data = Blob::from_slice(&[0xDA; 256]);
+        (src, code, data)
+    }
+
+    fn limits_handle() -> Handle {
+        ResourceLimits::default_limits().handle()
+    }
+
+    #[test]
+    fn footprint_counts_accessible_objects_once() {
+        let (mut src, code, data) = setup();
+        src.insert_blob(&code);
+        src.insert_blob(&data);
+        let tree = Tree::from_handles(vec![
+            limits_handle(),
+            code.handle(),
+            data.handle(),
+            data.handle(), // Duplicate: must not double count.
+        ]);
+        src.insert_tree(&tree);
+        let thunk = tree.handle().application().unwrap();
+        let fp = footprint(&src, thunk, &NoResolution).unwrap();
+        assert_eq!(fp.objects.len(), 3); // tree + code + data
+        assert_eq!(
+            fp.total_bytes,
+            (tree.len() * 32) as u64 + code.len() as u64 + data.len() as u64
+        );
+    }
+
+    #[test]
+    fn footprint_excludes_thunk_definitions() {
+        let (mut src, code, data) = setup();
+        src.insert_blob(&code);
+        src.insert_blob(&data);
+        // A lazy branch: application thunk over some other tree.
+        let branch_tree = Tree::from_handles(vec![limits_handle(), code.handle(), data.handle()]);
+        src.insert_tree(&branch_tree);
+        let branch = branch_tree.handle().application().unwrap();
+
+        let tree = Tree::from_handles(vec![limits_handle(), code.handle(), branch]);
+        src.insert_tree(&tree);
+        let thunk = tree.handle().application().unwrap();
+        let fp = footprint(&src, thunk, &NoResolution).unwrap();
+        // The branch's definition tree and `data` are NOT in the footprint.
+        assert_eq!(fp.objects.len(), 2); // Just the application tree + code.
+        assert!(fp.is_complete());
+    }
+
+    #[test]
+    fn footprint_counts_refs_as_metadata_only() {
+        let (mut src, code, data) = setup();
+        src.insert_blob(&code);
+        src.insert_blob(&data);
+        let tree = Tree::from_handles(vec![
+            limits_handle(),
+            code.handle(),
+            data.handle().as_ref_handle(),
+        ]);
+        src.insert_tree(&tree);
+        let thunk = tree.handle().application().unwrap();
+        let fp = footprint(&src, thunk, &NoResolution).unwrap();
+        assert_eq!(fp.objects.len(), 2);
+        assert_eq!(fp.refs.len(), 1);
+        assert_eq!(fp.total_bytes, (tree.len() * 32) as u64 + code.len() as u64);
+    }
+
+    #[test]
+    fn footprint_reports_unresolved_encodes() {
+        let (mut src, code, data) = setup();
+        src.insert_blob(&code);
+        src.insert_blob(&data);
+        let inner = Tree::from_handles(vec![limits_handle(), code.handle(), data.handle()]);
+        src.insert_tree(&inner);
+        let enc = build::strict(inner.handle().application().unwrap()).unwrap();
+        let tree = Tree::from_handles(vec![limits_handle(), code.handle(), enc]);
+        src.insert_tree(&tree);
+        let thunk = tree.handle().application().unwrap();
+        let fp = footprint(&src, thunk, &NoResolution).unwrap();
+        assert_eq!(fp.unresolved_encodes, vec![enc]);
+        assert!(!fp.is_complete());
+    }
+
+    #[test]
+    fn footprint_folds_in_resolved_strict_encodes() {
+        struct Fixed(Handle, Handle);
+        impl EncodeResolver for Fixed {
+            fn resolved(&self, e: Handle) -> Option<Handle> {
+                (e == self.0).then_some(self.1)
+            }
+        }
+        let (mut src, code, data) = setup();
+        src.insert_blob(&code);
+        src.insert_blob(&data);
+        let inner = Tree::from_handles(vec![limits_handle(), code.handle()]);
+        src.insert_tree(&inner);
+        let enc = build::strict(inner.handle().application().unwrap()).unwrap();
+        let tree = Tree::from_handles(vec![limits_handle(), code.handle(), enc]);
+        src.insert_tree(&tree);
+        let thunk = tree.handle().application().unwrap();
+
+        let fp = footprint(&src, thunk, &Fixed(enc, data.handle())).unwrap();
+        assert!(fp.is_complete());
+        // The resolved result (a 256-byte blob) joined the footprint.
+        assert!(fp.objects.contains(&data.handle()));
+    }
+
+    #[test]
+    fn footprint_shallow_resolution_stays_metadata() {
+        struct Fixed(Handle, Handle);
+        impl EncodeResolver for Fixed {
+            fn resolved(&self, e: Handle) -> Option<Handle> {
+                (e == self.0).then_some(self.1)
+            }
+        }
+        let (mut src, code, data) = setup();
+        src.insert_blob(&code);
+        src.insert_blob(&data);
+        let inner = Tree::from_handles(vec![limits_handle(), code.handle()]);
+        src.insert_tree(&inner);
+        let enc = build::shallow(inner.handle().application().unwrap()).unwrap();
+        let tree = Tree::from_handles(vec![limits_handle(), code.handle(), enc]);
+        src.insert_tree(&tree);
+        let thunk = tree.handle().application().unwrap();
+
+        let fp = footprint(&src, thunk, &Fixed(enc, data.handle())).unwrap();
+        assert!(fp.is_complete());
+        assert!(!fp.objects.contains(&data.handle()));
+        assert_eq!(fp.refs, vec![data.handle().as_ref_handle()]);
+    }
+
+    #[test]
+    fn footprint_of_selection_needs_target_data_only() {
+        let (mut src, _code, data) = setup();
+        let child = Blob::from_slice(&[1u8; 512]);
+        src.insert_blob(&data);
+        src.insert_blob(&child);
+        let target = Tree::from_handles(vec![child.handle(), data.handle()]);
+        src.insert_tree(&target);
+        let (sel_tree, sel_thunk) = build::selection(target.handle().as_ref_handle(), 0).unwrap();
+        src.insert_tree(&sel_tree);
+        let fp = footprint(&src, sel_thunk, &NoResolution).unwrap();
+        // Needs: the selection definition tree and the target tree's own
+        // entry list. NOT the children blobs.
+        assert_eq!(fp.objects.len(), 2);
+        assert!(!fp.objects.contains(&child.handle()));
+    }
+
+    #[test]
+    fn collect_encodes_recurses_into_subtrees() {
+        let (mut src, code, data) = setup();
+        src.insert_blob(&code);
+        src.insert_blob(&data);
+        let inner_def = Tree::from_handles(vec![limits_handle(), code.handle()]);
+        src.insert_tree(&inner_def);
+        let enc1 = build::strict(inner_def.handle().application().unwrap()).unwrap();
+        let enc2 = build::shallow(inner_def.handle().application().unwrap()).unwrap();
+        let sub = Tree::from_handles(vec![enc2]);
+        src.insert_tree(&sub);
+        let top = Tree::from_handles(vec![limits_handle(), code.handle(), enc1, sub.handle()]);
+        src.insert_tree(&top);
+        let found = collect_encodes(&src, &top).unwrap();
+        assert_eq!(found, vec![enc1, enc2]);
+    }
+
+    #[test]
+    fn missing_data_is_reported() {
+        let (src, code, _) = setup();
+        // `code` was never inserted.
+        let tree = Tree::from_handles(vec![limits_handle(), code.handle()]);
+        let mut src2 = src.clone();
+        src2.insert_tree(&tree);
+        let thunk = tree.handle().application().unwrap();
+        let err = footprint(&src2, thunk, &NoResolution).unwrap_err();
+        assert!(matches!(err, Error::NotFound(h) if h == code.handle()));
+    }
+}

@@ -1,0 +1,206 @@
+//! The BLAKE3 compression function (portable, word-at-a-time).
+//!
+//! This follows the structure of the reference implementation in the BLAKE3
+//! paper: a 7-round ARX permutation over a 16-word state, with the message
+//! schedule produced by repeated application of a fixed permutation.
+
+/// Number of bytes in one compression block.
+pub const BLOCK_LEN: usize = 64;
+/// Number of bytes in one chunk (1024 = 16 blocks).
+pub const CHUNK_LEN: usize = 1024;
+/// Domain-separation flag: first block of a chunk.
+pub const CHUNK_START: u32 = 1 << 0;
+/// Domain-separation flag: last block of a chunk.
+pub const CHUNK_END: u32 = 1 << 1;
+/// Domain-separation flag: parent node in the hash tree.
+pub const PARENT: u32 = 1 << 2;
+/// Domain-separation flag: the root compression.
+pub const ROOT: u32 = 1 << 3;
+/// Domain-separation flag: keyed hashing mode.
+pub const KEYED_HASH: u32 = 1 << 4;
+
+/// The BLAKE3 initialization vector (the first eight SHA-256 IV words).
+pub const IV: [u32; 8] = [
+    0x6A09_E667,
+    0xBB67_AE85,
+    0x3C6E_F372,
+    0xA54F_F53A,
+    0x510E_527F,
+    0x9B05_688C,
+    0x1F83_D9AB,
+    0x5BE0_CD19,
+];
+
+/// The fixed message-word permutation applied between rounds.
+const MSG_PERMUTATION: [usize; 16] = [2, 6, 3, 10, 7, 0, 4, 13, 1, 11, 12, 5, 9, 14, 15, 8];
+
+#[inline(always)]
+fn g(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize, mx: u32, my: u32) {
+    state[a] = state[a].wrapping_add(state[b]).wrapping_add(mx);
+    state[d] = (state[d] ^ state[a]).rotate_right(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_right(12);
+    state[a] = state[a].wrapping_add(state[b]).wrapping_add(my);
+    state[d] = (state[d] ^ state[a]).rotate_right(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_right(7);
+}
+
+#[inline(always)]
+fn round(state: &mut [u32; 16], m: &[u32; 16]) {
+    // Mix the columns.
+    g(state, 0, 4, 8, 12, m[0], m[1]);
+    g(state, 1, 5, 9, 13, m[2], m[3]);
+    g(state, 2, 6, 10, 14, m[4], m[5]);
+    g(state, 3, 7, 11, 15, m[6], m[7]);
+    // Mix the diagonals.
+    g(state, 0, 5, 10, 15, m[8], m[9]);
+    g(state, 1, 6, 11, 12, m[10], m[11]);
+    g(state, 2, 7, 8, 13, m[12], m[13]);
+    g(state, 3, 4, 9, 14, m[14], m[15]);
+}
+
+#[inline(always)]
+fn permute(m: &mut [u32; 16]) {
+    let mut permuted = [0u32; 16];
+    for i in 0..16 {
+        permuted[i] = m[MSG_PERMUTATION[i]];
+    }
+    *m = permuted;
+}
+
+/// Runs the BLAKE3 compression function, returning the full 16-word state.
+///
+/// The first eight words of the result are the new chaining value; in
+/// extended-output mode the remaining eight words also contribute output.
+pub fn compress(
+    chaining_value: &[u32; 8],
+    block_words: &[u32; 16],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+) -> [u32; 16] {
+    let mut state = [
+        chaining_value[0],
+        chaining_value[1],
+        chaining_value[2],
+        chaining_value[3],
+        chaining_value[4],
+        chaining_value[5],
+        chaining_value[6],
+        chaining_value[7],
+        IV[0],
+        IV[1],
+        IV[2],
+        IV[3],
+        counter as u32,
+        (counter >> 32) as u32,
+        block_len,
+        flags,
+    ];
+    let mut block = *block_words;
+
+    round(&mut state, &block); // round 1
+    permute(&mut block);
+    round(&mut state, &block); // round 2
+    permute(&mut block);
+    round(&mut state, &block); // round 3
+    permute(&mut block);
+    round(&mut state, &block); // round 4
+    permute(&mut block);
+    round(&mut state, &block); // round 5
+    permute(&mut block);
+    round(&mut state, &block); // round 6
+    permute(&mut block);
+    round(&mut state, &block); // round 7
+
+    for i in 0..8 {
+        state[i] ^= state[i + 8];
+        state[i + 8] ^= chaining_value[i];
+    }
+    state
+}
+
+/// Converts a 64-byte block into sixteen little-endian message words.
+#[inline(always)]
+pub fn words_from_le_bytes(block: &[u8; BLOCK_LEN]) -> [u32; 16] {
+    let mut words = [0u32; 16];
+    for (word, chunk) in words.iter_mut().zip(block.chunks_exact(4)) {
+        *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    words
+}
+
+/// Extracts the first eight words of a compression result (the chaining value).
+#[inline(always)]
+pub fn first_8_words(compression_output: [u32; 16]) -> [u32; 8] {
+    let mut out = [0u32; 8];
+    out.copy_from_slice(&compression_output[..8]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_is_deterministic() {
+        let mut s1 = [7u32; 16];
+        let mut s2 = [7u32; 16];
+        g(&mut s1, 0, 4, 8, 12, 1, 2);
+        g(&mut s2, 0, 4, 8, 12, 1, 2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn permutation_has_order_dividing_lcm() {
+        // Applying the permutation repeatedly must eventually return to the
+        // identity; the BLAKE3 permutation has a small order.
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = i as u32;
+        }
+        let start = m;
+        let mut seen_identity = false;
+        for _ in 0..1000 {
+            permute(&mut m);
+            if m == start {
+                seen_identity = true;
+                break;
+            }
+        }
+        assert!(
+            seen_identity,
+            "permutation should be a bijection with finite order"
+        );
+    }
+
+    #[test]
+    fn compress_changes_with_flags() {
+        let block = [0u8; BLOCK_LEN];
+        let words = words_from_le_bytes(&block);
+        let a = compress(&IV, &words, 0, BLOCK_LEN as u32, 0);
+        let b = compress(&IV, &words, 0, BLOCK_LEN as u32, CHUNK_START);
+        assert_ne!(a, b, "flag bits must be domain separating");
+    }
+
+    #[test]
+    fn compress_changes_with_counter() {
+        let block = [0u8; BLOCK_LEN];
+        let words = words_from_le_bytes(&block);
+        let a = compress(&IV, &words, 0, BLOCK_LEN as u32, 0);
+        let b = compress(&IV, &words, 1, BLOCK_LEN as u32, 0);
+        assert_ne!(a, b, "the chunk counter must be domain separating");
+    }
+
+    #[test]
+    fn words_round_trip_endianness() {
+        let mut block = [0u8; BLOCK_LEN];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let words = words_from_le_bytes(&block);
+        assert_eq!(words[0], u32::from_le_bytes([0, 1, 2, 3]));
+        assert_eq!(words[15], u32::from_le_bytes([60, 61, 62, 63]));
+    }
+}

@@ -1,0 +1,99 @@
+//! The network model: latency + store-and-forward NIC bandwidth.
+//!
+//! Transfers between nodes pay (1) queueing behind earlier transfers on
+//! the sender's egress NIC and the receiver's ingress NIC, (2) the
+//! serialization time `bytes / bandwidth`, and (3) the propagation
+//! latency between the two nodes. Control messages pay latency only.
+//!
+//! Per-node extra latency makes it easy to model a distant client
+//! (Fig. 7b: 21.3 ms RTT) or an S3-like remote store (Fig. 8a: 150 ms
+//! response time) without a full topology description.
+
+use crate::resources::NodeId;
+use crate::sim::Time;
+use std::collections::HashMap;
+
+/// Network parameters for a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way latency between any two distinct nodes, in µs.
+    pub base_latency_us: Time,
+    /// Extra one-way latency added when a node is source or destination
+    /// (e.g. a remote client or a high-latency storage service).
+    pub extra_latency_us: HashMap<NodeId, Time>,
+    /// Per-NIC bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            // Intra-cluster RTT on EC2 is ~100 µs; one-way ≈ 50 µs.
+            base_latency_us: 50,
+            extra_latency_us: HashMap::new(),
+            // 10 Gbit/s NICs (m5.8xlarge) ≈ 1.25 GB/s.
+            bandwidth_bps: 1_250_000_000,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Adds extra one-way latency for a node.
+    pub fn with_extra_latency(mut self, node: NodeId, extra_us: Time) -> Self {
+        self.extra_latency_us.insert(node, extra_us);
+        self
+    }
+
+    /// Sets the per-NIC bandwidth.
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Self {
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// One-way latency from `src` to `dst`.
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> Time {
+        if src == dst {
+            return 0;
+        }
+        self.base_latency_us
+            + self.extra_latency_us.get(&src).copied().unwrap_or(0)
+            + self.extra_latency_us.get(&dst).copied().unwrap_or(0)
+    }
+
+    /// Pure serialization time of `bytes` at NIC bandwidth, in µs.
+    pub fn serialization_us(&self, bytes: u64) -> Time {
+        // bytes / (bytes_per_second) seconds = bytes * 1e6 / bps µs.
+        (bytes as u128 * 1_000_000 / self.bandwidth_bps.max(1) as u128) as Time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_symmetric_for_uniform_config() {
+        let cfg = NetConfig::default();
+        let a = NodeId(0);
+        let b = NodeId(3);
+        assert_eq!(cfg.latency(a, b), cfg.latency(b, a));
+        assert_eq!(cfg.latency(a, a), 0);
+    }
+
+    #[test]
+    fn extra_latency_applies_to_either_endpoint() {
+        let storage = NodeId(9);
+        let cfg = NetConfig::default().with_extra_latency(storage, 150_000);
+        assert_eq!(cfg.latency(NodeId(0), storage), 50 + 150_000);
+        assert_eq!(cfg.latency(storage, NodeId(0)), 50 + 150_000);
+        assert_eq!(cfg.latency(NodeId(0), NodeId(1)), 50);
+    }
+
+    #[test]
+    fn serialization_matches_bandwidth() {
+        let cfg = NetConfig::default().with_bandwidth_bps(1_000_000); // 1 MB/s
+        assert_eq!(cfg.serialization_us(1_000_000), 1_000_000); // 1 s
+        assert_eq!(cfg.serialization_us(1), 1);
+        assert_eq!(cfg.serialization_us(0), 0);
+    }
+}

@@ -1,0 +1,506 @@
+//! The evaluation engine: Fix semantics as restartable job steps.
+//!
+//! Every unit of evaluation is a [`Job`]; executing a job either completes
+//! with a Handle or reports the jobs it depends on ([`Step::Deps`]). Jobs
+//! are *restartable*: when dependencies finish, the job is simply stepped
+//! again — memoized relations (the [`RelationCache`]) make the replay
+//! cheap and guarantee the expensive work (running a procedure) happens
+//! exactly once. This mirrors Fixpoint's design: procedures never block
+//! (paper §4.2.1), so a worker either runs a codelet to completion or
+//! records what must be computed first.
+//!
+//! The three job kinds map onto the memoized relations:
+//!
+//! * [`Job::Eval`] — reduce a Thunk until the result is not a Thunk;
+//! * [`Job::Resolve`] — compute what an Encode splices in (style-aware);
+//! * [`Job::Force`] — deep-evaluate a value (strict semantics): all
+//!   Thunks and Encodes inside replaced, all Refs promoted.
+
+use crate::registry::{NativeCtx, ProgramRegistry};
+use fix_core::data::{Blob, Node, Tree};
+use fix_core::error::{Error, Result};
+use fix_core::handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};
+use fix_core::invocation::{Invocation, Selection};
+use fix_core::semantics::{collect_encodes, EncodeResolver};
+use fix_storage::{ProvenanceLedger, Relation, RelationCache, Store};
+use fix_vm::{HostApi, Module, VmConfig};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A unit of evaluation work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Job {
+    /// Reduce a Thunk to a non-Thunk value.
+    Eval(Handle),
+    /// Resolve an Encode (what gets spliced into an application tree).
+    Resolve(Handle),
+    /// Deep-force a value so that everything inside is accessible.
+    Force(Handle),
+}
+
+impl std::fmt::Display for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Job::Eval(h) => write!(f, "eval({h})"),
+            Job::Resolve(h) => write!(f, "resolve({h})"),
+            Job::Force(h) => write!(f, "force({h})"),
+        }
+    }
+}
+
+/// The outcome of stepping a job once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// The job finished with this result.
+    Done(Handle),
+    /// The job needs these jobs to finish first, then must be re-stepped.
+    Deps(Vec<Job>),
+}
+
+/// Counters describing engine activity (used by benches and tests).
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Procedures actually executed (cache misses on Apply).
+    pub procedures_run: AtomicU64,
+    /// FixVM guest runs among those.
+    pub vm_runs: AtomicU64,
+    /// Native codelet runs among those.
+    pub native_runs: AtomicU64,
+    /// Total guest fuel consumed.
+    pub fuel_used: AtomicU64,
+}
+
+/// The evaluation engine shared by all workers of one node.
+pub struct Engine {
+    /// Object storage for this node.
+    pub store: Arc<Store>,
+    /// Memoized evaluation relations.
+    pub cache: Arc<RelationCache>,
+    /// Native procedure registry.
+    pub registry: Arc<ProgramRegistry>,
+    /// Parsed-module cache (content-addressed, so never invalidated).
+    modules: RwLock<HashMap<[u8; 24], Arc<Module>>>,
+    /// Provenance recording for computational GC (paper §6); `None`
+    /// keeps the hot path free of ledger writes.
+    provenance: Option<Arc<ProvenanceLedger>>,
+    /// Activity counters.
+    pub stats: EngineStats,
+}
+
+/// A [`HostApi`] over the node's store: what procedures see.
+pub struct StoreHost<'a> {
+    store: &'a Store,
+}
+
+impl<'a> StoreHost<'a> {
+    /// Wraps a store.
+    pub fn new(store: &'a Store) -> StoreHost<'a> {
+        StoreHost { store }
+    }
+}
+
+impl<'a> HostApi for StoreHost<'a> {
+    fn load_blob(&mut self, handle: Handle) -> Result<Blob> {
+        if !handle.is_accessible() {
+            return Err(Error::Inaccessible(handle));
+        }
+        self.store.get_blob(handle)
+    }
+
+    fn load_tree(&mut self, handle: Handle) -> Result<Tree> {
+        if !handle.is_accessible() {
+            return Err(Error::Inaccessible(handle));
+        }
+        self.store.get_tree(handle)
+    }
+
+    fn create_blob(&mut self, data: Vec<u8>) -> Result<Handle> {
+        Ok(self.store.put_blob(Blob::from_vec(data)))
+    }
+
+    fn create_tree(&mut self, entries: Vec<Handle>) -> Result<Handle> {
+        Ok(self.store.put_tree(Tree::from_handles(entries)))
+    }
+}
+
+impl Engine {
+    /// Creates an engine over the given storage and registry.
+    pub fn new(
+        store: Arc<Store>,
+        cache: Arc<RelationCache>,
+        registry: Arc<ProgramRegistry>,
+    ) -> Engine {
+        Engine {
+            store,
+            cache,
+            registry,
+            modules: RwLock::new(HashMap::new()),
+            provenance: None,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Enables provenance recording into `ledger`: every datum a
+    /// procedure run or selection produces is recorded together with a
+    /// *resolved* recipe — a Thunk over fully-substituted inputs — so
+    /// the bytes can be evicted and recomputed on demand (paper §6).
+    pub fn with_provenance(mut self, ledger: Arc<ProvenanceLedger>) -> Engine {
+        self.provenance = Some(ledger);
+        self
+    }
+
+    /// The provenance ledger, if recording is enabled.
+    pub fn provenance(&self) -> Option<&Arc<ProvenanceLedger>> {
+        self.provenance.as_ref()
+    }
+
+    /// Executes one step of `job`.
+    pub fn step(&self, job: Job) -> Result<Step> {
+        match job {
+            Job::Eval(h) => self.step_eval(h),
+            Job::Resolve(h) => self.step_resolve(h),
+            Job::Force(h) => self.step_force(h),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Eval.
+    // ------------------------------------------------------------------
+
+    fn step_eval(&self, h: Handle) -> Result<Step> {
+        if h.is_value() {
+            return Ok(Step::Done(h));
+        }
+        if let Some(v) = self.cache.get(Relation::Eval, h) {
+            return Ok(Step::Done(v));
+        }
+        match h.kind() {
+            Kind::Thunk(ThunkKind::Identification) => {
+                // The identity function: a pure renaming to the value.
+                let target = h.thunk_definition()?;
+                self.cache.put(Relation::Eval, h, target);
+                Ok(Step::Done(target))
+            }
+            Kind::Thunk(ThunkKind::Selection) => self.step_eval_selection(h),
+            Kind::Thunk(ThunkKind::Application) => self.step_eval_application(h),
+            Kind::Encode(..) => {
+                // Bare encodes are not values; treat eval(encode) as resolve.
+                self.step_resolve(h)
+            }
+            Kind::Object(_) | Kind::Ref(_) => unreachable!("values returned above"),
+        }
+    }
+
+    fn step_eval_selection(&self, h: Handle) -> Result<Step> {
+        let def = self.store.get_tree(h.thunk_definition()?)?;
+        let sel = Selection::from_tree(&def)?;
+        // First, get the target down to a value.
+        let target = match sel.target.kind() {
+            Kind::Object(_) | Kind::Ref(_) => sel.target,
+            Kind::Thunk(_) => match self.cache.get(Relation::Eval, sel.target) {
+                Some(v) => v,
+                None => return Ok(Step::Deps(vec![Job::Eval(sel.target)])),
+            },
+            Kind::Encode(..) => match self.cache.resolved(sel.target) {
+                Some(v) => v,
+                None => return Ok(Step::Deps(vec![Job::Resolve(sel.target)])),
+            },
+        };
+        // Perform the extraction. The runtime — not the guest — touches the
+        // data, so accessibility tags on `target` don't gate this.
+        let result = match self.store.get(target)? {
+            Node::Tree(tree) => {
+                let (begin, end) = sel.bounds(tree.len() as u64)?;
+                if sel.end.is_none() {
+                    tree.get(begin as usize).expect("bounds checked")
+                } else {
+                    self.store
+                        .put_tree(tree.slice(begin as usize, end as usize))
+                }
+            }
+            Node::Blob(blob) => {
+                let (begin, end) = sel.bounds(blob.len() as u64)?;
+                self.store
+                    .put_blob(blob.slice(begin as usize, end as usize))
+            }
+        };
+        if result.is_thunk() {
+            // Chained laziness: keep reducing.
+            match self.cache.get(Relation::Eval, result) {
+                Some(v) => {
+                    self.cache.put(Relation::Eval, h, v);
+                    Ok(Step::Done(v))
+                }
+                None => Ok(Step::Deps(vec![Job::Eval(result)])),
+            }
+        } else {
+            if let Some(ledger) = &self.provenance {
+                // Recipe over the *value* target: re-running it later
+                // must not depend on memoized thunk evaluations.
+                let resolved = Selection {
+                    target,
+                    begin: sel.begin,
+                    end: sel.end,
+                }
+                .to_tree();
+                let resolved_h = self.store.put_tree(resolved);
+                if let Ok(recipe) = resolved_h.selection() {
+                    ledger.record(result, recipe);
+                }
+            }
+            self.cache.put(Relation::Eval, h, result);
+            Ok(Step::Done(result))
+        }
+    }
+
+    fn step_eval_application(&self, h: Handle) -> Result<Step> {
+        let tree_h = h.thunk_definition()?;
+        let raw = match self.cache.get(Relation::Apply, tree_h) {
+            Some(r) => r,
+            None => {
+                let tree = self.store.get_tree(tree_h)?;
+                // Resolve every Encode reachable through the tree first.
+                let encodes = collect_encodes(self.store.as_ref(), &tree)?;
+                let mut deps: Vec<Job> = Vec::new();
+                for e in encodes {
+                    if self.cache.resolved(e).is_none() {
+                        deps.push(Job::Resolve(e));
+                    }
+                }
+                if !deps.is_empty() {
+                    return Ok(Step::Deps(deps));
+                }
+                // Substitute resolved Encodes; the procedure sees this tree.
+                let resolved = self.substitute(&tree)?;
+                let resolved_h = self.store.put_tree(resolved.clone());
+                let raw = self.run_procedure(&resolved, resolved_h)?;
+                if !raw.is_thunk() {
+                    if let Some(ledger) = &self.provenance {
+                        // Recipe over the resolved tree: its support is
+                        // purely structural (no encodes left), so an
+                        // eviction planner sees exactly what a re-run
+                        // will read.
+                        if let Ok(recipe) = resolved_h.application() {
+                            ledger.record(raw, recipe);
+                        }
+                    }
+                }
+                self.cache.put(Relation::Apply, tree_h, raw);
+                raw
+            }
+        };
+        if raw.is_thunk() {
+            // Tail call: the procedure returned another computation.
+            match self.cache.get(Relation::Eval, raw) {
+                Some(v) => {
+                    self.cache.put(Relation::Eval, h, v);
+                    Ok(Step::Done(v))
+                }
+                None => Ok(Step::Deps(vec![Job::Eval(raw)])),
+            }
+        } else {
+            self.cache.put(Relation::Eval, h, raw);
+            Ok(Step::Done(raw))
+        }
+    }
+
+    /// Rewrites an application tree, splicing in resolved Encode results
+    /// (strict → accessible Object, shallow → Ref) and recursing through
+    /// accessible sub-trees. All encodes must already be resolved.
+    fn substitute(&self, tree: &Tree) -> Result<Tree> {
+        let mut entries = Vec::with_capacity(tree.len());
+        for &entry in tree.entries() {
+            entries.push(match entry.kind() {
+                Kind::Encode(style, _) => {
+                    let r = self
+                        .cache
+                        .resolved(entry)
+                        .ok_or(Error::NotEvaluated(entry))?;
+                    match style {
+                        EncodeStyle::Strict => r.as_object_handle(),
+                        EncodeStyle::Shallow => r.as_ref_handle(),
+                    }
+                }
+                Kind::Object(DataType::Tree) => {
+                    let sub = self.store.get_tree(entry)?;
+                    let rewritten = self.substitute(&sub)?;
+                    if rewritten == sub {
+                        entry
+                    } else {
+                        self.store.put_tree(rewritten)
+                    }
+                }
+                _ => entry,
+            });
+        }
+        Ok(Tree::from_handles(entries))
+    }
+
+    /// Runs the procedure of a fully-resolved application tree.
+    fn run_procedure(&self, tree: &Tree, tree_handle: Handle) -> Result<Handle> {
+        let inv = Invocation::from_tree(tree)?;
+        let proc = inv.procedure;
+        if !matches!(proc.kind(), Kind::Object(DataType::Blob)) {
+            return Err(Error::UnknownProcedure(proc));
+        }
+        self.stats.procedures_run.fetch_add(1, Ordering::Relaxed);
+
+        // Native codelet?
+        if let Some(f) = self.registry.lookup(proc) {
+            self.stats.native_runs.fetch_add(1, Ordering::Relaxed);
+            let mut host = StoreHost::new(&self.store);
+            let mut ctx = NativeCtx {
+                input: tree_handle,
+                host: &mut host,
+            };
+            return f(&mut ctx);
+        }
+
+        // FixVM codelet?
+        let blob = self.store.get_blob(proc)?;
+        if Module::is_module(blob.as_slice()) {
+            self.stats.vm_runs.fetch_add(1, Ordering::Relaxed);
+            let module = self.load_module(proc, &blob)?;
+            let mut host = StoreHost::new(&self.store);
+            let out = fix_vm::run(
+                &module,
+                &mut host,
+                tree_handle,
+                VmConfig::from_limits(&inv.limits),
+            )?;
+            self.stats
+                .fuel_used
+                .fetch_add(out.fuel_used, Ordering::Relaxed);
+            return Ok(out.result);
+        }
+        Err(Error::UnknownProcedure(proc))
+    }
+
+    fn load_module(&self, handle: Handle, blob: &Blob) -> Result<Arc<Module>> {
+        // Literal-sized modules are parsed directly (no digest to key on).
+        let Some(key) = handle.digest() else {
+            return Ok(Arc::new(Module::from_bytes(blob.as_slice())?));
+        };
+        if let Some(m) = self.modules.read().get(&key) {
+            return Ok(Arc::clone(m));
+        }
+        let module = Arc::new(Module::from_bytes(blob.as_slice())?);
+        self.modules.write().insert(key, Arc::clone(&module));
+        Ok(module)
+    }
+
+    // ------------------------------------------------------------------
+    // Resolve.
+    // ------------------------------------------------------------------
+
+    fn step_resolve(&self, e: Handle) -> Result<Step> {
+        let (style, _) = match e.kind() {
+            Kind::Encode(style, kind) => (style, kind),
+            _ => {
+                return Err(Error::TypeMismatch {
+                    handle: e,
+                    expected: "an Encode",
+                })
+            }
+        };
+        let thunk = e.encoded_thunk()?;
+        let value = match self.cache.get(Relation::Eval, thunk) {
+            Some(v) => v,
+            None => return Ok(Step::Deps(vec![Job::Eval(thunk)])),
+        };
+        match style {
+            EncodeStyle::Shallow => {
+                // Minimum progress: the value, provided as a Ref.
+                Ok(Step::Done(value.as_ref_handle()))
+            }
+            EncodeStyle::Strict => match self.cache.get(Relation::Force, value) {
+                Some(f) => Ok(Step::Done(f.as_object_handle())),
+                None => Ok(Step::Deps(vec![Job::Force(value)])),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Force.
+    // ------------------------------------------------------------------
+
+    fn step_force(&self, h: Handle) -> Result<Step> {
+        if let Some(f) = self.cache.get(Relation::Force, h) {
+            return Ok(Step::Done(f));
+        }
+        match h.kind() {
+            Kind::Object(DataType::Blob) | Kind::Ref(DataType::Blob) => {
+                // Promotion to Object requires the data to exist.
+                if !self.store.contains(h) {
+                    return Err(Error::NotFound(h));
+                }
+                let r = h.as_object_handle();
+                self.cache.put(Relation::Force, h, r);
+                Ok(Step::Done(r))
+            }
+            Kind::Object(DataType::Tree) | Kind::Ref(DataType::Tree) => self.step_force_tree(h),
+            Kind::Thunk(_) => {
+                // Forcing a thunk: evaluate, then force the value.
+                let v = match self.cache.get(Relation::Eval, h) {
+                    Some(v) => v,
+                    None => return Ok(Step::Deps(vec![Job::Eval(h)])),
+                };
+                match self.cache.get(Relation::Force, v) {
+                    Some(f) => {
+                        self.cache.put(Relation::Force, h, f);
+                        Ok(Step::Done(f))
+                    }
+                    None => Ok(Step::Deps(vec![Job::Force(v)])),
+                }
+            }
+            Kind::Encode(..) => {
+                // Force through the encode's thunk, ignoring the style:
+                // strict evaluation makes everything fully accessible.
+                let thunk = h.encoded_thunk()?;
+                match self.cache.get(Relation::Force, thunk) {
+                    Some(f) => {
+                        self.cache.put(Relation::Force, h, f);
+                        Ok(Step::Done(f))
+                    }
+                    None => Ok(Step::Deps(vec![Job::Force(thunk)])),
+                }
+            }
+        }
+    }
+
+    fn step_force_tree(&self, h: Handle) -> Result<Step> {
+        let tree = self.store.get_tree(h)?;
+        let mut deps: Vec<Job> = Vec::new();
+        let mut forced_entries: Vec<Handle> = Vec::with_capacity(tree.len());
+        for &entry in tree.entries() {
+            match entry.kind() {
+                Kind::Object(DataType::Blob) | Kind::Ref(DataType::Blob) => {
+                    if !self.store.contains(entry) {
+                        return Err(Error::NotFound(entry));
+                    }
+                    forced_entries.push(entry.as_object_handle());
+                }
+                Kind::Object(DataType::Tree)
+                | Kind::Ref(DataType::Tree)
+                | Kind::Thunk(_)
+                | Kind::Encode(..) => match self.cache.get(Relation::Force, entry) {
+                    Some(f) => forced_entries.push(f.as_object_handle()),
+                    None => deps.push(Job::Force(entry)),
+                },
+            }
+        }
+        if !deps.is_empty() {
+            return Ok(Step::Deps(deps));
+        }
+        let forced = Tree::from_handles(forced_entries);
+        let result = self.store.put_tree(forced);
+        self.cache.put(Relation::Force, h, result);
+        if result != h {
+            // Forcing is idempotent.
+            self.cache.put(Relation::Force, result, result);
+        }
+        Ok(Step::Done(result))
+    }
+}

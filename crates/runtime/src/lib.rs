@@ -1,0 +1,556 @@
+//! `fixpoint`: the single-node Fix runtime.
+//!
+//! This crate implements the paper's §4: a runtime whose worker threads
+//! share a job queue and a content-addressed storage, evaluate Fix
+//! objects according to Fix semantics, and run guest procedures (FixVM
+//! codelets or registered native codelets) without spawning processes —
+//! which is where the ~microsecond invocation overhead of Fig. 7a comes
+//! from.
+//!
+//! Entry points:
+//!
+//! * [`Runtime`] — the public API (Table 1 operations + evaluation);
+//! * [`engine::Engine`] / [`engine::Job`] — the semantics core, also
+//!   reused by the distributed engine in `fix-cluster`;
+//! * [`registry::ProgramRegistry`] — native codelets;
+//! * [`scheduler::Scheduler`] — dependency tracking over restartable
+//!   jobs, driven inline or by a [`scheduler::WorkerPool`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cps;
+pub mod engine;
+pub mod recompute;
+pub mod registry;
+pub mod runtime;
+pub mod scheduler;
+
+pub use cps::{StepCtx, StepFn, StepOutcome};
+pub use engine::{Engine, Job, Step};
+pub use recompute::{EvictionOutcome, RecomputeReport};
+pub use registry::{native_marker, NativeCtx, NativeFn, ProgramRegistry};
+pub use runtime::{Runtime, RuntimeBuilder};
+pub use scheduler::{Scheduler, WorkerPool};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_core::data::{Blob, Tree};
+    use fix_core::error::Error;
+    use fix_core::handle::Kind;
+    use fix_core::invocation::Invocation;
+    use fix_core::limits::ResourceLimits;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn limits() -> ResourceLimits {
+        ResourceLimits::default_limits()
+    }
+
+    /// add(a, b) as a native codelet.
+    fn register_add(rt: &Runtime) -> fix_core::handle::Handle {
+        rt.register_native(
+            "add",
+            Arc::new(|ctx| {
+                let a = ctx.arg_blob(0)?.as_u64().expect("u64 arg");
+                let b = ctx.arg_blob(1)?.as_u64().expect("u64 arg");
+                ctx.host
+                    .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+            }),
+        )
+    }
+
+    #[test]
+    fn native_add_end_to_end() {
+        let rt = Runtime::builder().build();
+        let add = register_add(&rt);
+        let one = rt.put_blob(Blob::from_u64(1));
+        let two = rt.put_blob(Blob::from_u64(2));
+        let thunk = rt.apply(limits(), add, &[one, two]).unwrap();
+        let out = rt.eval(thunk).unwrap();
+        assert_eq!(rt.get_u64(out).unwrap(), 3);
+    }
+
+    #[test]
+    fn vm_add_end_to_end() {
+        let rt = Runtime::builder().build();
+        let add = rt
+            .install_vm_module(
+                r#"
+                func apply args=0 locals=0
+                  const 0
+                  const 2
+                  tree.get
+                  const 0
+                  blob.read_u64
+                  const 0
+                  const 3
+                  tree.get
+                  const 0
+                  blob.read_u64
+                  add
+                  blob.create_u64
+                  ret_handle
+                end
+                "#,
+            )
+            .unwrap();
+        let a = rt.put_blob(Blob::from_u64(20));
+        let b = rt.put_blob(Blob::from_u64(22));
+        let thunk = rt.apply(limits(), add, &[a, b]).unwrap();
+        let out = rt.eval(thunk).unwrap();
+        assert_eq!(rt.get_u64(out).unwrap(), 42);
+        assert_eq!(rt.engine().stats.vm_runs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn memoization_runs_procedure_once() {
+        let rt = Runtime::builder().build();
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let proc_h = rt.register_native(
+            "counting",
+            Arc::new(move |ctx| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                let v = ctx.arg_blob(0)?.as_u64().unwrap();
+                ctx.host.create_blob((v * 2).to_le_bytes().to_vec())
+            }),
+        );
+        let x = rt.put_blob(Blob::from_u64(21));
+        let thunk = rt.apply(limits(), proc_h, &[x]).unwrap();
+        let r1 = rt.eval(thunk).unwrap();
+        let r2 = rt.eval(thunk).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(counter.load(Ordering::SeqCst), 1, "apply must be memoized");
+    }
+
+    #[test]
+    fn identification_and_selection() {
+        let rt = Runtime::builder().build();
+        let a = rt.put_blob(Blob::from_vec(vec![1u8; 100]));
+        let b = rt.put_blob(Blob::from_vec(vec![2u8; 100]));
+        let tree = rt.put_tree(Tree::from_handles(vec![a, b]));
+
+        // identity
+        let ident = tree.identification().unwrap();
+        assert_eq!(rt.eval(ident).unwrap(), tree);
+
+        // select index 1
+        let sel = rt.select(tree, 1).unwrap();
+        assert_eq!(rt.eval(sel).unwrap(), b);
+
+        // select range [0,2) -> new tree with both entries
+        let sel2 = rt.select_range(tree, 0, 2).unwrap();
+        let sub = rt.eval(sel2).unwrap();
+        assert_eq!(rt.get_tree(sub).unwrap().entries(), &[a, b]);
+
+        // blob range selection
+        let sel3 = rt.select_range(a, 10, 20).unwrap();
+        let slice = rt.eval(sel3).unwrap();
+        assert_eq!(rt.get_blob(slice).unwrap().as_slice(), &[1u8; 10]);
+    }
+
+    #[test]
+    fn selection_chains_through_nested_thunks() {
+        // Fig. 4 style: select from the result of another selection.
+        let rt = Runtime::builder().build();
+        let inner_blob = rt.put_blob(Blob::from_vec(vec![7u8; 50]));
+        let inner = rt.put_tree(Tree::from_handles(vec![inner_blob]));
+        let outer = rt.put_tree(Tree::from_handles(vec![inner]));
+        let sel_inner = rt.select(outer, 0).unwrap(); // -> inner tree
+        let sel_leaf = rt.select(sel_inner, 0).unwrap(); // -> inner_blob
+        assert_eq!(rt.eval(sel_leaf).unwrap(), inner_blob);
+    }
+
+    #[test]
+    fn strict_encode_forces_shallow_keeps_ref() {
+        let rt = Runtime::builder().build();
+        let add = register_add(&rt);
+        let one = rt.put_blob(Blob::from_u64(1));
+        let two = rt.put_blob(Blob::from_u64(2));
+        let inner = rt.apply(limits(), add, &[one, two]).unwrap();
+
+        // A "pass-through" procedure that returns its third slot (arg 0).
+        let first = rt.register_native("first-arg", Arc::new(|ctx| ctx.arg(0)));
+
+        // Strict: the procedure sees the result as an accessible Object.
+        let strict_thunk = rt
+            .apply(limits(), first, &[inner.strict().unwrap()])
+            .unwrap();
+        let strict_out = rt.eval(strict_thunk).unwrap();
+        assert!(strict_out.is_accessible());
+        assert_eq!(rt.get_u64(strict_out).unwrap(), 3);
+
+        // Shallow: the procedure sees a Ref (metadata only).
+        let shallow_thunk = rt
+            .apply(limits(), first, &[inner.shallow().unwrap()])
+            .unwrap();
+        let shallow_out = rt.eval(shallow_thunk).unwrap();
+        assert!(matches!(shallow_out.kind(), Kind::Ref(_)));
+        assert_eq!(shallow_out.size(), 8);
+    }
+
+    #[test]
+    fn tail_calls_trampoline() {
+        // A procedure that returns a thunk: countdown(n) -> countdown(n-1).
+        let rt = Runtime::builder().build();
+        let marker: Arc<parking_lot::Mutex<Option<fix_core::handle::Handle>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let m2 = Arc::clone(&marker);
+        let proc_h = rt.register_native(
+            "countdown",
+            Arc::new(move |ctx| {
+                let n = ctx.arg_blob(0)?.as_u64().unwrap();
+                if n == 0 {
+                    return ctx.host.create_blob(b"done".to_vec());
+                }
+                let self_h = m2.lock().expect("marker set");
+                let limits = ResourceLimits::default_limits();
+                let next = Invocation {
+                    limits,
+                    procedure: self_h,
+                    args: vec![Blob::from_u64(n - 1).handle()],
+                }
+                .to_tree();
+                let t = ctx.host.create_tree(next.entries().to_vec())?;
+                t.application()
+            }),
+        );
+        *marker.lock() = Some(proc_h);
+        let thunk = rt
+            .apply(limits(), proc_h, &[rt.put_blob(Blob::from_u64(100))])
+            .unwrap();
+        let out = rt.eval(thunk).unwrap();
+        assert_eq!(rt.get_blob(out).unwrap().as_slice(), b"done");
+        // 101 applications ran (100 tail calls + base case).
+        assert_eq!(
+            rt.engine().stats.procedures_run.load(Ordering::Relaxed),
+            101
+        );
+    }
+
+    #[test]
+    fn fix_level_fibonacci_via_vm() {
+        // The paper's Fig. 3: fib creates recursive thunks and returns an
+        // application of `add` to two strictly-encoded recursive calls.
+        let rt = Runtime::builder().build();
+        let fib_src = r#"
+            ; input tree: [rlimits, fib.elf, add.elf, x]
+            func apply args=0 locals=6
+              const 0
+              const 3
+              tree.get          ; x handle
+              const 0
+              blob.read_u64
+              local.set 0       ; x
+              local.get 0
+              const 2
+              lt_u
+              jump_if base
+
+              ; build t1 = [rlimit, fib, add, x-1]
+              const 0
+              const 0
+              tree.get
+              local.set 1       ; rlimit
+              const 0
+              const 1
+              tree.get
+              local.set 2       ; fib
+              const 0
+              const 2
+              tree.get
+              local.set 3       ; add
+
+              local.get 1
+              tb.push
+              local.get 2
+              tb.push
+              local.get 3
+              tb.push
+              local.get 0
+              const 1
+              sub
+              blob.create_u64
+              tb.push
+              tb.build
+              application
+              strict
+              local.set 4       ; e1
+
+              local.get 1
+              tb.push
+              local.get 2
+              tb.push
+              local.get 3
+              tb.push
+              local.get 0
+              const 2
+              sub
+              blob.create_u64
+              tb.push
+              tb.build
+              application
+              strict
+              local.set 5       ; e2
+
+              ; t_sum = [rlimit, add, e1, e2]
+              local.get 1
+              tb.push
+              local.get 3
+              tb.push
+              local.get 4
+              tb.push
+              local.get 5
+              tb.push
+              tb.build
+              application
+              ret_handle
+
+            base:
+              local.get 0
+              blob.create_u64
+              ret_handle
+            end
+        "#;
+        let add_src = r#"
+            ; input tree: [rlimits, add.elf, a, b]
+            func apply args=0 locals=0
+              const 0
+              const 2
+              tree.get
+              const 0
+              blob.read_u64
+              const 0
+              const 3
+              tree.get
+              const 0
+              blob.read_u64
+              add
+              blob.create_u64
+              ret_handle
+            end
+        "#;
+        let fib = rt.install_vm_module(fib_src).unwrap();
+        let add = rt.install_vm_module(add_src).unwrap();
+        let x = rt.put_blob(Blob::from_u64(10));
+        let thunk = rt.apply(limits(), fib, &[add, x]).unwrap();
+        let out = rt.eval(thunk).unwrap();
+        assert_eq!(rt.get_u64(out).unwrap(), 55);
+        // Memoization collapses the exponential call tree: fib(0..=10) plus
+        // the adds, not 2^10 invocations.
+        let runs = rt.engine().stats.procedures_run.load(Ordering::Relaxed);
+        assert!(runs <= 25, "expected memoized recursion, got {runs} runs");
+    }
+
+    #[test]
+    fn parallel_evaluation_with_worker_pool() {
+        let rt = Runtime::builder().workers(4).build();
+        let add = register_add(&rt);
+        // A reduction tree of adds via strict encodes: sum of 0..16.
+        let leaves: Vec<_> = (0..16u64).map(|i| rt.put_blob(Blob::from_u64(i))).collect();
+        let mut layer = leaves;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                let t = rt
+                    .apply(limits(), add, &[pair[0], pair[1]])
+                    .unwrap()
+                    .strict()
+                    .unwrap();
+                next.push(t);
+            }
+            layer = next;
+        }
+        let root_thunk = layer[0].encoded_thunk().unwrap();
+        let out = rt.eval(root_thunk).unwrap();
+        assert_eq!(rt.get_u64(out).unwrap(), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn guest_trap_propagates_as_error() {
+        let rt = Runtime::builder().build();
+        let bad = rt
+            .install_vm_module("func apply args=0 locals=0\n unreachable\nend")
+            .unwrap();
+        let thunk = rt.apply(limits(), bad, &[]).unwrap();
+        let err = rt.eval(thunk).unwrap_err();
+        assert!(matches!(err, Error::Trap(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_procedure_fails() {
+        let rt = Runtime::builder().build();
+        let junk = rt.put_blob(Blob::from_vec(vec![0xAB; 64]));
+        let thunk = rt.apply(limits(), junk, &[]).unwrap();
+        let err = rt.eval(thunk).unwrap_err();
+        assert!(matches!(err, Error::UnknownProcedure(_)), "{err}");
+    }
+
+    #[test]
+    fn fuel_limit_respected_through_runtime() {
+        let rt = Runtime::builder().build();
+        let spin = rt
+            .install_vm_module("func apply args=0 locals=0\nl:\n jump l\nend")
+            .unwrap();
+        let small = ResourceLimits::new(1 << 20, 1000);
+        let thunk = rt.apply(small, spin, &[]).unwrap();
+        let err = rt.eval(thunk).unwrap_err();
+        assert!(matches!(err, Error::OutOfFuel { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_propagates_through_dependencies() {
+        let rt = Runtime::builder().build();
+        let bad = rt
+            .install_vm_module("func apply args=0 locals=0\n unreachable\nend")
+            .unwrap();
+        let first = rt.register_native("first2", Arc::new(|ctx| ctx.arg(0)));
+        let inner = rt.apply(limits(), bad, &[]).unwrap();
+        let outer = rt
+            .apply(limits(), first, &[inner.strict().unwrap()])
+            .unwrap();
+        let err = rt.eval(outer).unwrap_err();
+        assert!(matches!(err, Error::Trap(_)), "{err}");
+    }
+
+    #[test]
+    fn eval_strict_deep_forces_nested_results() {
+        let rt = Runtime::builder().build();
+        let add = register_add(&rt);
+        let one = rt.put_blob(Blob::from_u64(1));
+        let two = rt.put_blob(Blob::from_u64(2));
+        let inner = rt.apply(limits(), add, &[one, two]).unwrap();
+        // A procedure returning a tree that still contains a thunk.
+        let wrap = rt.register_native(
+            "wrap-thunk",
+            Arc::new(move |ctx| ctx.host.create_tree(vec![inner])),
+        );
+        let outer = rt.apply(limits(), wrap, &[]).unwrap();
+        let forced = rt.eval_strict(outer).unwrap();
+        let tree = rt.get_tree(forced).unwrap();
+        assert_eq!(tree.len(), 1);
+        let entry = tree.get(0).unwrap();
+        assert!(entry.is_accessible());
+        assert_eq!(rt.get_u64(entry).unwrap(), 3);
+    }
+
+    #[test]
+    fn footprint_through_runtime() {
+        let rt = Runtime::builder().build();
+        let add = register_add(&rt);
+        let big = rt.put_blob(Blob::from_vec(vec![1u8; 4096]));
+        let b2 = rt.put_blob(Blob::from_u64(2));
+        let thunk = rt.apply(limits(), add, &[big, b2]).unwrap();
+        let fp = rt.footprint(thunk).unwrap();
+        assert!(fp.is_complete());
+        assert!(fp.objects.contains(&big));
+        assert!(fp.total_bytes >= 4096);
+    }
+
+    #[test]
+    fn gc_keeps_roots() {
+        let rt = Runtime::builder().build();
+        let keep = rt.put_blob(Blob::from_vec(vec![1u8; 64]));
+        let _unused = rt.put_blob(Blob::from_vec(vec![2u8; 64]));
+        let collected = rt.gc(&[keep]);
+        assert_eq!(collected, 1);
+        assert!(rt.get_blob(keep).is_ok());
+    }
+
+    #[test]
+    fn labels_namespace() {
+        let rt = Runtime::builder().build();
+        let h = rt.put_blob(Blob::from_slice(b"hello"));
+        rt.labels().set("greeting", h);
+        assert_eq!(rt.labels().get("greeting"), Some(h));
+    }
+
+    /// Two applications sharing a strict-encoded sub-computation, so the
+    /// second evaluation's dependency set collides with jobs finished by
+    /// the first — the shape that exposed the memo-desync livelock.
+    fn shared_encode_pair(
+        rt: &Runtime,
+    ) -> (fix_core::handle::Handle, fix_core::handle::Handle) {
+        let add = register_add(rt);
+        let one = rt.put_blob(Blob::from_u64(1));
+        let two = rt.put_blob(Blob::from_u64(2));
+        let ten = rt.put_blob(Blob::from_u64(10));
+        let inner = rt.apply(limits(), add, &[one, two]).unwrap();
+        let shared = inner.strict().unwrap();
+        let a = rt.apply(limits(), add, &[shared, one]).unwrap();
+        let b = rt.apply(limits(), add, &[shared, ten]).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn clear_memoization_allows_cold_reevaluation() {
+        let rt = Runtime::builder().build();
+        let (a, b) = shared_encode_pair(&rt);
+        assert_eq!(rt.get_u64(rt.eval(a).unwrap()).unwrap(), 4);
+        rt.clear_memoization();
+        // `b` depends on the same strict encode the first eval resolved;
+        // after a *consistent* clear this must re-run, not hang.
+        assert_eq!(rt.get_u64(rt.eval(b).unwrap()).unwrap(), 13);
+        assert_eq!(rt.engine().stats.procedures_run.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn desynced_memo_layers_fail_loudly_instead_of_spinning() {
+        let rt = Runtime::builder().build();
+        let (a, b) = shared_encode_pair(&rt);
+        rt.eval(a).unwrap();
+        // Clear only the relation cache: the scheduler still remembers the
+        // shared Resolve job as done, so stepping `b` can never progress.
+        // The respin guard must turn that livelock into an error.
+        rt.cache().clear();
+        let err = rt.eval(b).unwrap_err();
+        assert!(
+            err.to_string().contains("clear_memoization"),
+            "unexpected error: {err}"
+        );
+    }
+
+    /// Regression: pool shutdown must not race a worker into a missed
+    /// wakeup. The flag store now happens under the scheduler mutex;
+    /// before that fix, roughly 1-in-10³ create/work/drop cycles left a
+    /// worker parked forever and the drop joining it.
+    #[test]
+    fn worker_pool_shutdown_never_strands_a_worker() {
+        for i in 0..300 {
+            let rt = Runtime::builder().workers(4).build();
+            let add = register_add(&rt);
+            let thunk = rt
+                .apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(i)),
+                        rt.put_blob(Blob::from_u64(1)),
+                    ],
+                )
+                .unwrap();
+            assert_eq!(rt.get_u64(rt.eval(thunk).unwrap()).unwrap(), i + 1);
+            drop(rt); // Joins the pool; must never hang.
+        }
+    }
+
+    #[test]
+    fn compact_scheduler_drops_finished_jobs_keeps_results() {
+        let rt = Runtime::builder().build();
+        let add = register_add(&rt);
+        let one = rt.put_blob(Blob::from_u64(1));
+        let two = rt.put_blob(Blob::from_u64(2));
+        let thunk = rt.apply(limits(), add, &[one, two]).unwrap();
+        rt.eval(thunk).unwrap();
+        assert!(rt.compact_scheduler() >= 1);
+        // Re-submission completes from the (intact) relation cache.
+        assert_eq!(rt.get_u64(rt.eval(thunk).unwrap()).unwrap(), 3);
+        assert_eq!(
+            rt.engine().stats.procedures_run.load(Ordering::Relaxed),
+            1,
+            "compaction must not forget memoized relations"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The program registry: mapping procedure Blobs to runnable code.
+//!
+//! Fixpoint runs two kinds of procedures:
+//!
+//! * **FixVM codelets** — Blobs in the [`fix_vm::Module`] format,
+//!   recognized by their magic bytes. These are the "black-box machine
+//!   code" of the paper (its Wasm→x86-64 codelets) and need no
+//!   registration: any node holding the blob can run it.
+//! * **Native codelets** — trusted Rust functions registered under a
+//!   content-addressed marker blob (`"FIXNATIVE:<name>"`). These model
+//!   the paper's ahead-of-time-compiled native procedures, and let the
+//!   workloads run at native speed. Because the marker is content
+//!   addressed, every node that registers the same name agrees on the
+//!   handle.
+
+use fix_core::data::Blob;
+use fix_core::error::Result;
+use fix_core::handle::Handle;
+use fix_vm::HostApi;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Context handed to a native codelet: its input tree handle plus the
+/// host API (identical powers to a VM guest).
+pub struct NativeCtx<'a> {
+    /// The application tree (after Encode resolution), as the guest sees it.
+    pub input: Handle,
+    /// Host services: load accessible data, create new data.
+    pub host: &'a mut dyn HostApi,
+}
+
+impl<'a> NativeCtx<'a> {
+    /// Loads the input application tree.
+    pub fn input_tree(&mut self) -> Result<fix_core::data::Tree> {
+        self.host.load_tree(self.input)
+    }
+
+    /// Loads argument `i` of the invocation (slot `2 + i`) as a blob.
+    pub fn arg_blob(&mut self, i: usize) -> Result<fix_core::data::Blob> {
+        let tree = self.input_tree()?;
+        let h = tree
+            .get(2 + i)
+            .ok_or(fix_core::error::Error::MalformedTree {
+                handle: self.input,
+                reason: format!("missing argument {i}"),
+            })?;
+        self.host.load_blob(h)
+    }
+
+    /// Loads argument `i` of the invocation (slot `2 + i`) as a handle.
+    pub fn arg(&mut self, i: usize) -> Result<Handle> {
+        let tree = self.input_tree()?;
+        tree.get(2 + i)
+            .ok_or(fix_core::error::Error::MalformedTree {
+                handle: self.input,
+                reason: format!("missing argument {i}"),
+            })
+    }
+}
+
+/// The signature of a native codelet: `_fix_apply` in Rust.
+pub type NativeFn = Arc<dyn Fn(&mut NativeCtx<'_>) -> Result<Handle> + Send + Sync>;
+
+/// Maps procedure handles to native implementations.
+#[derive(Default)]
+pub struct ProgramRegistry {
+    by_handle: RwLock<HashMap<[u8; 32], (String, NativeFn)>>,
+}
+
+/// Builds the content-addressed marker blob for a native procedure name.
+pub fn native_marker(name: &str) -> Blob {
+    Blob::from_vec(format!("FIXNATIVE:{name}").into_bytes())
+}
+
+impl ProgramRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ProgramRegistry {
+        ProgramRegistry::default()
+    }
+
+    /// Registers a native codelet under `name`, returning the marker
+    /// blob whose handle names the procedure. Re-registering a name
+    /// replaces the implementation (the handle is unchanged).
+    pub fn register(&self, name: &str, f: NativeFn) -> (Blob, Handle) {
+        let blob = native_marker(name);
+        let handle = blob.handle();
+        let mut key = *handle.raw();
+        key[30] = 0;
+        self.by_handle.write().insert(key, (name.to_string(), f));
+        (blob, handle)
+    }
+
+    /// Looks up the native implementation for a procedure handle.
+    pub fn lookup(&self, handle: Handle) -> Option<NativeFn> {
+        let mut key = *handle.raw();
+        key[30] = 0;
+        self.by_handle.read().get(&key).map(|(_, f)| Arc::clone(f))
+    }
+
+    /// The registered procedure names (for diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        self.by_handle
+            .read()
+            .values()
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = ProgramRegistry::new();
+        let (_, h) = reg.register("noop", Arc::new(|ctx| Ok(ctx.input)));
+        assert!(reg.lookup(h).is_some());
+        assert!(reg.lookup(h.as_ref_handle()).is_some(), "lookup by payload");
+        let other = Blob::from_slice(b"FIXNATIVE:unregistered").handle();
+        assert!(reg.lookup(other).is_none());
+    }
+
+    #[test]
+    fn markers_are_content_addressed() {
+        let a = native_marker("add");
+        let b = native_marker("add");
+        assert_eq!(a.handle(), b.handle());
+        assert_ne!(a.handle(), native_marker("sub").handle());
+    }
+
+    #[test]
+    fn names_are_listed() {
+        let reg = ProgramRegistry::new();
+        reg.register("alpha", Arc::new(|ctx| Ok(ctx.input)));
+        reg.register("beta", Arc::new(|ctx| Ok(ctx.input)));
+        let mut names = reg.names();
+        names.sort();
+        assert_eq!(names, vec!["alpha", "beta"]);
+    }
+}

@@ -1,0 +1,326 @@
+//! The public Fixpoint API: a single-node Fix runtime.
+//!
+//! [`Runtime`] owns the storage, relation cache, program registry,
+//! scheduler, and (optionally) a worker pool. Its surface mirrors the
+//! paper's Table 1: create blobs and trees, build thunks and encodes,
+//! and ask for evaluation.
+
+use crate::engine::{Engine, Job};
+use crate::registry::{NativeFn, ProgramRegistry};
+use crate::scheduler::{Scheduler, WorkerPool};
+use fix_core::data::{Blob, Node, Tree};
+use fix_core::error::{Error, Result};
+use fix_core::handle::{EncodeStyle, Handle};
+use fix_core::invocation::Invocation;
+use fix_core::limits::ResourceLimits;
+use fix_core::semantics::{footprint, Footprint};
+use fix_storage::{Labels, ProvenanceLedger, RelationCache, Store};
+use std::sync::Arc;
+
+/// Configures a [`Runtime`].
+#[derive(Default)]
+pub struct RuntimeBuilder {
+    workers: usize,
+    provenance: bool,
+}
+
+
+impl RuntimeBuilder {
+    /// Number of worker threads. With 0, evaluation runs inline on the
+    /// calling thread (the microsecond path and the Fig-9 configuration).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Enables provenance recording, the opt-in behind computational
+    /// garbage collection (paper §6): each produced object is recorded
+    /// with its recipe so `Runtime::evict_recomputable` /
+    /// `Runtime::materialize` can trade storage for recompute.
+    pub fn with_provenance(mut self) -> Self {
+        self.provenance = true;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> Runtime {
+        let store = Arc::new(Store::new());
+        let cache = Arc::new(RelationCache::new());
+        let registry = Arc::new(ProgramRegistry::new());
+        let ledger = self.provenance.then(|| Arc::new(ProvenanceLedger::new()));
+        let mut engine = Engine::new(
+            Arc::clone(&store),
+            Arc::clone(&cache),
+            Arc::clone(&registry),
+        );
+        if let Some(l) = &ledger {
+            engine = engine.with_provenance(Arc::clone(l));
+        }
+        let engine = Arc::new(engine);
+        let scheduler = Arc::new(Scheduler::new(Arc::clone(&engine)));
+        let pool = if self.workers > 0 {
+            Some(WorkerPool::spawn(Arc::clone(&scheduler), self.workers))
+        } else {
+            None
+        };
+        Runtime {
+            store,
+            cache,
+            registry,
+            engine,
+            scheduler,
+            labels: Labels::new(),
+            provenance: ledger,
+            _pool: pool,
+        }
+    }
+}
+
+/// A single-node Fixpoint runtime.
+///
+/// # Examples
+///
+/// Register a native `add` codelet and evaluate `add(1, 2)`:
+///
+/// ```
+/// use fixpoint::Runtime;
+/// use fix_core::data::Blob;
+/// use fix_core::limits::ResourceLimits;
+/// use std::sync::Arc;
+///
+/// let rt = Runtime::builder().build();
+/// let add = rt.register_native("add", Arc::new(|ctx| {
+///     let a = ctx.arg_blob(0)?.as_u64().unwrap();
+///     let b = ctx.arg_blob(1)?.as_u64().unwrap();
+///     ctx.host.create_blob((a + b).to_le_bytes().to_vec())
+/// }));
+/// let thunk = rt.apply(
+///     ResourceLimits::default_limits(),
+///     add,
+///     &[rt.put_blob(Blob::from_u64(1)), rt.put_blob(Blob::from_u64(2))],
+/// ).unwrap();
+/// let result = rt.eval(thunk).unwrap();
+/// assert_eq!(rt.get_blob(result).unwrap().as_u64(), Some(3));
+/// ```
+pub struct Runtime {
+    store: Arc<Store>,
+    cache: Arc<RelationCache>,
+    registry: Arc<ProgramRegistry>,
+    engine: Arc<Engine>,
+    scheduler: Arc<Scheduler>,
+    labels: Labels,
+    provenance: Option<Arc<ProvenanceLedger>>,
+    _pool: Option<WorkerPool>,
+}
+
+impl Runtime {
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// The node's object store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// The node's relation cache.
+    pub fn cache(&self) -> &Arc<RelationCache> {
+        &self.cache
+    }
+
+    /// The node's evaluation engine (for statistics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The node's label namespace.
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+
+    /// The provenance ledger, if the runtime was built
+    /// [`with_provenance`](RuntimeBuilder::with_provenance).
+    pub fn provenance(&self) -> Option<&ProvenanceLedger> {
+        self.provenance.as_deref()
+    }
+
+    /// The node's scheduler (recompute needs targeted job invalidation).
+    pub(crate) fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    // ------------------------------------------------------------------
+    // Data (Table 1: create_blob / create_tree / read_blob / read_tree).
+    // ------------------------------------------------------------------
+
+    /// Stores a blob, returning its handle.
+    pub fn put_blob(&self, blob: Blob) -> Handle {
+        self.store.put_blob(blob)
+    }
+
+    /// Stores a tree, returning its handle.
+    pub fn put_tree(&self, tree: Tree) -> Handle {
+        self.store.put_tree(tree)
+    }
+
+    /// Reads a blob back.
+    pub fn get_blob(&self, handle: Handle) -> Result<Blob> {
+        self.store.get_blob(handle)
+    }
+
+    /// Reads a tree back.
+    pub fn get_tree(&self, handle: Handle) -> Result<Tree> {
+        self.store.get_tree(handle)
+    }
+
+    // ------------------------------------------------------------------
+    // Procedures.
+    // ------------------------------------------------------------------
+
+    /// Registers a native codelet; stores and returns its marker handle.
+    pub fn register_native(&self, name: &str, f: NativeFn) -> Handle {
+        let (blob, handle) = self.registry.register(name, f);
+        self.store.put_blob(blob);
+        handle
+    }
+
+    /// Assembles FixVM source, stores the module blob, returns its handle.
+    pub fn install_vm_module(&self, source: &str) -> Result<Handle> {
+        let module = fix_vm::assemble(source)?;
+        Ok(self.store.put_blob(Blob::from_vec(module.to_bytes())))
+    }
+
+    // ------------------------------------------------------------------
+    // Thunks and encodes (Table 1).
+    // ------------------------------------------------------------------
+
+    /// Builds and stores an application tree `[limits, proc, args...]`,
+    /// returning the Application Thunk.
+    pub fn apply(
+        &self,
+        limits: ResourceLimits,
+        procedure: Handle,
+        args: &[Handle],
+    ) -> Result<Handle> {
+        let inv = Invocation {
+            limits,
+            procedure,
+            args: args.to_vec(),
+        };
+        let tree = inv.to_tree();
+        let h = self.store.put_tree(tree);
+        h.application()
+    }
+
+    /// Builds and stores a selection thunk for `target[index]`.
+    pub fn select(&self, target: Handle, index: u64) -> Result<Handle> {
+        let (tree, thunk) = fix_core::invocation::build::selection(target, index)?;
+        self.store.put_tree(tree);
+        Ok(thunk)
+    }
+
+    /// Builds and stores a selection thunk for `target[begin..end]`.
+    pub fn select_range(&self, target: Handle, begin: u64, end: u64) -> Result<Handle> {
+        let (tree, thunk) = fix_core::invocation::build::selection_range(target, begin, end)?;
+        self.store.put_tree(tree);
+        Ok(thunk)
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation.
+    // ------------------------------------------------------------------
+
+    /// Evaluates a handle to a non-Thunk value (weak head normal form).
+    ///
+    /// Values evaluate to themselves; Thunks are reduced (running
+    /// procedures as needed); Encodes are resolved per their style.
+    pub fn eval(&self, handle: Handle) -> Result<Handle> {
+        if handle.is_value() {
+            return Ok(handle);
+        }
+        self.scheduler.run_inline(Job::Eval(handle))
+    }
+
+    /// Fully evaluates: reduces to a value, then deep-forces it so every
+    /// nested Thunk/Encode is resolved and every Ref promoted.
+    pub fn eval_strict(&self, handle: Handle) -> Result<Handle> {
+        let value = self.eval(handle)?;
+        self.scheduler.run_inline(Job::Force(value))
+    }
+
+    /// Convenience: apply + strict evaluation in one call.
+    pub fn run(
+        &self,
+        limits: ResourceLimits,
+        procedure: Handle,
+        args: &[Handle],
+    ) -> Result<Handle> {
+        let thunk = self.apply(limits, procedure, args)?;
+        self.eval_strict(thunk)
+    }
+
+    /// Computes the minimum repository of a thunk (paper §3.3), using
+    /// whatever evaluation results are already memoized.
+    pub fn footprint(&self, thunk: Handle) -> Result<Footprint> {
+        footprint(self.store.as_ref(), thunk, self.cache.as_ref())
+    }
+
+    /// Runs garbage collection, keeping only objects reachable from
+    /// `roots` (plus everything literal).
+    pub fn gc(&self, roots: &[Handle]) -> usize {
+        self.store.gc(roots)
+    }
+
+    /// Forgets every memoized evaluation: the relation cache *and* the
+    /// scheduler's job-completion records, which mirror it.
+    ///
+    /// Clearing only one layer (e.g. `rt.cache().clear()`) leaves them
+    /// inconsistent — the scheduler would believe dependencies are done
+    /// while the engine finds no memoized result, re-requesting them
+    /// forever. Benchmarks measuring cold evaluations should call this
+    /// between iterations. Must not be called while an evaluation is in
+    /// flight on another thread.
+    pub fn clear_memoization(&self) {
+        self.cache.clear();
+        self.scheduler.reset();
+    }
+
+    /// Drops completed scheduler job records that nothing waits on,
+    /// bounding coordination state on long-lived nodes. Memoized
+    /// relations are unaffected.
+    pub fn compact_scheduler(&self) -> usize {
+        self.scheduler.forget_finished()
+    }
+
+    /// Reads a `u64` result blob (common in examples and tests).
+    pub fn get_u64(&self, handle: Handle) -> Result<u64> {
+        self.get_blob(handle)?.as_u64().ok_or(Error::TypeMismatch {
+            handle,
+            expected: "a u64 blob",
+        })
+    }
+
+    /// Builds a strict encode of an application, the most common idiom:
+    /// `strict(application([limits, proc, args...]))`.
+    pub fn strict_apply(
+        &self,
+        limits: ResourceLimits,
+        procedure: Handle,
+        args: &[Handle],
+    ) -> Result<Handle> {
+        self.apply(limits, procedure, args)?
+            .encode(EncodeStyle::Strict)
+    }
+
+    /// Stores a whole [`Node`].
+    pub fn put(&self, node: Node) -> Handle {
+        self.store.put(node)
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::builder().build()
+    }
+}

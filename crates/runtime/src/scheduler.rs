@@ -1,0 +1,392 @@
+//! The job scheduler: dependency tracking over restartable jobs.
+//!
+//! All worker threads of a node share a queue of pending jobs and the
+//! runtime storage (paper §4.2.1). A job is stepped on a worker; if it
+//! reports dependencies, it parks until they complete and is then stepped
+//! again. Jobs are deduplicated by identity, so concurrent requests for
+//! the same evaluation share one execution — Fix's determinism makes this
+//! safe.
+//!
+//! The scheduler can be driven two ways:
+//!
+//! * **inline** ([`Scheduler::run_inline`]) — the calling thread drains
+//!   the queue itself; this is the microsecond path used when a client
+//!   evaluates a single computation (no thread handoff);
+//! * **pooled** ([`WorkerPool`]) — N worker threads drain the queue
+//!   concurrently; independent sub-computations (e.g. the branches of a
+//!   parallel map) run in parallel.
+
+use crate::engine::{Engine, Job, Step};
+use fix_core::error::{Error, Result};
+use fix_core::handle::Handle;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum JobState {
+    /// In the queue (or about to be).
+    Queued,
+    /// Parked until `pending` dependencies complete.
+    Waiting { pending: usize },
+    /// Finished successfully.
+    Done(Handle),
+    /// Finished with an error.
+    Failed(Error),
+}
+
+#[derive(Debug, Default)]
+struct JobEntry {
+    state: Option<JobState>,
+    waiters: Vec<Job>,
+    /// Consecutive requeues where every reported dependency was already
+    /// finished. Bounded in healthy operation (each requeue follows real
+    /// progress); a runaway count means the job-state map and the
+    /// engine's relation cache disagree, and the job is failed loudly
+    /// instead of spinning forever.
+    respins: u32,
+}
+
+/// Requeue bound before a job is declared stuck (see [`JobEntry::respins`]).
+const MAX_RESPINS: u32 = 10_000;
+
+#[derive(Default)]
+struct Shared {
+    jobs: HashMap<Job, JobEntry>,
+    queue: VecDeque<Job>,
+}
+
+/// The shared scheduler for one node.
+pub struct Scheduler {
+    engine: Arc<Engine>,
+    shared: Mutex<Shared>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Number of pool workers attached (used for stall detection).
+    workers_running: std::sync::atomic::AtomicUsize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over an engine.
+    pub fn new(engine: Arc<Engine>) -> Scheduler {
+        Scheduler {
+            engine,
+            shared: Mutex::new(Shared::default()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers_running: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// The engine this scheduler drives.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Submits a job if it is not already known. Returns immediately.
+    pub fn submit(&self, job: Job) {
+        let mut shared = self.shared.lock();
+        self.submit_locked(&mut shared, job);
+        drop(shared);
+        self.cv.notify_all();
+    }
+
+    fn submit_locked(&self, shared: &mut Shared, job: Job) {
+        let entry = shared.jobs.entry(job).or_default();
+        if entry.state.is_none() {
+            entry.state = Some(JobState::Queued);
+            shared.queue.push_back(job);
+        }
+    }
+
+    /// Discards all job state and any queued work.
+    ///
+    /// Job completion records double as a memo consistent with the
+    /// engine's relation cache, so the two must be cleared together
+    /// (see [`Runtime::clear_memoization`](crate::Runtime::clear_memoization)).
+    /// Must only be called while no evaluation is in flight; queued jobs
+    /// are dropped and their waiters never woken.
+    pub fn reset(&self) {
+        let mut shared = self.shared.lock();
+        shared.jobs.clear();
+        shared.queue.clear();
+    }
+
+    /// Drops one finished job record, so a later submission re-steps it
+    /// against the engine instead of short-circuiting to the recorded
+    /// result. No-op if the job is still queued, running, or waited on.
+    ///
+    /// Used by recompute-on-demand after the matching relation-cache
+    /// entries are removed, keeping the invariant that a `Done` job
+    /// record always has its relations memoized.
+    pub fn forget(&self, job: Job) {
+        let mut shared = self.shared.lock();
+        if let Some(entry) = shared.jobs.get(&job) {
+            let finished = matches!(
+                entry.state,
+                Some(JobState::Done(_)) | Some(JobState::Failed(_))
+            );
+            if finished && entry.waiters.is_empty() {
+                shared.jobs.remove(&job);
+            }
+        }
+    }
+
+    /// Drops completed job records that nothing waits on, bounding the
+    /// job map for long-lived nodes. Results stay reproducible: the
+    /// engine's relation cache still memoizes the underlying relations,
+    /// so a re-submitted job completes from cache without re-running
+    /// procedures.
+    pub fn forget_finished(&self) -> usize {
+        let mut shared = self.shared.lock();
+        let before = shared.jobs.len();
+        shared.jobs.retain(|_, entry| {
+            !matches!(
+                entry.state,
+                Some(JobState::Done(_)) | Some(JobState::Failed(_))
+            ) || !entry.waiters.is_empty()
+        });
+        before - shared.jobs.len()
+    }
+
+    /// Returns the job's result if it has finished.
+    pub fn poll(&self, job: Job) -> Option<Result<Handle>> {
+        let shared = self.shared.lock();
+        match shared.jobs.get(&job).and_then(|e| e.state.as_ref()) {
+            Some(JobState::Done(h)) => Some(Ok(*h)),
+            Some(JobState::Failed(e)) => Some(Err(e.clone())),
+            _ => None,
+        }
+    }
+
+    /// Blocks until the job completes (requires a running [`WorkerPool`]
+    /// or another thread driving the queue).
+    pub fn wait(&self, job: Job) -> Result<Handle> {
+        let mut shared = self.shared.lock();
+        loop {
+            match shared.jobs.get(&job).and_then(|e| e.state.as_ref()) {
+                Some(JobState::Done(h)) => return Ok(*h),
+                Some(JobState::Failed(e)) => return Err(e.clone()),
+                _ => self.cv.wait(&mut shared),
+            }
+        }
+    }
+
+    /// Drives the queue on the calling thread until `root` completes.
+    ///
+    /// If worker threads are also draining the queue, this cooperates with
+    /// them; when the queue is momentarily empty it waits for progress.
+    pub fn run_inline(&self, root: Job) -> Result<Handle> {
+        self.submit(root);
+        loop {
+            if let Some(result) = self.poll(root) {
+                return result;
+            }
+            let job = {
+                let mut shared = self.shared.lock();
+                loop {
+                    match shared.jobs.get(&root).and_then(|e| e.state.as_ref()) {
+                        Some(JobState::Done(h)) => return Ok(*h),
+                        Some(JobState::Failed(e)) => return Err(e.clone()),
+                        _ => {}
+                    }
+                    if let Some(job) = shared.queue.pop_front() {
+                        break job;
+                    }
+                    // Queue is empty but the root isn't finished: some jobs
+                    // are running on workers, or the graph is stalled.
+                    if self.active_workers() == 0 {
+                        return Err(Error::Trap(format!(
+                            "evaluation stalled: no runnable jobs for {root}"
+                        )));
+                    }
+                    self.cv.wait(&mut shared);
+                }
+            };
+            self.execute(job);
+        }
+    }
+
+    fn active_workers(&self) -> usize {
+        self.workers_running.load(Ordering::Relaxed)
+    }
+
+    /// Raises the shutdown flag so workers exit.
+    ///
+    /// The store happens *while holding the scheduler mutex*: a worker's
+    /// check-shutdown-then-wait sequence is atomic only against mutators
+    /// that hold the lock. An unlocked store can slip between a worker's
+    /// flag check and its `cv.wait`, leaving it parked through the
+    /// notify and deadlocking the joiner.
+    fn begin_shutdown(&self) {
+        {
+            let _guard = self.shared.lock();
+            self.shutdown.store(true, Ordering::SeqCst);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Pops and executes one job; returns false if the queue was empty.
+    fn try_drive_one(&self) -> bool {
+        let job = self.shared.lock().queue.pop_front();
+        match job {
+            Some(job) => {
+                self.execute(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Steps a job and records the outcome.
+    fn execute(&self, job: Job) {
+        let step = self.engine.step(job);
+        let mut shared = self.shared.lock();
+        match step {
+            Ok(Step::Done(h)) => self.complete(&mut shared, job, Ok(h)),
+            Err(e) => self.complete(&mut shared, job, Err(e)),
+            Ok(Step::Deps(deps)) => {
+                let mut pending = 0usize;
+                let mut failed: Option<Error> = None;
+                for dep in deps {
+                    match shared.jobs.get(&dep).and_then(|e| e.state.clone()) {
+                        Some(JobState::Done(_)) => {}
+                        Some(JobState::Failed(e)) => {
+                            failed = Some(e);
+                            break;
+                        }
+                        _ => {
+                            self.submit_locked(&mut shared, dep);
+                            let entry = shared.jobs.entry(dep).or_default();
+                            entry.waiters.push(job);
+                            pending += 1;
+                        }
+                    }
+                }
+                if let Some(e) = failed {
+                    self.complete(&mut shared, job, Err(e));
+                } else if pending == 0 {
+                    // Everything finished in the meantime; go again — but
+                    // bound the spins: if the engine keeps reporting deps
+                    // the job map says are done, the two memo layers are
+                    // out of sync (e.g. the relation cache was cleared
+                    // without resetting the scheduler).
+                    let entry = shared.jobs.entry(job).or_default();
+                    entry.respins += 1;
+                    if entry.respins > MAX_RESPINS {
+                        self.complete(
+                            &mut shared,
+                            job,
+                            Err(Error::Trap(format!(
+                                "scheduler stuck re-stepping {job}: job states and the \
+                                 relation cache disagree (was the cache cleared without \
+                                 Runtime::clear_memoization?)"
+                            ))),
+                        );
+                    } else {
+                        entry.state = Some(JobState::Queued);
+                        shared.queue.push_back(job);
+                    }
+                } else {
+                    let entry = shared.jobs.entry(job).or_default();
+                    entry.respins = 0;
+                    entry.state = Some(JobState::Waiting { pending });
+                }
+            }
+        }
+        drop(shared);
+        self.cv.notify_all();
+    }
+
+    /// Marks a job finished and wakes its (transitive) waiters.
+    fn complete(&self, shared: &mut Shared, job: Job, result: Result<Handle>) {
+        // Worklist of (job, result) so failure propagation is iterative.
+        let mut worklist: Vec<(Job, Result<Handle>)> = vec![(job, result)];
+        while let Some((job, result)) = worklist.pop() {
+            let entry = shared.jobs.entry(job).or_default();
+            entry.state = Some(match &result {
+                Ok(h) => JobState::Done(*h),
+                Err(e) => JobState::Failed(e.clone()),
+            });
+            let waiters = std::mem::take(&mut entry.waiters);
+            for waiter in waiters {
+                match &result {
+                    Ok(_) => {
+                        let w = shared.jobs.entry(waiter).or_default();
+                        if let Some(JobState::Waiting { pending }) = &mut w.state {
+                            *pending -= 1;
+                            if *pending == 0 {
+                                w.state = Some(JobState::Queued);
+                                shared.queue.push_back(waiter);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Fail the waiter and its waiters transitively.
+                        worklist.push((waiter, Err(e.clone())));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A pool of worker threads draining a scheduler's queue.
+pub struct WorkerPool {
+    scheduler: Arc<Scheduler>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` workers over the scheduler.
+    pub fn spawn(scheduler: Arc<Scheduler>, n: usize) -> WorkerPool {
+        scheduler.workers_running.fetch_add(n, Ordering::SeqCst);
+        let threads = (0..n)
+            .map(|i| {
+                let sched = Arc::clone(&scheduler);
+                std::thread::Builder::new()
+                    .name(format!("fixpoint-worker-{i}"))
+                    .spawn(move || sched.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { scheduler, threads }
+    }
+
+    /// Signals shutdown and joins all workers.
+    pub fn shutdown(mut self) {
+        self.scheduler.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.scheduler.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Scheduler {
+    fn worker_loop(&self) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if !self.try_drive_one() {
+                let mut shared = self.shared.lock();
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if shared.queue.is_empty() {
+                    self.cv.wait(&mut shared);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Human-readable labels for Fix objects.
+//!
+//! Content addressing gives stable machine names; labels give humans and
+//! example programs a mutable namespace over them (like git refs over
+//! commit hashes). Labels are a convenience layer only — nothing in Fix
+//! semantics depends on them.
+
+use fix_core::handle::Handle;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A mutable map from names to Handles.
+///
+/// # Examples
+///
+/// ```
+/// use fix_storage::Labels;
+/// use fix_core::data::Blob;
+///
+/// let labels = Labels::new();
+/// let h = Blob::from_slice(b"compile-driver-v1").handle();
+/// labels.set("compile", h);
+/// assert_eq!(labels.get("compile"), Some(h));
+/// ```
+#[derive(Default)]
+pub struct Labels {
+    map: RwLock<BTreeMap<String, Handle>>,
+}
+
+impl Labels {
+    /// Creates an empty label namespace.
+    pub fn new() -> Labels {
+        Labels::default()
+    }
+
+    /// Binds (or rebinds) a name.
+    pub fn set(&self, name: &str, handle: Handle) {
+        self.map.write().insert(name.to_string(), handle);
+    }
+
+    /// Resolves a name.
+    pub fn get(&self, name: &str) -> Option<Handle> {
+        self.map.read().get(name).copied()
+    }
+
+    /// Removes a binding, returning the old target.
+    pub fn remove(&self, name: &str) -> Option<Handle> {
+        self.map.write().remove(name)
+    }
+
+    /// All bindings, sorted by name.
+    pub fn list(&self) -> Vec<(String, Handle)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_core::data::Blob;
+
+    #[test]
+    fn set_get_remove() {
+        let labels = Labels::new();
+        let a = Blob::from_slice(b"a").handle();
+        let b = Blob::from_slice(b"b").handle();
+        labels.set("x", a);
+        assert_eq!(labels.get("x"), Some(a));
+        labels.set("x", b);
+        assert_eq!(labels.get("x"), Some(b));
+        assert_eq!(labels.remove("x"), Some(b));
+        assert_eq!(labels.get("x"), None);
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let labels = Labels::new();
+        let h = Blob::from_slice(b"h").handle();
+        labels.set("zeta", h);
+        labels.set("alpha", h);
+        let names: Vec<String> = labels.list().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,29 @@
+//! `fix-storage`: content-addressed runtime storage for Fix.
+//!
+//! Two structures back every Fixpoint node (paper Fig. 6):
+//!
+//! * [`Store`] — the object store, mapping Handles to Blob/Tree data;
+//! * [`RelationCache`] — memoized evaluation relations (Eval / Apply /
+//!   Force), the mechanism behind Fix's determinism-powered caching.
+//!
+//! [`Labels`] adds a small human-readable namespace on top (like git refs).
+//!
+//! [`ProvenanceLedger`] and [`plan_eviction`] implement the storage side
+//! of the paper's computational garbage collection (§6): recording which
+//! Thunk produced each object so the bytes can be deleted and recomputed
+//! on demand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod labels;
+mod provenance;
+mod relations;
+mod store;
+
+pub use labels::Labels;
+pub use provenance::{
+    apply_eviction, plan_eviction, support_closure, EvictionPlan, ProvenanceLedger, Victim,
+};
+pub use relations::{Relation, RelationCache};
+pub use store::Store;

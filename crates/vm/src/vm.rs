@@ -1,0 +1,676 @@
+//! The FixVM interpreter.
+//!
+//! Runs one guest procedure to completion (paper §3, goal 3: "a function
+//! will always run to completion without blocking"). Every interaction
+//! with Fix data goes through a [`HostApi`] implemented by the runtime;
+//! the interpreter enforces:
+//!
+//! * **capability discipline** — the guest names handles only by table
+//!   index, and the table starts with just the input tree;
+//! * **accessibility** — data behind Refs cannot be read (only type and
+//!   size are visible);
+//! * **resource limits** — fuel (instruction budget) and memory, from the
+//!   invocation's [`ResourceLimits`]; plus static stack and call-depth
+//!   caps.
+
+use crate::isa::{kind_code, Instr};
+use crate::module::Module;
+use fix_core::data::{Blob, Tree};
+use fix_core::error::{Error, Result};
+use fix_core::handle::{DataType, Handle, Kind};
+use fix_core::limits::ResourceLimits;
+
+/// The runtime services a guest may invoke.
+///
+/// Implementations must enforce their own storage-side invariants (e.g.
+/// record created objects so they can be persisted); the interpreter
+/// performs the accessibility checks before calling `load_*`.
+pub trait HostApi {
+    /// Loads the bytes of an accessible blob.
+    fn load_blob(&mut self, handle: Handle) -> Result<Blob>;
+    /// Loads the entries of an accessible tree.
+    fn load_tree(&mut self, handle: Handle) -> Result<Tree>;
+    /// Creates (and records) a blob, returning its handle.
+    fn create_blob(&mut self, data: Vec<u8>) -> Result<Handle>;
+    /// Creates (and records) a tree, returning its handle.
+    fn create_tree(&mut self, entries: Vec<Handle>) -> Result<Handle>;
+}
+
+/// Execution limits for one guest run.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Instruction/fuel budget.
+    pub fuel: u64,
+    /// Linear memory cap in bytes.
+    pub memory_limit: u64,
+    /// Operand stack cap (values).
+    pub stack_limit: usize,
+    /// Call depth cap (frames).
+    pub call_depth: usize,
+    /// Handle table cap (entries).
+    pub table_limit: usize,
+}
+
+impl VmConfig {
+    /// Derives a configuration from an invocation's resource limits.
+    pub fn from_limits(limits: &ResourceLimits) -> VmConfig {
+        VmConfig {
+            fuel: limits.fuel,
+            memory_limit: limits.memory_bytes,
+            stack_limit: 1 << 16,
+            call_depth: 512,
+            table_limit: 1 << 20,
+        }
+    }
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig::from_limits(&ResourceLimits::default_limits())
+    }
+}
+
+/// Result of a completed guest run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// The handle the guest returned from `_fix_apply`.
+    pub result: Handle,
+    /// Fuel consumed (for accounting and the invocation-overhead bench).
+    pub fuel_used: u64,
+}
+
+const INITIAL_MEMORY: usize = 64 * 1024;
+
+struct Frame {
+    func: usize,
+    ip: usize,
+    locals_base: usize,
+    stack_floor: usize,
+}
+
+/// Runs `module`'s entry function against `input` (the application tree).
+///
+/// # Examples
+///
+/// ```
+/// use fix_vm::{assemble, run, VmConfig};
+/// use fix_vm::testing::TestHost;
+/// use fix_core::data::Tree;
+///
+/// let module = assemble("func apply args=0 locals=0\n const 0\n ret_handle\nend").unwrap();
+/// let mut host = TestHost::default();
+/// let input = Tree::from_handles(vec![]);
+/// let input_handle = host.insert_tree(input);
+/// let out = run(&module, &mut host, input_handle, VmConfig::default()).unwrap();
+/// assert_eq!(out.result, input_handle); // The guest returned its input.
+/// ```
+pub fn run(
+    module: &Module,
+    host: &mut dyn HostApi,
+    input: Handle,
+    config: VmConfig,
+) -> Result<Outcome> {
+    Interp::new(module, host, input, config).run()
+}
+
+struct Interp<'a> {
+    module: &'a Module,
+    host: &'a mut dyn HostApi,
+    config: VmConfig,
+    stack: Vec<u64>,
+    locals: Vec<u64>,
+    frames: Vec<Frame>,
+    memory: Vec<u8>,
+    handles: Vec<Handle>,
+    builder: Vec<Handle>,
+    fuel: u64,
+}
+
+fn trap(msg: impl Into<String>) -> Error {
+    Error::Trap(msg.into())
+}
+
+impl<'a> Interp<'a> {
+    fn new(
+        module: &'a Module,
+        host: &'a mut dyn HostApi,
+        input: Handle,
+        config: VmConfig,
+    ) -> Interp<'a> {
+        let entry_locals = module.functions[0].nlocals as usize;
+        Interp {
+            module,
+            host,
+            config,
+            stack: Vec::with_capacity(256),
+            locals: vec![0; entry_locals],
+            frames: vec![Frame {
+                func: 0,
+                ip: 0,
+                locals_base: 0,
+                stack_floor: 0,
+            }],
+            memory: vec![0; INITIAL_MEMORY.min(config.memory_limit as usize)],
+            handles: vec![input],
+            builder: Vec::new(),
+            fuel: config.fuel,
+        }
+    }
+
+    fn burn(&mut self, amount: u64) -> Result<()> {
+        if self.fuel < amount {
+            self.fuel = 0;
+            return Err(Error::OutOfFuel {
+                limit: self.config.fuel,
+            });
+        }
+        self.fuel -= amount;
+        Ok(())
+    }
+
+    fn push(&mut self, v: u64) -> Result<()> {
+        if self.stack.len() >= self.config.stack_limit {
+            return Err(trap("operand stack overflow"));
+        }
+        self.stack.push(v);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<u64> {
+        let floor = self.frames.last().expect("frame exists").stack_floor;
+        if self.stack.len() <= floor {
+            return Err(trap("operand stack underflow"));
+        }
+        Ok(self.stack.pop().expect("length checked"))
+    }
+
+    fn handle_at(&self, idx: u64) -> Result<Handle> {
+        self.handles
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| trap(format!("handle index {idx} out of bounds")))
+    }
+
+    fn push_handle(&mut self, h: Handle) -> Result<u64> {
+        if self.handles.len() >= self.config.table_limit {
+            return Err(trap("handle table overflow"));
+        }
+        self.handles.push(h);
+        Ok((self.handles.len() - 1) as u64)
+    }
+
+    fn mem_range(&self, addr: u64, len: u64) -> Result<std::ops::Range<usize>> {
+        let end = addr
+            .checked_add(len)
+            .ok_or_else(|| trap("address overflow"))?;
+        if end > self.memory.len() as u64 {
+            return Err(trap(format!(
+                "memory access [{addr}, {end}) out of bounds (size {})",
+                self.memory.len()
+            )));
+        }
+        Ok(addr as usize..end as usize)
+    }
+
+    fn accessible_blob(&self, h: Handle) -> Result<()> {
+        match h.kind() {
+            Kind::Object(DataType::Blob) => Ok(()),
+            Kind::Ref(DataType::Blob) => Err(Error::Inaccessible(h)),
+            _ => Err(Error::TypeMismatch {
+                handle: h,
+                expected: "accessible blob",
+            }),
+        }
+    }
+
+    fn accessible_tree(&self, h: Handle) -> Result<()> {
+        match h.kind() {
+            Kind::Object(DataType::Tree) => Ok(()),
+            Kind::Ref(DataType::Tree) => Err(Error::Inaccessible(h)),
+            _ => Err(Error::TypeMismatch {
+                handle: h,
+                expected: "accessible tree",
+            }),
+        }
+    }
+
+    fn run(mut self) -> Result<Outcome> {
+        loop {
+            let frame = self.frames.last().expect("at least the entry frame");
+            let func = &self.module.functions[frame.func];
+            let Some(&instr) = func.code.get(frame.ip) else {
+                // Fell off the end of the function body.
+                if self.frames.len() == 1 {
+                    return Err(trap("entry function ended without ret_handle"));
+                }
+                return Err(trap("function ended without return"));
+            };
+            self.burn(1)?;
+            // Advance the ip before executing; jumps overwrite it.
+            self.frames.last_mut().expect("frame").ip += 1;
+
+            use Instr::*;
+            match instr {
+                Nop => {}
+                Unreachable => return Err(trap("unreachable executed")),
+                Const(v) => self.push(v)?,
+                LocalGet(i) => {
+                    let base = self.frames.last().expect("frame").locals_base;
+                    let v = self.locals[base + i as usize];
+                    self.push(v)?;
+                }
+                LocalSet(i) => {
+                    let v = self.pop()?;
+                    let base = self.frames.last().expect("frame").locals_base;
+                    self.locals[base + i as usize] = v;
+                }
+                Drop => {
+                    self.pop()?;
+                }
+                Dup => {
+                    let v = self.pop()?;
+                    self.push(v)?;
+                    self.push(v)?;
+                }
+                Swap => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    self.push(b)?;
+                    self.push(a)?;
+                }
+
+                Add => self.binop(|a, b| Ok(a.wrapping_add(b)))?,
+                Sub => self.binop(|a, b| Ok(a.wrapping_sub(b)))?,
+                Mul => self.binop(|a, b| Ok(a.wrapping_mul(b)))?,
+                DivU => {
+                    self.binop(|a, b| a.checked_div(b).ok_or_else(|| trap("division by zero")))?
+                }
+                RemU => {
+                    self.binop(|a, b| a.checked_rem(b).ok_or_else(|| trap("remainder by zero")))?
+                }
+                And => self.binop(|a, b| Ok(a & b))?,
+                Or => self.binop(|a, b| Ok(a | b))?,
+                Xor => self.binop(|a, b| Ok(a ^ b))?,
+                Shl => self.binop(|a, b| Ok(a.wrapping_shl(b as u32)))?,
+                ShrU => self.binop(|a, b| Ok(a.wrapping_shr(b as u32)))?,
+                Eq => self.binop(|a, b| Ok((a == b) as u64))?,
+                Ne => self.binop(|a, b| Ok((a != b) as u64))?,
+                LtU => self.binop(|a, b| Ok((a < b) as u64))?,
+                GtU => self.binop(|a, b| Ok((a > b) as u64))?,
+                LeU => self.binop(|a, b| Ok((a <= b) as u64))?,
+                GeU => self.binop(|a, b| Ok((a >= b) as u64))?,
+                Eqz => {
+                    let v = self.pop()?;
+                    self.push((v == 0) as u64)?;
+                }
+
+                Jump(t) => self.frames.last_mut().expect("frame").ip = t as usize,
+                JumpIf(t) => {
+                    if self.pop()? != 0 {
+                        self.frames.last_mut().expect("frame").ip = t as usize;
+                    }
+                }
+                JumpIfZero(t) => {
+                    if self.pop()? == 0 {
+                        self.frames.last_mut().expect("frame").ip = t as usize;
+                    }
+                }
+                Call(f) => {
+                    if self.frames.len() >= self.config.call_depth {
+                        return Err(trap("call depth exceeded"));
+                    }
+                    let callee = &self.module.functions[f as usize];
+                    let nargs = callee.nargs as usize;
+                    let locals_base = self.locals.len();
+                    self.locals.resize(locals_base + callee.nlocals as usize, 0);
+                    // Pop arguments; the first-pushed value becomes local 0.
+                    for slot in (0..nargs).rev() {
+                        let v = self.pop()?;
+                        self.locals[locals_base + slot] = v;
+                    }
+                    let stack_floor = self.stack.len();
+                    self.frames.push(Frame {
+                        func: f as usize,
+                        ip: 0,
+                        locals_base,
+                        stack_floor,
+                    });
+                }
+                Return => {
+                    if self.frames.len() == 1 {
+                        return Err(trap("entry function must finish with ret_handle"));
+                    }
+                    let v = self.pop()?;
+                    let frame = self.frames.pop().expect("length checked");
+                    self.stack.truncate(frame.stack_floor);
+                    self.locals.truncate(frame.locals_base);
+                    self.push(v)?;
+                }
+
+                MemLoad8 => {
+                    let addr = self.pop()?;
+                    let r = self.mem_range(addr, 1)?;
+                    let v = self.memory[r.start] as u64;
+                    self.push(v)?;
+                }
+                MemLoad32 => {
+                    let addr = self.pop()?;
+                    let r = self.mem_range(addr, 4)?;
+                    let mut b = [0u8; 4];
+                    b.copy_from_slice(&self.memory[r]);
+                    self.push(u32::from_le_bytes(b) as u64)?;
+                }
+                MemLoad64 => {
+                    let addr = self.pop()?;
+                    let r = self.mem_range(addr, 8)?;
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&self.memory[r]);
+                    self.push(u64::from_le_bytes(b))?;
+                }
+                MemStore8 => {
+                    let v = self.pop()?;
+                    let addr = self.pop()?;
+                    let r = self.mem_range(addr, 1)?;
+                    self.memory[r.start] = v as u8;
+                }
+                MemStore32 => {
+                    let v = self.pop()?;
+                    let addr = self.pop()?;
+                    let r = self.mem_range(addr, 4)?;
+                    self.memory[r].copy_from_slice(&(v as u32).to_le_bytes());
+                }
+                MemStore64 => {
+                    let v = self.pop()?;
+                    let addr = self.pop()?;
+                    let r = self.mem_range(addr, 8)?;
+                    self.memory[r].copy_from_slice(&v.to_le_bytes());
+                }
+                MemSize => {
+                    let v = self.memory.len() as u64;
+                    self.push(v)?;
+                }
+                MemGrow => {
+                    let bytes = self.pop()?;
+                    let old = self.memory.len() as u64;
+                    let new = old
+                        .checked_add(bytes)
+                        .ok_or_else(|| trap("grow overflow"))?;
+                    if new > self.config.memory_limit {
+                        return Err(Error::MemoryLimit {
+                            limit: self.config.memory_limit,
+                            requested: new,
+                        });
+                    }
+                    self.burn(bytes / 64)?;
+                    self.memory.resize(new as usize, 0);
+                    self.push(old)?;
+                }
+
+                BlobLen => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    self.accessible_blob(h)?;
+                    self.push(h.size())?;
+                }
+                BlobRead => {
+                    let len = self.pop()?;
+                    let mem_off = self.pop()?;
+                    let blob_off = self.pop()?;
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    self.accessible_blob(h)?;
+                    self.burn(len / 8)?;
+                    let blob = self.host.load_blob(h)?;
+                    let bend = blob_off
+                        .checked_add(len)
+                        .ok_or_else(|| trap("blob offset overflow"))?;
+                    if bend > blob.len() as u64 {
+                        return Err(trap(format!(
+                            "blob read [{blob_off}, {bend}) out of bounds (len {})",
+                            blob.len()
+                        )));
+                    }
+                    let mr = self.mem_range(mem_off, len)?;
+                    self.memory[mr]
+                        .copy_from_slice(&blob.as_slice()[blob_off as usize..bend as usize]);
+                }
+                BlobReadU64 => {
+                    let off = self.pop()?;
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    self.accessible_blob(h)?;
+                    let blob = self.host.load_blob(h)?;
+                    let end = off.checked_add(8).ok_or_else(|| trap("offset overflow"))?;
+                    if end > blob.len() as u64 {
+                        return Err(trap(format!(
+                            "blob read_u64 at {off} out of bounds (len {})",
+                            blob.len()
+                        )));
+                    }
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&blob.as_slice()[off as usize..end as usize]);
+                    self.push(u64::from_le_bytes(b))?;
+                }
+                CreateBlob => {
+                    let len = self.pop()?;
+                    let mem_off = self.pop()?;
+                    self.burn(len / 8)?;
+                    let r = self.mem_range(mem_off, len)?;
+                    let data = self.memory[r].to_vec();
+                    let h = self.host.create_blob(data)?;
+                    let idx = self.push_handle(h)?;
+                    self.push(idx)?;
+                }
+                CreateBlobU64 => {
+                    let v = self.pop()?;
+                    let h = self.host.create_blob(v.to_le_bytes().to_vec())?;
+                    let idx = self.push_handle(h)?;
+                    self.push(idx)?;
+                }
+                TreeLen => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    self.accessible_tree(h)?;
+                    self.push(h.size())?;
+                }
+                TreeGet => {
+                    let i = self.pop()?;
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    self.accessible_tree(h)?;
+                    let tree = self.host.load_tree(h)?;
+                    let entry = tree.get(i as usize).ok_or(Error::BadSelection {
+                        target: h,
+                        begin: i,
+                        end: i + 1,
+                        len: tree.len() as u64,
+                    })?;
+                    let idx = self.push_handle(entry)?;
+                    self.push(idx)?;
+                }
+                TbPush => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    if self.builder.len() >= self.config.table_limit {
+                        return Err(trap("tree builder overflow"));
+                    }
+                    self.builder.push(h);
+                }
+                TbBuild => {
+                    let entries = std::mem::take(&mut self.builder);
+                    self.burn(entries.len() as u64)?;
+                    let h = self.host.create_tree(entries)?;
+                    let idx = self.push_handle(h)?;
+                    self.push(idx)?;
+                }
+                Application => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    let thunk = h.application()?;
+                    let idx = self.push_handle(thunk)?;
+                    self.push(idx)?;
+                }
+                Identification => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    let thunk = h.identification()?;
+                    let idx = self.push_handle(thunk)?;
+                    self.push(idx)?;
+                }
+                SelectionIdx => {
+                    let i = self.pop()?;
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    let def = fix_core::invocation::Selection::index(h, i).to_tree();
+                    let def_h = self.host.create_tree(def.entries().to_vec())?;
+                    let thunk = def_h.selection()?;
+                    let idx = self.push_handle(thunk)?;
+                    self.push(idx)?;
+                }
+                SelectionRange => {
+                    let end = self.pop()?;
+                    let begin = self.pop()?;
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    let def = fix_core::invocation::Selection::range(h, begin, end).to_tree();
+                    let def_h = self.host.create_tree(def.entries().to_vec())?;
+                    let thunk = def_h.selection()?;
+                    let idx = self.push_handle(thunk)?;
+                    self.push(idx)?;
+                }
+                Strict => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    let e = h.strict()?;
+                    let idx = self.push_handle(e)?;
+                    self.push(idx)?;
+                }
+                Shallow => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    let e = h.shallow()?;
+                    let idx = self.push_handle(e)?;
+                    self.push(idx)?;
+                }
+                KindOf => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    let code = match h.kind() {
+                        Kind::Object(DataType::Blob) => kind_code::BLOB_OBJECT,
+                        Kind::Object(DataType::Tree) => kind_code::TREE_OBJECT,
+                        Kind::Ref(DataType::Blob) => kind_code::BLOB_REF,
+                        Kind::Ref(DataType::Tree) => kind_code::TREE_REF,
+                        Kind::Thunk(_) => kind_code::THUNK,
+                        Kind::Encode(..) => kind_code::ENCODE,
+                    };
+                    self.push(code)?;
+                }
+                SizeOf => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    self.push(h.size())?;
+                }
+                EqHandle => {
+                    let bi = self.pop_idx()?;
+                    let b = self.handle_at(bi)?;
+                    let ai = self.pop_idx()?;
+                    let a = self.handle_at(ai)?;
+                    self.push((a == b) as u64)?;
+                }
+                RetHandle => {
+                    let idx = self.pop_idx()?;
+                    let h = self.handle_at(idx)?;
+                    return Ok(Outcome {
+                        result: h,
+                        fuel_used: self.config.fuel - self.fuel,
+                    });
+                }
+            }
+        }
+    }
+
+    fn pop_idx(&mut self) -> Result<u64> {
+        self.pop()
+    }
+
+    fn binop(&mut self, f: impl FnOnce(u64, u64) -> Result<u64>) -> Result<()> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let r = f(a, b)?;
+        self.push(r)
+    }
+}
+
+/// Test utilities: an in-memory [`HostApi`] backed by a hash map.
+pub mod testing {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A [`HostApi`] for unit tests and doc tests. Keeps every created or
+    /// inserted object in a map keyed by payload.
+    #[derive(Default)]
+    pub struct TestHost {
+        objects: HashMap<[u8; 32], fix_core::data::Node>,
+        /// Handles of every object the guest created, in creation order.
+        pub created: Vec<Handle>,
+    }
+
+    fn key(h: Handle) -> [u8; 32] {
+        let mut k = *h.raw();
+        k[30] = 0;
+        k
+    }
+
+    impl TestHost {
+        /// Registers a blob and returns its handle.
+        pub fn insert_blob(&mut self, blob: Blob) -> Handle {
+            let h = blob.handle();
+            self.objects
+                .insert(key(h), fix_core::data::Node::Blob(blob));
+            h
+        }
+
+        /// Registers a tree and returns its handle.
+        pub fn insert_tree(&mut self, tree: Tree) -> Handle {
+            let h = tree.handle();
+            self.objects
+                .insert(key(h), fix_core::data::Node::Tree(tree));
+            h
+        }
+    }
+
+    impl HostApi for TestHost {
+        fn load_blob(&mut self, handle: Handle) -> Result<Blob> {
+            if let Some(b) = fix_core::data::literal_blob(handle) {
+                return Ok(b);
+            }
+            self.objects
+                .get(&key(handle))
+                .ok_or(Error::NotFound(handle))?
+                .as_blob()
+                .cloned()
+        }
+
+        fn load_tree(&mut self, handle: Handle) -> Result<Tree> {
+            self.objects
+                .get(&key(handle))
+                .ok_or(Error::NotFound(handle))?
+                .as_tree()
+                .cloned()
+        }
+
+        fn create_blob(&mut self, data: Vec<u8>) -> Result<Handle> {
+            let blob = Blob::from_vec(data);
+            let h = self.insert_blob(blob);
+            self.created.push(h);
+            Ok(h)
+        }
+
+        fn create_tree(&mut self, entries: Vec<Handle>) -> Result<Handle> {
+            let tree = Tree::from_handles(entries);
+            let h = self.insert_tree(tree);
+            self.created.push(h);
+            Ok(h)
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A miniature tar-style archiver, for the `compression` SeBS port
+//! (paper §5.6).
+//!
+//! Format: magic `FIXAR01\0`, then per file: u16 name length, name,
+//! u64 size, bytes. No compression — the benchmark's cost is dominated
+//! by gathering the files, which is the part that exercises Flatware.
+
+use fix_core::data::Blob;
+use fix_core::error::{Error, Result};
+
+/// The archive magic bytes.
+pub const MAGIC: &[u8; 8] = b"FIXAR01\0";
+
+/// Creates an archive from `(name, contents)` pairs.
+pub fn create_archive(files: &[(String, Vec<u8>)]) -> Blob {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    for (name, contents) in files {
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(contents.len() as u64).to_le_bytes());
+        out.extend_from_slice(contents);
+    }
+    Blob::from_vec(out)
+}
+
+/// Extracts an archive back into `(name, contents)` pairs.
+pub fn extract_archive(blob: &Blob) -> Result<Vec<(String, Vec<u8>)>> {
+    let data = blob.as_slice();
+    let fail = |r: &str| Error::Trap(format!("malformed archive: {r}"));
+    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let mut pos = MAGIC.len();
+    let mut files = Vec::new();
+    while pos < data.len() {
+        if pos + 2 > data.len() {
+            return Err(fail("truncated name length"));
+        }
+        let name_len = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2;
+        if pos + name_len + 8 > data.len() {
+            return Err(fail("truncated header"));
+        }
+        let name = String::from_utf8(data[pos..pos + name_len].to_vec())
+            .map_err(|_| fail("name not UTF-8"))?;
+        pos += name_len;
+        let mut size_bytes = [0u8; 8];
+        size_bytes.copy_from_slice(&data[pos..pos + 8]);
+        let size = u64::from_le_bytes(size_bytes) as usize;
+        pos += 8;
+        if pos + size > data.len() {
+            return Err(fail("truncated contents"));
+        }
+        files.push((name, data[pos..pos + size].to_vec()));
+        pos += size;
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let files = vec![
+            ("a.txt".to_string(), b"hello".to_vec()),
+            ("dir/b.bin".to_string(), vec![0u8; 1000]),
+            ("empty".to_string(), vec![]),
+        ];
+        let blob = create_archive(&files);
+        assert_eq!(extract_archive(&blob).unwrap(), files);
+    }
+
+    #[test]
+    fn empty_archive() {
+        let blob = create_archive(&[]);
+        assert!(extract_archive(&blob).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(extract_archive(&Blob::from_slice(b"not an archive")).is_err());
+        let mut truncated = create_archive(&[("x".into(), vec![1, 2, 3])])
+            .as_slice()
+            .to_vec();
+        truncated.truncate(truncated.len() - 2);
+        assert!(extract_archive(&Blob::from_vec(truncated)).is_err());
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        let files = vec![("f".to_string(), b"data".to_vec())];
+        assert_eq!(
+            create_archive(&files).handle(),
+            create_archive(&files).handle()
+        );
+    }
+}

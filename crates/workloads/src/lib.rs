@@ -1,0 +1,28 @@
+//! `fix-workloads`: the paper's evaluation workloads, end to end.
+//!
+//! Every application the paper measures is implemented here twice over:
+//! once *for real* against the Fixpoint runtime (guest codelets, Fix
+//! trees, selections, encodes), and once as a [`fix_cluster::JobGraph`]
+//! generator for the simulated 10-node cluster:
+//!
+//! * [`corpus`] / [`wordcount`] — the Wikipedia count-string map-reduce
+//!   (Fig. 8b) and the one-off-function workload (Fig. 8a);
+//! * [`titles`] / [`bptree`] — the B+-tree key-value store over Fix
+//!   trees (Fig. 9 and Table 2);
+//! * [`compile`] — the burst-parallel compilation job with a real lexer
+//!   and linker (Fig. 10);
+//! * [`template`] / [`archive`] / [`sebs`] — the SeBS `dynamic-html` and
+//!   `compression` functions ported through Flatware (§5.6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod bptree;
+pub mod compile;
+pub mod corpus;
+pub mod mapreduce;
+pub mod sebs;
+pub mod template;
+pub mod titles;
+pub mod wordcount;

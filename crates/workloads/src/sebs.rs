@@ -1,0 +1,158 @@
+//! The two SeBS functions ported to Fix via Flatware (paper §5.6).
+//!
+//! * `dynamic-html` takes a user name, reads an HTML template from the
+//!   Flatware filesystem, and renders it with the template engine;
+//! * `compression` takes a directory ("bucket") name, gathers every file
+//!   in it through Flatware, and produces an archive.
+//!
+//! Porting shape matches the paper: inputs arrive as command-line
+//! arguments, data dependencies as files in a Flatware filesystem.
+
+use crate::archive::create_archive;
+use crate::template::{render, Context};
+use fix_core::error::Result;
+use fix_core::handle::Handle;
+use fixpoint::Runtime;
+use flatware::{register_posix_program, EntryKind};
+use std::sync::Arc;
+
+/// The HTML template shipped with the dynamic-html benchmark.
+pub const DYNAMIC_HTML_TEMPLATE: &str = r#"<!DOCTYPE html>
+<html>
+  <head><title>Randomly generated data.</title></head>
+  <body>
+    <p>Welcome {{ username }}!</p>
+    <p>Data generated at: {{ timestamp }}</p>
+    <ul>
+    {% for item in random_numbers %}<li>{{ item }}</li>
+    {% endfor %}</ul>
+  </body>
+</html>
+"#;
+
+/// Registers `dynamic-html`: argv = `[prog, username, n_items]`.
+///
+/// "Randomness" is deterministic (seeded from the username) because Fix
+/// procedures cannot consume nondeterminism — exactly the delineation
+/// the paper discusses in §6.
+pub fn register_dynamic_html(rt: &Runtime) -> Handle {
+    register_posix_program(
+        rt,
+        "sebs/dynamic-html",
+        Arc::new(|argv, world| {
+            let username = argv.get(1).cloned().unwrap_or_else(|| "guest".into());
+            let n: usize = argv.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+            let template_bytes = world.read_file("templates/template.html")?;
+            let template = String::from_utf8(template_bytes.as_slice().to_vec())
+                .map_err(|_| fix_core::Error::Trap("template not UTF-8".into()))?;
+
+            // Deterministic "random" numbers from the username.
+            let seed = fix_hash::hash(username.as_bytes());
+            let numbers: Vec<String> = (0..n)
+                .map(|i| {
+                    let b = seed[i % 32] as u64;
+                    ((b.wrapping_mul(2654435761) + i as u64) % 1_000_000).to_string()
+                })
+                .collect();
+
+            let mut ctx = Context::default();
+            ctx.set("username", username)
+                .set("timestamp", "1970-01-01T00:00:00Z")
+                .set_list("random_numbers", numbers);
+            let html = render(&template, &ctx)?;
+            world.print(&html);
+            Ok(0)
+        }),
+    )
+}
+
+/// Registers `compression`: argv = `[prog, bucket_dir]`; stdout is the
+/// archive bytes.
+pub fn register_compression(rt: &Runtime) -> Handle {
+    register_posix_program(
+        rt,
+        "sebs/compression",
+        Arc::new(|argv, world| {
+            let bucket = argv.get(1).cloned().unwrap_or_else(|| "bucket".into());
+            let entries = world.read_dir(&bucket)?;
+            let mut files = Vec::new();
+            for e in entries {
+                if e.kind == EntryKind::File {
+                    let contents = world.read_file(&format!("{bucket}/{}", e.name))?;
+                    files.push((e.name.clone(), contents.as_slice().to_vec()));
+                }
+            }
+            let archive = create_archive(&files);
+            world.write(archive.as_slice());
+            Ok(0)
+        }),
+    )
+}
+
+/// Builds the Flatware filesystem both benchmarks expect: the template
+/// under `templates/` and some bucket files to compress.
+pub fn build_sebs_fs(rt: &Runtime, bucket_files: &[(String, Vec<u8>)]) -> Result<Handle> {
+    let mut fs = flatware::FsBuilder::new();
+    fs.add_file(
+        "templates/template.html",
+        DYNAMIC_HTML_TEMPLATE.as_bytes().to_vec(),
+    )?;
+    for (name, contents) in bucket_files {
+        fs.add_file(&format!("bucket/{name}"), contents.clone())?;
+    }
+    Ok(fs.build(rt.store()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::extract_archive;
+    use flatware::run_program;
+
+    #[test]
+    fn dynamic_html_renders() {
+        let rt = Runtime::builder().build();
+        let root = build_sebs_fs(&rt, &[]).unwrap();
+        let prog = register_dynamic_html(&rt);
+        let (code, out) = run_program(&rt, prog, &["dynamic-html", "yuhan", "5"], root).unwrap();
+        assert_eq!(code, 0);
+        let html = String::from_utf8(out.as_slice().to_vec()).unwrap();
+        assert!(html.contains("Welcome yuhan!"), "{html}");
+        assert_eq!(html.matches("<li>").count(), 5);
+    }
+
+    #[test]
+    fn dynamic_html_is_deterministic_per_user() {
+        let rt = Runtime::builder().build();
+        let root = build_sebs_fs(&rt, &[]).unwrap();
+        let prog = register_dynamic_html(&rt);
+        let (_, a) = run_program(&rt, prog, &["p", "alice", "3"], root).unwrap();
+        let (_, b) = run_program(&rt, prog, &["p", "alice", "3"], root).unwrap();
+        let (_, c) = run_program(&rt, prog, &["p", "bob", "3"], root).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn compression_archives_the_bucket() {
+        let rt = Runtime::builder().build();
+        let files = vec![
+            ("one.txt".to_string(), b"first file".to_vec()),
+            ("two.bin".to_string(), vec![7u8; 500]),
+        ];
+        let root = build_sebs_fs(&rt, &files).unwrap();
+        let prog = register_compression(&rt);
+        let (code, out) = run_program(&rt, prog, &["compression", "bucket"], root).unwrap();
+        assert_eq!(code, 0);
+        let extracted = extract_archive(&fix_core::data::Blob::from_slice(out.as_slice())).unwrap();
+        assert_eq!(extracted, files);
+    }
+
+    #[test]
+    fn compression_of_missing_bucket_fails() {
+        let rt = Runtime::builder().build();
+        let root = build_sebs_fs(&rt, &[]).unwrap();
+        let prog = register_compression(&rt);
+        assert!(run_program(&rt, prog, &["compression", "nope"], root).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! A miniature Jinja-style template engine, for the `dynamic-html`
+//! SeBS port (paper §5.6).
+//!
+//! Supports exactly what the benchmark's template needs:
+//!
+//! * `{{ var }}` — variable substitution;
+//! * `{% for item in list %} ... {% endfor %}` — iteration, with
+//!   `{{ item }}` available in the body.
+//!
+//! Unknown variables render as empty strings, like Jinja's default.
+
+use fix_core::error::{Error, Result};
+use std::collections::BTreeMap;
+
+/// Template context: scalar variables and list variables.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    /// Scalar substitutions.
+    pub vars: BTreeMap<String, String>,
+    /// List substitutions (for `{% for %}`).
+    pub lists: BTreeMap<String, Vec<String>>,
+}
+
+impl Context {
+    /// Sets a scalar variable.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) -> &mut Self {
+        self.vars.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Sets a list variable.
+    pub fn set_list(&mut self, name: &str, values: Vec<String>) -> &mut Self {
+        self.lists.insert(name.to_string(), values);
+        self
+    }
+}
+
+/// Renders a template against a context.
+///
+/// # Examples
+///
+/// ```
+/// use fix_workloads::template::{render, Context};
+///
+/// let mut ctx = Context::default();
+/// ctx.set("name", "yuhan");
+/// ctx.set_list("items", vec!["a".into(), "b".into()]);
+/// let out = render(
+///     "<h1>{{ name }}</h1>{% for i in items %}<li>{{ i }}</li>{% endfor %}",
+///     &ctx,
+/// ).unwrap();
+/// assert_eq!(out, "<h1>yuhan</h1><li>a</li><li>b</li>");
+/// ```
+pub fn render(template: &str, ctx: &Context) -> Result<String> {
+    let mut out = String::with_capacity(template.len());
+    render_into(template, ctx, None, &mut out)?;
+    Ok(out)
+}
+
+/// Renders `template` with an optional loop binding into `out`.
+fn render_into(
+    template: &str,
+    ctx: &Context,
+    binding: Option<(&str, &str)>,
+    out: &mut String,
+) -> Result<()> {
+    let mut rest = template;
+    while let Some(open) = rest
+        .find("{{")
+        .map(|i| (i, false))
+        .into_iter()
+        .chain(rest.find("{%").map(|i| (i, true)))
+        .min()
+    {
+        let (idx, is_block) = open;
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        if !is_block {
+            // {{ var }}
+            let close = rest
+                .find("}}")
+                .ok_or_else(|| Error::Trap("unclosed '{{'".into()))?;
+            let name = rest[2..close].trim();
+            if let Some((bound, value)) = binding {
+                if name == bound {
+                    out.push_str(value);
+                    rest = &rest[close + 2..];
+                    continue;
+                }
+            }
+            if let Some(v) = ctx.vars.get(name) {
+                out.push_str(v);
+            }
+            rest = &rest[close + 2..];
+        } else {
+            // {% for x in list %} body {% endfor %}
+            let close = rest
+                .find("%}")
+                .ok_or_else(|| Error::Trap("unclosed '{%'".into()))?;
+            let directive = rest[2..close].trim().to_string();
+            rest = &rest[close + 2..];
+            let mut parts = directive.split_whitespace();
+            match parts.next() {
+                Some("for") => {
+                    let var = parts
+                        .next()
+                        .ok_or_else(|| Error::Trap("for needs a variable".into()))?
+                        .to_string();
+                    if parts.next() != Some("in") {
+                        return Err(Error::Trap("for syntax: for X in LIST".into()));
+                    }
+                    let list_name = parts
+                        .next()
+                        .ok_or_else(|| Error::Trap("for needs a list".into()))?;
+                    let end = rest
+                        .find("{% endfor %}")
+                        .ok_or_else(|| Error::Trap("missing {% endfor %}".into()))?;
+                    let body = &rest[..end];
+                    let empty = Vec::new();
+                    let items = ctx.lists.get(list_name).unwrap_or(&empty);
+                    for item in items {
+                        render_into(body, ctx, Some((&var, item)), out)?;
+                    }
+                    rest = &rest[end + "{% endfor %}".len()..];
+                }
+                Some("endfor") => {
+                    return Err(Error::Trap("unexpected {% endfor %}".into()));
+                }
+                other => {
+                    return Err(Error::Trap(format!("unknown directive {other:?}")));
+                }
+            }
+        }
+    }
+    out.push_str(rest);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_passes_through() {
+        let ctx = Context::default();
+        assert_eq!(render("hello world", &ctx).unwrap(), "hello world");
+    }
+
+    #[test]
+    fn unknown_variables_render_empty() {
+        let ctx = Context::default();
+        assert_eq!(render("[{{ missing }}]", &ctx).unwrap(), "[]");
+    }
+
+    #[test]
+    fn variables_substitute() {
+        let mut ctx = Context::default();
+        ctx.set("user", "keith").set("n", "42");
+        assert_eq!(
+            render("{{ user }} has {{ n }} items", &ctx).unwrap(),
+            "keith has 42 items"
+        );
+    }
+
+    #[test]
+    fn loops_iterate() {
+        let mut ctx = Context::default();
+        ctx.set_list("xs", vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(
+            render("{% for x in xs %}({{ x }}){% endfor %}", &ctx).unwrap(),
+            "(1)(2)(3)"
+        );
+    }
+
+    #[test]
+    fn loop_body_can_use_outer_vars() {
+        let mut ctx = Context::default();
+        ctx.set("sep", "-");
+        ctx.set_list("xs", vec!["a".into(), "b".into()]);
+        assert_eq!(
+            render("{% for x in xs %}{{ x }}{{ sep }}{% endfor %}", &ctx).unwrap(),
+            "a-b-"
+        );
+    }
+
+    #[test]
+    fn empty_list_renders_nothing() {
+        let mut ctx = Context::default();
+        ctx.set_list("xs", vec![]);
+        assert_eq!(
+            render("a{% for x in xs %}X{% endfor %}b", &ctx).unwrap(),
+            "ab"
+        );
+    }
+
+    #[test]
+    fn errors_on_malformed_templates() {
+        let ctx = Context::default();
+        assert!(render("{{ oops", &ctx).is_err());
+        assert!(render("{% for x in xs %}no end", &ctx).is_err());
+        assert!(render("{% endfor %}", &ctx).is_err());
+        assert!(render("{% frob %}", &ctx).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! The simulated 10-node cluster (Figs. 8a/8b in miniature): run the
+//! count-string workload under the Fix engine and its ablations, plus
+//! the Ray and OpenWhisk baselines, and print the comparison.
+//!
+//! Run with: `cargo run --release --example cluster_sim [n_shards]`
+
+use fix::baselines::{profiles, run_baseline, CostModel};
+use fix::cluster::{run_fix, Binding, ClusterSetup, FixConfig, Placement};
+use fix::netsim::{NetConfig, NodeId, NodeSpec};
+use fix::workloads::wordcount::{fig8b_graph, Fig8bParams};
+
+fn main() {
+    let n_shards: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(246);
+
+    let params = Fig8bParams {
+        n_shards,
+        ..Fig8bParams::default()
+    };
+    let graph = fig8b_graph(&params);
+    println!(
+        "workload: {} map tasks + {} merges over {:.1} GiB of shards\n",
+        n_shards,
+        n_shards - 1,
+        graph.total_input_bytes() as f64 / (1 << 30) as f64
+    );
+
+    let workers: Vec<NodeId> = (0..10).map(NodeId).collect();
+    let setup = ClusterSetup {
+        specs: vec![NodeSpec::default(); 12],
+        net: NetConfig::default().with_bandwidth_bps(300_000_000),
+        workers: workers.clone(),
+        client: None,
+    };
+    let cost = CostModel::default();
+
+    println!("{:<42} {:>10} {:>12}", "system", "time", "CPU waiting");
+    let show = |name: &str, r: &fix::cluster::RunReport| {
+        println!(
+            "{:<42} {:>8.2} s {:>11.0}%",
+            name,
+            r.makespan_secs(),
+            r.cpu.waiting_percent()
+        );
+    };
+
+    show("Fixpoint", &run_fix(&setup, &graph, &FixConfig::default()));
+    show(
+        "Fixpoint (no locality)",
+        &run_fix(
+            &setup,
+            &graph,
+            &FixConfig {
+                placement: Placement::Random,
+                ..FixConfig::default()
+            },
+        ),
+    );
+    show(
+        "Fixpoint (no locality + internal I/O)",
+        &run_fix(
+            &setup,
+            &graph,
+            &FixConfig {
+                placement: Placement::Random,
+                binding: Binding::Early,
+                ..FixConfig::default()
+            },
+        ),
+    );
+    show(
+        "Ray (continuation-passing)",
+        &run_baseline(&setup, &graph, &profiles::ray_cps(NodeId(11), &cost)),
+    );
+    show(
+        "Ray (blocking)",
+        &run_baseline(&setup, &graph, &profiles::ray_blocking(NodeId(11), &cost)),
+    );
+    show(
+        "OpenWhisk + MinIO + K8s",
+        &run_baseline(&setup, &graph, &profiles::openwhisk(&workers, &cost)),
+    );
+    println!("\n(see `cargo run -p fix-bench --bin figures` for the full paper tables)");
+}

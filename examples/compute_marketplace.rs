@@ -1,0 +1,121 @@
+//! A commodity compute market (paper §6): bid a Fix job out to
+//! competing providers, double-check the cheapest answer, and settle
+//! wrong-answer insurance.
+//!
+//! The job ships as a self-contained parcel — sandboxed FixVM code plus
+//! content-addressed inputs — so any provider can evaluate it with no
+//! prior arrangement, and every answer is a 32-byte handle comparable
+//! across administrative domains.
+//!
+//! Run with: `cargo run --example compute_marketplace`
+
+use fix::prelude::*;
+use fix_attest::{Behavior, CheckPolicy, InsurancePolicy, Marketplace, Provider};
+use fix_billing::Money;
+
+/// Builds the customer's job: SHA-like digest chain over an input blob
+/// (here: iterated squaring mod 2^64 — enough to be "real work"), as a
+/// self-contained parcel.
+fn build_job(x: u64, rounds: u64) -> Result<Vec<u8>> {
+    let rt = Runtime::builder().build();
+    let iterate = rt.install_vm_module(
+        r#"
+        func apply args=0 locals=2
+          const 0
+          const 2
+          tree.get
+          const 0
+          blob.read_u64
+          local.set 0
+          const 0
+          const 3
+          tree.get
+          const 0
+          blob.read_u64
+          local.set 1
+        loop:
+          local.get 1
+          eqz
+          jump_if done
+          local.get 0
+          local.get 0
+          mul
+          const 1
+          add
+          local.set 0
+          local.get 1
+          const 1
+          sub
+          local.set 1
+          jump loop
+        done:
+          local.get 0
+          blob.create_u64
+          ret_handle
+        end
+        "#,
+    )?;
+    let thunk = rt.apply(
+        ResourceLimits::default_limits(),
+        iterate,
+        &[
+            rt.put_blob(Blob::from_u64(x)),
+            rt.put_blob(Blob::from_u64(rounds)),
+        ],
+    )?;
+    Ok(rt.store().export(thunk)?.to_bytes())
+}
+
+fn main() -> Result<()> {
+    // Three providers: the cheapest one is unreliable.
+    let mut market = Marketplace::new(
+        vec![
+            Provider::new("BudgetCloud", Money::from_micros(12), Behavior::WrongEvery(2)),
+            Provider::new("SteadyCompute", Money::from_micros(30), Behavior::Honest),
+            Provider::new("PremiumGrid", Money::from_micros(85), Behavior::Honest),
+        ],
+        InsurancePolicy {
+            payout_per_wrong_answer: Money::from_dollars(10),
+        },
+    );
+
+    println!("== job 1: trust the cheapest bid ==");
+    let job = build_job(123_456_789, 10_000)?;
+    let out = market.submit(&job, CheckPolicy::TrustCheapest)?;
+    println!("paid {} — answer {}", out.paid, out.result);
+    println!("(one attestation, nobody checked it)\n");
+
+    println!("== job 2: replicate on the two cheapest ==");
+    let out = market.submit(&job, CheckPolicy::Replicate(2))?;
+    println!(
+        "disputed: {} — {} attestations gathered, paid {}",
+        out.disputed,
+        out.attestations.len(),
+        out.paid
+    );
+    for att in &out.attestations {
+        let verdict = if att.result == out.result { "✓" } else { "✗ WRONG" };
+        println!("  {verdict} {att}");
+    }
+    for claim in &out.claims {
+        println!(
+            "  insurance: {} owes {} for signing a wrong answer",
+            claim.provider, claim.payout
+        );
+    }
+
+    // Fetch the winning bytes; content addressing means no provider can
+    // serve different data for the attested handle.
+    let customer = Runtime::builder().build();
+    let result = market.fetch(&out, &customer)?;
+    println!(
+        "\nfetched result: {} = {}",
+        result,
+        customer.get_u64(result)?
+    );
+    println!(
+        "claims on file across the market: {}",
+        market.claims().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the Fix programming model in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fix::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    // A Fixpoint node: content-addressed storage + evaluator.
+    let rt = Runtime::builder().build();
+
+    // --- Data: Blobs and Trees, named by 256-bit Handles. -------------
+    let hello = rt.put_blob(Blob::from_slice(b"hello"));
+    println!("blob handle:  {hello}   (≤30 bytes ⇒ stored inline as a literal)");
+
+    let big = rt.put_blob(Blob::from_vec(vec![7u8; 4096]));
+    println!("blob handle:  {big}   (digest-addressed)");
+
+    let tree = rt.put_tree(Tree::from_handles(vec![hello, big]));
+    println!("tree handle:  {tree}");
+
+    // --- Procedures: deterministic functions of their inputs. ---------
+    // Native codelets are Rust; FixVM codelets are sandboxed bytecode.
+    let shout = rt.register_native(
+        "shout",
+        Arc::new(|ctx| {
+            let text = ctx.arg_blob(0)?;
+            let upper: Vec<u8> = text.as_slice().iter().map(u8::to_ascii_uppercase).collect();
+            ctx.host.create_blob(upper)
+        }),
+    );
+
+    // --- Thunks: deferred invocations; nothing runs yet. ---------------
+    let thunk = rt.apply(ResourceLimits::default_limits(), shout, &[hello])?;
+    println!("thunk:        {thunk}   (describes shout(\"hello\"), unevaluated)");
+
+    // The platform knows the exact data footprint *before* running:
+    let fp = rt.footprint(thunk)?;
+    println!(
+        "footprint:    {} objects, {} bytes, complete={}",
+        fp.objects.len(),
+        fp.total_bytes,
+        fp.is_complete()
+    );
+
+    // --- Evaluation: the runtime performs all I/O and runs the code. --
+    let result = rt.eval(thunk)?;
+    println!(
+        "result:       {:?}",
+        String::from_utf8_lossy(rt.get_blob(result)?.as_slice())
+    );
+
+    // --- Determinism ⇒ memoization: the second eval is a cache hit. ---
+    let runs = |rt: &Runtime| {
+        rt.engine()
+            .stats
+            .procedures_run
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
+    let before = runs(&rt);
+    rt.eval(thunk)?;
+    println!(
+        "memoized:     second eval ran {} procedures (result comes from the relation cache)",
+        runs(&rt) - before
+    );
+
+    // --- Laziness: encode only what you need. --------------------------
+    // A selection thunk names one entry of the tree without touching the
+    // rest — the "pinpoint data dependency" of the paper.
+    let pick = rt.select(tree, 0)?;
+    let picked = rt.eval(pick)?;
+    assert_eq!(picked, hello);
+    println!("selection:    tree[0] == {picked}");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! # Fix — externalizing network I/O in serverless computing
+//!
+//! A from-scratch Rust reproduction of the EuroSys '26 paper. Users,
+//! programs, and the platform share one representation of a computation:
+//! a deterministic procedure applied to content-addressed data (or the
+//! outputs of other computations). Data movement is performed
+//! exclusively by the platform, which uses its visibility into dataflow
+//! to place and schedule work.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] — the Fix ABI: 256-bit Handles, Blobs/Trees,
+//!   Thunks/Encodes, resource limits, footprint analysis;
+//! * [`hash`] — BLAKE3, implemented from scratch;
+//! * [`storage`] — the content-addressed store and the
+//!   memoized relation cache;
+//! * [`vm`] — the deterministic guest bytecode VM (the paper's
+//!   Wasm-codelet substitute) and its assembler;
+//! * [`runtime`] — Fixpoint: the single-node runtime;
+//! * [`netsim`] / [`cluster`] /
+//!   [`baselines`] — the simulated 10-node cluster, the
+//!   distributed Fix engine, and the comparator systems;
+//! * [`flatware`] — the Unix-like filesystem layer;
+//! * [`workloads`] — every workload of the paper's
+//!   evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use fix::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::builder().build();
+//! let double = rt.register_native("double", Arc::new(|ctx| {
+//!     let x = ctx.arg_blob(0)?.as_u64().unwrap();
+//!     ctx.host.create_blob((2 * x).to_le_bytes().to_vec())
+//! }));
+//! let thunk = rt
+//!     .apply(ResourceLimits::default_limits(), double,
+//!            &[rt.put_blob(Blob::from_u64(21))])
+//!     .unwrap();
+//! assert_eq!(rt.get_u64(rt.eval(thunk).unwrap()).unwrap(), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fix_baselines as baselines;
+pub use fix_cluster as cluster;
+pub use fix_core as core;
+pub use fix_hash as hash;
+pub use fix_netsim as netsim;
+pub use fix_storage as storage;
+pub use fix_vm as vm;
+pub use fix_workloads as workloads;
+pub use fixpoint as runtime;
+pub use flatware;
+
+/// The most common imports for writing Fix programs.
+pub mod prelude {
+    pub use fix_core::data::{Blob, Node, Tree};
+    pub use fix_core::handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};
+    pub use fix_core::invocation::{build, Invocation, Selection};
+    pub use fix_core::limits::ResourceLimits;
+    pub use fix_core::{Error, Result};
+    pub use fixpoint::{NativeCtx, Runtime};
+}
