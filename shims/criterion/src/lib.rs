@@ -1,0 +1,138 @@
+//! Offline stand-in for `criterion`: the `criterion_group!` /
+//! `criterion_main!` harness surface with a simple measured-median
+//! timer instead of criterion's statistical machinery.
+//!
+//! The registry is unreachable in this build environment, so the real
+//! crate cannot be fetched. Bench binaries compile and run: each
+//! `bench_function` is warmed up, then timed over a handful of batches,
+//! and the per-iteration median is printed. Good enough to spot
+//! order-of-magnitude regressions by hand; swap in real criterion when
+//! a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement context handed to each benchmark closure.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing a median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and calibration of the batch size to ~2 ms.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(20) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per = start.elapsed() / warm_iters.max(1) as u32;
+        let batch = (Duration::from_millis(2).as_nanos() / per.as_nanos().max(1)).max(1) as u64;
+
+        let mut samples = Vec::with_capacity(9);
+        for _ in 0..9 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { last: None };
+        f(&mut b);
+        let median = b.last.unwrap_or_default();
+        match self.throughput {
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                let gibps =
+                    n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+                println!("{}/{id}: {median:?}/iter ({gibps:.2} GiB/s)", self.name);
+            }
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                let eps = n as f64 / median.as_secs_f64();
+                println!("{}/{id}: {median:?}/iter ({eps:.0} elem/s)", self.name);
+            }
+            _ => println!("{}/{id}: {median:?}/iter", self.name),
+        }
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group runner compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,519 @@
+//! Offline stand-in for `proptest`: the subset of the API this
+//! workspace's property tests use, with deterministic per-test random
+//! streams and **no shrinking** (a failing case panics with its seed
+//! context instead of minimizing).
+//!
+//! The registry is unreachable in this build environment, so the real
+//! crate cannot be fetched. The surface kept compatible:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`prelude`] with [`Strategy`](strategy::Strategy), `any::<T>()`,
+//!   `prop_assert!` / `prop_assert_eq!`,
+//! * [`collection`] (`vec`, `hash_map`, `btree_set`),
+//! * `&str` regex-subset strategies (char classes + `{m,n}` repeats),
+//! * [`sample::Index`].
+//!
+//! Streams are a pure function of (test path, case number), so failures
+//! reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+/// Test-runner configuration and the deterministic RNG.
+pub mod test_runner {
+    /// How many cases each property runs, etc.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // The real crate defaults to 256; 64 keeps offline CI quick
+            // while still exercising the size boundaries that matter.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case random stream (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The stream for case `case` of the test named `path`.
+        pub fn for_case(path: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64) << 32 | 0x9E37_79B9),
+            }
+        }
+
+        /// The next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform sample below `bound` (which must be nonzero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps generated text debuggable.
+            (0x20 + rng.below(0x5f) as u8) as char
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeSet, HashMap};
+    use std::ops::Range;
+
+    /// A half-open range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi, "empty size range");
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashMap<K::Value, V::Value>`.
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `HashMap`s of `size` entries with keys from `key`, values from `value`.
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V> {
+        HashMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: std::hash::Hash + Eq,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut out = HashMap::with_capacity(n);
+            // Key collisions shrink the map; retry so the requested size
+            // is honored, and fail loudly (like the real crate's
+            // generation give-up) rather than silently under-filling if
+            // the key domain is too narrow.
+            let mut attempts = 0;
+            while out.len() < n {
+                assert!(
+                    attempts < 100 * n + 256,
+                    "hash_map strategy could not reach size {n}: key domain too narrow"
+                );
+                out.insert(self.key.sample(rng), self.value.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet`s of `size` elements drawn from `elem`.
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n {
+                assert!(
+                    attempts < 100 * n + 256,
+                    "btree_set strategy could not reach size {n}: element domain too narrow"
+                );
+                out.insert(self.elem.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Selection helpers.
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is unknown at
+    /// generation time; resolve with [`Index::index`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This index resolved against a collection of `len` elements.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// String strategies from a regex subset (char classes + repeats).
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// One parsed regex atom: a choice of chars and a repeat range.
+    #[derive(Clone, Debug)]
+    pub struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the supported regex subset: literals, `[...]` classes
+    /// with ranges, and `{n}` / `{m,n}` / `?` / `+` / `*` quantifiers.
+    pub fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated char class")
+                    + i;
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                set
+            } else {
+                let c = if chars[i] == '\\' {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                    None => {
+                        let n: usize = body.trim().parse().unwrap();
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '?' || chars[i] == '*' || chars[i] == '+') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '?' => (0, 1),
+                    '*' => (0, 8),
+                    _ => (1, 8),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!set.is_empty(), "empty char class");
+            atoms.push(Atom { chars: set, min, max });
+        }
+        atoms
+    }
+
+    /// Generates one string matching the parsed pattern.
+    pub fn generate(atoms: &[Atom], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// The usual imports for writing properties.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a boolean property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { .. }`
+/// becomes a `#[test]` that runs `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__path, __case);
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    let __result = ::std::panic::catch_unwind(
+                        ::core::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(__panic) = __result {
+                        eprintln!(
+                            "proptest shim: case {}/{} of {} failed \
+                             (streams are deterministic: re-running reproduces it)",
+                            __case + 1, __cfg.cases, __path,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn custom() -> impl Strategy<Value = (u64, String)> {
+        (1u64..10, "[a-z]{1,3}").prop_map(|(n, s)| (n * 2, s))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections(
+            n in 3u64..9,
+            v in crate::collection::vec(any::<u8>(), 2..5),
+            s in crate::collection::btree_set("[a-z]{1,8}", 2..6),
+            pick in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(s.len() >= 2 && s.len() < 6);
+            prop_assert!(s.iter().all(|w| !w.is_empty() && w.len() <= 8));
+            prop_assert!(pick.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn mapped_tuples((n, s) in custom()) {
+            prop_assert!(n % 2 == 0 && n >= 2);
+            prop_assert!((1..=3).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let atoms = crate::string::parse("[a-z][a-z0-9_.]{0,8}");
+        let mut rng = crate::test_runner::TestRng::for_case("regex", 0);
+        for _ in 0..200 {
+            let s = crate::string::generate(&atoms, &mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s.len() <= 9);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let atoms = crate::string::parse("[A-Z]{4}");
+        let mut a = crate::test_runner::TestRng::for_case("det", 3);
+        let mut b = crate::test_runner::TestRng::for_case("det", 3);
+        assert_eq!(
+            crate::string::generate(&atoms, &mut a),
+            crate::string::generate(&atoms, &mut b)
+        );
+    }
+}
