@@ -189,9 +189,8 @@ impl Marketplace {
             paid += extra;
             atts.extend(more);
         }
-        let (result, losers) = Self::majority(&atts).ok_or_else(|| {
-            Error::Trap("market-wide tie: no majority answer".into())
-        })?;
+        let (result, losers) = Self::majority(&atts)
+            .ok_or_else(|| Error::Trap("market-wide tie: no majority answer".into()))?;
 
         let claims: Vec<Claim> = losers
             .iter()
@@ -292,7 +291,11 @@ mod tests {
     fn market(shady_every: u64) -> Marketplace {
         Marketplace::new(
             vec![
-                Provider::new("Budget", Money::from_micros(10), Behavior::WrongEvery(shady_every)),
+                Provider::new(
+                    "Budget",
+                    Money::from_micros(10),
+                    Behavior::WrongEvery(shady_every),
+                ),
                 Provider::new("Mid", Money::from_micros(25), Behavior::Honest),
                 Provider::new("Premium", Money::from_micros(90), Behavior::Honest),
             ],

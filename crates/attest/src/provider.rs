@@ -99,12 +99,7 @@ impl Provider {
                 self.runtime.put_blob(Blob::from_vec(bogus))
             }
         };
-        Ok(Attestation::sign(
-            root,
-            result,
-            self.id.clone(),
-            &self.key,
-        ))
+        Ok(Attestation::sign(root, result, self.id.clone(), &self.key))
     }
 
     /// Serves the bytes behind a previously-attested result.

@@ -73,7 +73,10 @@ impl Attestation {
     /// Checks the MAC against a verification key. Constant content, so
     /// any alteration of thunk, result, or provider invalidates it.
     pub fn verify(&self, key: &[u8; 32]) -> bool {
-        let expect = keyed_hash(key, &statement_bytes(self.thunk, self.result, &self.provider));
+        let expect = keyed_hash(
+            key,
+            &statement_bytes(self.thunk, self.result, &self.provider),
+        );
         // Fixed 32-byte comparison; not secret-dependent in length.
         expect == self.mac
     }

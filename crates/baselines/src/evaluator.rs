@@ -1,0 +1,282 @@
+//! [`BaselineEvaluator`]: a comparator system behind the One Fix API.
+//!
+//! The third implementation of the `fix_core::api` trait family: the
+//! same workload that runs on `fixpoint::Runtime` (for real) and
+//! `fix_cluster::ClusterClient` (Fix engine over netsim) runs here under
+//! a baseline [`Profile`] — OpenWhisk, Ray, Pheromone, Faasm — so every
+//! generic workload is automatically a cost-model row for every
+//! comparator. Results stay bit-identical (semantics come from the
+//! embedded Fix node); what differs is the [`RunReport`] each request
+//! accumulates: dispatch round trips, store GET/PUTs, cold starts, and
+//! early-binding stalls, per the profile.
+
+use crate::engine::{run_baseline, Profile};
+use fix_cluster::{ClientCore, ClusterSetup, JobGraph, RunReport};
+use fix_core::api::{Evaluator, InvocationApi, NativeFn, ObjectApi};
+use fix_core::data::{Blob, Tree};
+use fix_core::error::{Error, Result};
+use fix_core::handle::Handle;
+use fix_core::semantics::Footprint;
+use fix_netsim::Time;
+use fixpoint::Runtime;
+
+/// A Fix client whose evaluations are costed under a baseline profile.
+///
+/// # Examples
+///
+/// ```
+/// use fix_baselines::{profiles, BaselineEvaluator, CostModel};
+/// use fix_core::api::{Evaluator, InvocationApi, ObjectApi};
+/// use fix_core::data::Blob;
+/// use fix_core::limits::ResourceLimits;
+/// use fix_netsim::NodeId;
+/// use std::sync::Arc;
+///
+/// let profile = profiles::ray_cps(NodeId(9), &CostModel::default());
+/// let rb = BaselineEvaluator::builder().profile(profile).build().unwrap();
+/// let double = rb.register_native("double", Arc::new(|ctx| {
+///     let x = ctx.arg_blob(0)?.as_u64().unwrap();
+///     ctx.host.create_blob((2 * x).to_le_bytes().to_vec())
+/// }));
+/// let thunk = rb.apply(
+///     ResourceLimits::default_limits(),
+///     double,
+///     &[rb.put_blob(Blob::from_u64(21))],
+/// ).unwrap();
+/// assert_eq!(rb.get_u64(rb.eval(thunk).unwrap()).unwrap(), 42);
+/// assert!(rb.last_report().unwrap().makespan_us > 0);
+/// ```
+pub struct BaselineEvaluator {
+    core: ClientCore,
+    profile: Profile,
+}
+
+/// Configures a [`BaselineEvaluator`].
+pub struct BaselineEvaluatorBuilder {
+    setup: ClusterSetup,
+    profile: Option<Profile>,
+    task_compute_us: Time,
+}
+
+impl Default for BaselineEvaluatorBuilder {
+    fn default() -> Self {
+        BaselineEvaluatorBuilder {
+            setup: ClusterSetup::workers_only(
+                10,
+                fix_netsim::NodeSpec::default(),
+                fix_netsim::NetConfig::default(),
+            ),
+            profile: None,
+            task_compute_us: 100,
+        }
+    }
+}
+
+impl BaselineEvaluatorBuilder {
+    /// The simulated cluster to cost against (default: ten homogeneous
+    /// workers).
+    pub fn setup(mut self, setup: ClusterSetup) -> Self {
+        self.setup = setup;
+        self
+    }
+
+    /// The baseline profile to run under (required; see
+    /// [`crate::profiles`]).
+    pub fn profile(mut self, profile: Profile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Modeled compute time per simulated task, in µs (default 100).
+    pub fn task_compute_us(mut self, us: Time) -> Self {
+        self.task_compute_us = us;
+        self
+    }
+
+    /// Builds the evaluator.
+    pub fn build(self) -> Result<BaselineEvaluator> {
+        let profile = self.profile.ok_or(Error::Backend {
+            backend: "baseline",
+            message: "no profile configured (see fix_baselines::profiles)".into(),
+        })?;
+        Ok(BaselineEvaluator {
+            core: ClientCore::new("baseline", self.setup, self.task_compute_us, false)?,
+            profile,
+        })
+    }
+}
+
+impl BaselineEvaluator {
+    /// Starts building a baseline evaluator.
+    pub fn builder() -> BaselineEvaluatorBuilder {
+        BaselineEvaluatorBuilder::default()
+    }
+
+    /// The profile this evaluator costs against.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The embedded Fix node.
+    pub fn inner(&self) -> &Runtime {
+        self.core.inner()
+    }
+
+    /// Reports of every simulated run so far, in submission order.
+    pub fn reports(&self) -> Vec<RunReport> {
+        self.core.reports()
+    }
+
+    /// The most recent simulated run, if any.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.core.last_report()
+    }
+
+    /// The baseline engine under this profile, as a graph runner.
+    fn runner(&self) -> impl Fn(&ClusterSetup, &JobGraph) -> RunReport + '_ {
+        |setup, graph| run_baseline(setup, graph, &self.profile)
+    }
+}
+
+impl ObjectApi for BaselineEvaluator {
+    fn put_blob(&self, blob: Blob) -> Handle {
+        self.inner().put_blob(blob)
+    }
+
+    fn put_tree(&self, tree: Tree) -> Handle {
+        self.inner().put_tree(tree)
+    }
+
+    fn get_blob(&self, handle: Handle) -> Result<Blob> {
+        self.inner().get_blob(handle)
+    }
+
+    fn get_tree(&self, handle: Handle) -> Result<Tree> {
+        self.inner().get_tree(handle)
+    }
+
+    fn contains(&self, handle: Handle) -> bool {
+        self.inner().store().contains(handle)
+    }
+}
+
+impl InvocationApi for BaselineEvaluator {
+    fn register_native(&self, name: &str, f: NativeFn) -> Handle {
+        self.inner().register_native(name, f)
+    }
+}
+
+impl Evaluator for BaselineEvaluator {
+    fn eval(&self, handle: Handle) -> Result<Handle> {
+        self.core.eval_with(handle, &self.runner())
+    }
+
+    fn eval_strict(&self, handle: Handle) -> Result<Handle> {
+        self.core.eval_strict_with(handle, &self.runner())
+    }
+
+    fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
+        self.core.eval_many_with(handles, &self.runner())
+    }
+
+    fn footprint(&self, thunk: Handle) -> Result<Footprint> {
+        self.inner().footprint(thunk)
+    }
+
+    fn procedures_run(&self) -> u64 {
+        self.inner().procedures_run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::CostModel;
+    use fix_core::limits::ResourceLimits;
+    use fix_netsim::NodeId;
+    use std::sync::Arc;
+
+    fn add_thunk(rb: &BaselineEvaluator, a: u64, b: u64) -> Handle {
+        let add = rb.register_native(
+            "add",
+            Arc::new(|ctx| {
+                let a = ctx.arg_blob(0)?.as_u64().unwrap();
+                let b = ctx.arg_blob(1)?.as_u64().unwrap();
+                ctx.host
+                    .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+            }),
+        );
+        rb.apply(
+            ResourceLimits::default_limits(),
+            add,
+            &[
+                rb.put_blob(Blob::from_u64(a)),
+                rb.put_blob(Blob::from_u64(b)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn requires_a_profile() {
+        assert!(matches!(
+            BaselineEvaluator::builder().build(),
+            Err(Error::Backend { .. })
+        ));
+    }
+
+    #[test]
+    fn costs_under_the_profile_and_agrees_on_results() {
+        let rb = BaselineEvaluator::builder()
+            .profile(profiles::openwhisk(&[NodeId(0)], &CostModel::default()))
+            .build()
+            .unwrap();
+        let t = add_thunk(&rb, 40, 2);
+        let out = rb.eval(t).unwrap();
+        assert_eq!(rb.get_u64(out).unwrap(), 42);
+        let report = rb.last_report().unwrap();
+        assert_eq!(report.tasks_run, 1);
+        // OpenWhisk's 30.7 ms per-invocation overhead dominates.
+        assert!(report.makespan_us > 10_000, "{}", report.makespan_us);
+    }
+
+    #[test]
+    fn slower_profiles_cost_more_than_the_fix_engine() {
+        let cc = fix_cluster::ClusterClient::builder().build().unwrap();
+        let t_fix = {
+            let add = cc.register_native(
+                "add",
+                Arc::new(|ctx| {
+                    let a = ctx.arg_blob(0)?.as_u64().unwrap();
+                    let b = ctx.arg_blob(1)?.as_u64().unwrap();
+                    ctx.host
+                        .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+                }),
+            );
+            let t = cc
+                .apply(
+                    ResourceLimits::default_limits(),
+                    add,
+                    &[
+                        cc.put_blob(Blob::from_u64(1)),
+                        cc.put_blob(Blob::from_u64(2)),
+                    ],
+                )
+                .unwrap();
+            cc.eval(t).unwrap();
+            cc.last_report().unwrap().makespan_us
+        };
+        let rb = BaselineEvaluator::builder()
+            .profile(profiles::ray_blocking(NodeId(9), &CostModel::default()))
+            .build()
+            .unwrap();
+        let t = add_thunk(&rb, 1, 2);
+        rb.eval(t).unwrap();
+        let t_ray = rb.last_report().unwrap().makespan_us;
+        assert!(
+            t_ray > t_fix,
+            "ray (blocking) {t_ray} µs should exceed fix {t_fix} µs"
+        );
+    }
+}

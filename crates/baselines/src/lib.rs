@@ -9,16 +9,22 @@
 //! `fix-netsim` cluster the Fix engine uses. Per-invocation costs are
 //! calibrated from the paper's own Fig. 7a measurements
 //! ([`CostModel`]); see DESIGN.md for the substitution argument.
+//!
+//! [`BaselineEvaluator`] puts a profile behind the backend-agnostic
+//! `fix_core::api` traits, so any workload written against the One Fix
+//! API can be costed under a comparator without modification.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cost;
 mod engine;
+mod evaluator;
 pub mod profiles;
 
 pub use cost::CostModel;
 pub use engine::{run_baseline, Profile};
+pub use evaluator::{BaselineEvaluator, BaselineEvaluatorBuilder};
 
 #[cfg(test)]
 mod tests {

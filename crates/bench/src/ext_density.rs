@@ -19,7 +19,13 @@ pub fn run(n_apps: usize) -> String {
     writeln!(
         out,
         "{:>12} {:<16} {:>9} {:>9} {:>14} {:>13} {:>12}",
-        "arrival µs", "admission", "admitted", "rejected", "peak resident", "peak RAM GiB", "efficiency"
+        "arrival µs",
+        "admission",
+        "admitted",
+        "rejected",
+        "peak resident",
+        "peak RAM GiB",
+        "efficiency"
     )
     .unwrap();
     for arrival_us in [4_000u64, 1_000, 250] {

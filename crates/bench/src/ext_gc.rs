@@ -55,9 +55,9 @@ fn pipeline(rt: &Runtime, width: usize, shard_size: usize) -> Handle {
     );
     let mut layer: Vec<Handle> = (0..width)
         .map(|i| {
-            let shard = rt.put_blob(Blob::from_vec(
-                fix_workloads::corpus::generate_shard(99, i as u64, shard_size),
-            ));
+            let shard = rt.put_blob(Blob::from_vec(fix_workloads::corpus::generate_shard(
+                99, i as u64, shard_size,
+            )));
             rt.eval(rt.apply(limits(), histogram, &[shard]).expect("apply"))
                 .expect("eval")
         })
@@ -66,8 +66,11 @@ fn pipeline(rt: &Runtime, width: usize, shard_size: usize) -> Handle {
         let mut next = Vec::new();
         for pair in layer.chunks(2) {
             next.push(if pair.len() == 2 {
-                rt.eval(rt.apply(limits(), merge, &[pair[0], pair[1]]).expect("apply"))
-                    .expect("eval")
+                rt.eval(
+                    rt.apply(limits(), merge, &[pair[0], pair[1]])
+                        .expect("apply"),
+                )
+                .expect("eval")
             } else {
                 pair[0]
             });

@@ -57,7 +57,11 @@ impl std::fmt::Display for Invoice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "{:?}", self.model)?;
         for item in &self.items {
-            writeln!(f, "  {:<28} {:>16}  {}", item.label, item.quantity, item.amount)?;
+            writeln!(
+                f,
+                "  {:<28} {:>16}  {}",
+                item.label, item.quantity, item.amount
+            )?;
         }
         write!(f, "  {:<28} {:>16}  {}", "TOTAL", "", self.total())
     }
@@ -261,7 +265,13 @@ mod tests {
     #[test]
     fn zero_usage_bills_zero() {
         let p = PriceSheet::default();
-        assert_eq!(bill_effort(&InvocationUsage::default(), &p).total(), Money::ZERO);
-        assert_eq!(bill_results(&InvocationUsage::default(), &p).total(), Money::ZERO);
+        assert_eq!(
+            bill_effort(&InvocationUsage::default(), &p).total(),
+            Money::ZERO
+        );
+        assert_eq!(
+            bill_results(&InvocationUsage::default(), &p).total(),
+            Money::ZERO
+        );
     }
 }

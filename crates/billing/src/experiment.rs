@@ -170,10 +170,7 @@ mod tests {
         // Effort: the customer pays for the neighbor.
         assert!(out.contended_bills.0.total() > out.isolated_bills.0.total());
         // Results: immunized.
-        assert_eq!(
-            out.contended_bills.1.total(),
-            out.isolated_bills.1.total()
-        );
+        assert_eq!(out.contended_bills.1.total(), out.isolated_bills.1.total());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   counters, with a noisy-neighbor mode;
 //! * [`usage`] — per-invocation metering ([`meter_eval`] for real
 //!   runs on a `fixpoint::Runtime`);
-//! * [`bill`] — itemized [`Invoice`]s under both models;
+//! * [`bill`](mod@bill) — itemized [`Invoice`]s under both models;
 //! * [`experiment`] — the noisy-neighbor and scheduling-incentive
 //!   experiments (the latter re-runs Fig. 8a on the simulated cluster
 //!   under both binding policies and compares aggregate bills).
@@ -74,7 +74,11 @@ mod tests {
             .unwrap();
         let x = rt.put_blob(fix_core::data::Blob::from_u64(7));
         let thunk = rt
-            .apply(fix_core::limits::ResourceLimits::new(1 << 20, 1 << 20), neg, &[x])
+            .apply(
+                fix_core::limits::ResourceLimits::new(1 << 20, 1 << 20),
+                neg,
+                &[x],
+            )
             .unwrap();
         let (_, usage) = meter_eval(&rt, thunk).unwrap();
         let price = PriceSheet::default();

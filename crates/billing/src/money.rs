@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn construction_and_display() {
         assert_eq!(Money::from_dollars(3).picos(), 3 * PICOS);
-        assert_eq!(Money::from_micros(2_500_000), Money::from_dollars(2) + Money::from_micros(500_000));
+        assert_eq!(
+            Money::from_micros(2_500_000),
+            Money::from_dollars(2) + Money::from_micros(500_000)
+        );
         assert_eq!(Money::from_dollars(1).to_string(), "$1.000000");
         assert_eq!(Money::from_micros(1).to_string(), "$0.000001");
         assert_eq!(Money::from_picos(999_999).to_string(), "$0.000000");

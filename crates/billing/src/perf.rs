@@ -117,8 +117,7 @@ pub fn project(
     let l3_misses = misses(l2_misses, working_set_bytes, l3_effective);
 
     let base_cycles = instructions * 1_000 / BASE_IPC_MILLI;
-    let dram_cycles =
-        l3_misses * DRAM_FILL_CYCLES * (100 + dram_penalty_percent) / 100;
+    let dram_cycles = l3_misses * DRAM_FILL_CYCLES * (100 + dram_penalty_percent) / 100;
     let stall_cycles = l1_misses * L1_FILL_CYCLES + l2_misses * L2_FILL_CYCLES + dram_cycles;
     let wall_us = (base_cycles + stall_cycles).div_ceil(CLOCK_MHZ).max(1);
 

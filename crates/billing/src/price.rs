@@ -23,9 +23,9 @@ use crate::money::Money;
 /// Immediate work pays full price; work the provider may delay up to an
 /// hour pays half. Tiers (rather than a curve) keep invoices auditable.
 const DEADLINE_TIERS_BPS: &[(u64, u32)] = &[
-    (1_000_000, 10_000),        // < 1 s slack: 100 %
-    (60_000_000, 9_000),        // < 1 min: 90 %
-    (3_600_000_000, 7_500),     // < 1 h: 75 %
+    (1_000_000, 10_000),    // < 1 s slack: 100 %
+    (60_000_000, 9_000),    // < 1 min: 90 %
+    (3_600_000_000, 7_500), // < 1 h: 75 %
 ];
 /// Slack beyond the last tier.
 const DEADLINE_FLOOR_BPS: u32 = 5_000;

@@ -1,0 +1,787 @@
+//! [`ClusterClient`]: the distributed engine behind the One Fix API.
+//!
+//! The paper's transparency argument (and Nexus's, for I/O offload) is
+//! that callers should not know which substrate serves them. This module
+//! makes that literal: a `ClusterClient` implements the same
+//! `fix_core::api` traits as the single-node `fixpoint::Runtime`, so a
+//! workload written once against the traits runs unchanged on either —
+//! and the conformance suite holds both to identical results.
+//!
+//! Mechanically the client is a Fix node with the simulated cluster
+//! behind it. Construction calls ([`ObjectApi`], [`InvocationApi`])
+//! build ordinary Fix objects. Each evaluation request is served twice
+//! over, which is exactly the paper's split between *semantics* and
+//! *placement*:
+//!
+//! 1. the request's dataflow — visible up front, because I/O is
+//!    externalized — is derived into a [`JobGraph`] and executed by the
+//!    Fix engine ([`run_fix`]) over `fix-netsim`, producing a
+//!    [`RunReport`] (makespan, bytes moved, CPU states);
+//! 2. the actual Fix semantics run on the embedded node, so results are
+//!    bit-identical to every other backend.
+//!
+//! Memoized requests ship no tasks: the location view already holds the
+//! result, so the simulated run is skipped — "pay for results" shows up
+//! in the reports, not just in the counters.
+
+use crate::engine::{run_fix, ClusterSetup, FixConfig};
+use crate::graph::{JobGraphBuilder, ObjectId, TaskId, TaskSpec};
+use crate::report::{ReportLog, RunReport};
+use fix_core::api::{Evaluator, InvocationApi, NativeFn, ObjectApi};
+use fix_core::data::{Blob, Tree};
+use fix_core::error::{Error, Result};
+use fix_core::handle::{DataType, Handle, Kind, ThunkKind};
+use fix_core::semantics::Footprint;
+use fix_netsim::{NetConfig, NodeId, NodeSpec, Time};
+use fix_storage::Relation;
+use fixpoint::Runtime;
+use std::collections::HashMap;
+
+/// Configures a [`ClusterClient`].
+pub struct ClusterClientBuilder {
+    setup: ClusterSetup,
+    cfg: FixConfig,
+    task_compute_us: Time,
+    provenance: bool,
+}
+
+impl Default for ClusterClientBuilder {
+    fn default() -> Self {
+        ClusterClientBuilder {
+            setup: ClusterSetup::workers_only(10, NodeSpec::default(), NetConfig::default()),
+            cfg: FixConfig::default(),
+            task_compute_us: 100,
+            provenance: false,
+        }
+    }
+}
+
+impl ClusterClientBuilder {
+    /// The simulated cluster to run on (default: ten homogeneous
+    /// workers, no distinct client node).
+    pub fn setup(mut self, setup: ClusterSetup) -> Self {
+        self.setup = setup;
+        self
+    }
+
+    /// The engine configuration (placement/binding policy, overheads).
+    pub fn config(mut self, cfg: FixConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Modeled compute time per simulated task, in µs (default 100).
+    /// The derivation has no cost model for guest code, so every task is
+    /// charged this flat amount.
+    pub fn task_compute_us(mut self, us: Time) -> Self {
+        self.task_compute_us = us;
+        self
+    }
+
+    /// Enables provenance recording on the embedded node.
+    pub fn with_provenance(mut self) -> Self {
+        self.provenance = true;
+        self
+    }
+
+    /// Builds the client, validating the cluster description.
+    pub fn build(self) -> Result<ClusterClient> {
+        Ok(ClusterClient {
+            core: ClientCore::new("cluster", self.setup, self.task_compute_us, self.provenance)?,
+            cfg: self.cfg,
+        })
+    }
+}
+
+/// The shared machinery of a simulating One-Fix-API client: an embedded
+/// Fix node for semantics, a simulated cluster description, and the
+/// accumulated run reports. [`ClusterClient`] (the Fix engine) and
+/// `fix_baselines::BaselineEvaluator` (comparator profiles) are thin
+/// wrappers over this, differing only in the function that executes a
+/// derived [`JobGraph`](crate::graph::JobGraph) — so their request
+/// handling (value shortcuts, strict derivation, telemetry) cannot
+/// drift apart.
+pub struct ClientCore {
+    inner: Runtime,
+    setup: ClusterSetup,
+    task_compute_us: Time,
+    reports: ReportLog,
+}
+
+/// How a core executes one derived graph (e.g. `run_fix` with a config,
+/// or `run_baseline` with a profile).
+pub type GraphRunner<'a> = &'a dyn Fn(&ClusterSetup, &crate::graph::JobGraph) -> RunReport;
+
+impl ClientCore {
+    /// Validates `setup` and builds the embedded node.
+    pub fn new(
+        backend: &'static str,
+        setup: ClusterSetup,
+        task_compute_us: Time,
+        provenance: bool,
+    ) -> Result<ClientCore> {
+        setup
+            .validate()
+            .map_err(|message| Error::Backend { backend, message })?;
+        let mut rt = Runtime::builder();
+        if provenance {
+            rt = rt.with_provenance();
+        }
+        Ok(ClientCore {
+            inner: rt.build(),
+            setup,
+            task_compute_us,
+            reports: ReportLog::new(),
+        })
+    }
+
+    /// The embedded Fix node holding objects and memoized relations.
+    pub fn inner(&self) -> &Runtime {
+        &self.inner
+    }
+
+    /// The simulated cluster description.
+    pub fn setup(&self) -> &ClusterSetup {
+        &self.setup
+    }
+
+    /// Reports of every simulated run so far, in submission order.
+    pub fn reports(&self) -> Vec<RunReport> {
+        self.reports.all()
+    }
+
+    /// The most recent simulated run, if any.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.reports.last()
+    }
+
+    /// Total simulated wall-clock spent across all runs, in µs.
+    pub fn total_simulated_us(&self) -> Time {
+        self.reports.total_makespan_us()
+    }
+
+    /// Derives the (not-yet-memoized) dataflow of `roots`, executes it
+    /// with `run`, and records the report; `strict` additionally derives
+    /// the deep-force phase of value roots. A batch with no runnable
+    /// tasks (all values / all memoized) records nothing.
+    fn simulate(&self, roots: &[Handle], strict: bool, run: GraphRunner<'_>) {
+        let Some(graph) = derive_job_graph(
+            &self.inner,
+            roots,
+            strict,
+            &self.setup.workers,
+            self.task_compute_us,
+        ) else {
+            return;
+        };
+        self.reports.push(run(&self.setup, &graph));
+    }
+
+    /// [`Evaluator::eval`] over the core: simulate, then evaluate for
+    /// real on the embedded node.
+    pub fn eval_with(&self, handle: Handle, run: GraphRunner<'_>) -> Result<Handle> {
+        if handle.is_value() {
+            return Ok(handle);
+        }
+        self.simulate(&[handle], false, run);
+        self.inner.eval(handle)
+    }
+
+    /// [`Evaluator::eval_strict`] over the core. Even a value root can
+    /// hold work: deep-forcing runs the thunks and encodes nested inside
+    /// its trees, so the strict derivation walks those too.
+    pub fn eval_strict_with(&self, handle: Handle, run: GraphRunner<'_>) -> Result<Handle> {
+        self.simulate(&[handle], true, run);
+        self.inner.eval_strict(handle)
+    }
+
+    /// [`Evaluator::eval_many`] over the core: one simulated run serves
+    /// the whole batch (the cluster sees the union dataflow and overlaps
+    /// everything it can).
+    pub fn eval_many_with(&self, handles: &[Handle], run: GraphRunner<'_>) -> Vec<Result<Handle>> {
+        self.simulate(handles, false, run);
+        self.inner.eval_many(handles)
+    }
+}
+
+/// A Fix client whose evaluations are served by the simulated
+/// distributed engine.
+///
+/// Implements the whole `fix_core::api` trait family; see the module
+/// docs for the execution model and [`ClusterClient::reports`] for the
+/// simulated-run telemetry.
+///
+/// # Examples
+///
+/// ```
+/// use fix_core::api::{Evaluator, InvocationApi, ObjectApi};
+/// use fix_core::data::Blob;
+/// use fix_core::limits::ResourceLimits;
+/// use std::sync::Arc;
+///
+/// let cc = fix_cluster::ClusterClient::builder().build().unwrap();
+/// let add = cc.register_native("add", Arc::new(|ctx| {
+///     let a = ctx.arg_blob(0)?.as_u64().unwrap();
+///     let b = ctx.arg_blob(1)?.as_u64().unwrap();
+///     ctx.host.create_blob((a + b).to_le_bytes().to_vec())
+/// }));
+/// let thunk = cc.apply(
+///     ResourceLimits::default_limits(),
+///     add,
+///     &[cc.put_blob(Blob::from_u64(1)), cc.put_blob(Blob::from_u64(2))],
+/// ).unwrap();
+/// let result = cc.eval(thunk).unwrap();
+/// assert_eq!(cc.get_u64(result).unwrap(), 3);
+/// // The evaluation also produced a simulated cluster run:
+/// assert_eq!(cc.last_report().unwrap().tasks_run, 1);
+/// ```
+pub struct ClusterClient {
+    core: ClientCore,
+    cfg: FixConfig,
+}
+
+impl ClusterClient {
+    /// Starts building a client.
+    pub fn builder() -> ClusterClientBuilder {
+        ClusterClientBuilder::default()
+    }
+
+    /// The embedded Fix node that holds this client's objects and
+    /// memoized relations.
+    pub fn inner(&self) -> &Runtime {
+        self.core.inner()
+    }
+
+    /// The simulated cluster description.
+    pub fn setup(&self) -> &ClusterSetup {
+        self.core.setup()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &FixConfig {
+        &self.cfg
+    }
+
+    /// Reports of every simulated run so far, in submission order.
+    pub fn reports(&self) -> Vec<RunReport> {
+        self.core.reports()
+    }
+
+    /// The most recent simulated run, if any.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.core.last_report()
+    }
+
+    /// Total simulated wall-clock spent across all runs, in µs.
+    pub fn total_simulated_us(&self) -> Time {
+        self.core.total_simulated_us()
+    }
+
+    /// The Fix engine over this client's cluster, as a graph runner.
+    fn runner(&self) -> impl Fn(&ClusterSetup, &crate::graph::JobGraph) -> RunReport + '_ {
+        |setup, graph| run_fix(setup, graph, &self.cfg)
+    }
+}
+
+/// Derives the cluster dataflow of `roots` from a node's objects and
+/// memoized relations: one task per unevaluated thunk, dependency edges
+/// along encodes, input objects for accessible definition data
+/// (scattered deterministically over `workers` by content hash). With
+/// `strict`, value roots are also deep-walked — the thunks and encodes
+/// nested inside their trees become tasks too, modeling the force phase
+/// of a strict evaluation.
+///
+/// Returns `None` when nothing needs to run — every root is a value or
+/// fully memoized. Shared by [`ClusterClient`] and the baseline
+/// evaluators in `fix-baselines`, so Fix and its comparators are
+/// costed over the *same* derived graphs.
+pub fn derive_job_graph(
+    rt: &Runtime,
+    roots: &[Handle],
+    strict: bool,
+    workers: &[NodeId],
+    task_compute_us: Time,
+) -> Option<crate::graph::JobGraph> {
+    if workers.is_empty() {
+        // No placement targets: nothing can run (callers validate their
+        // setups up front; this keeps the shared helper panic-free).
+        return None;
+    }
+    let mut d = Deriver {
+        rt,
+        builder: JobGraphBuilder::new(),
+        tasks: HashMap::new(),
+        objects: HashMap::new(),
+        workers,
+        compute_us: task_compute_us,
+        task_count: 0,
+    };
+    for &root in roots {
+        // Derivation failures (e.g. a definition tree missing from
+        // storage) surface as semantic errors from the real evaluation;
+        // the simulation keeps whatever subgraph was derived before the
+        // failure, so telemetry for a malformed root is approximate, not
+        // absent.
+        let _ = d.task_for(root);
+        if strict {
+            let mut seen = std::collections::HashSet::new();
+            let _ = d.force_tasks(root, &mut seen);
+        }
+    }
+    if d.task_count == 0 {
+        return None;
+    }
+    Some(d.builder.build())
+}
+
+/// Walks Fix objects into a [`JobGraph`]: one task per unevaluated
+/// thunk, dependency edges along strict/shallow encodes, input objects
+/// for the accessible data in each definition tree.
+struct Deriver<'a> {
+    rt: &'a Runtime,
+    builder: JobGraphBuilder,
+    /// Thunk handle → derived task (content addressing deduplicates
+    /// shared sub-computations, mirroring the scheduler's job identity).
+    tasks: HashMap<Handle, TaskId>,
+    /// Data payload → graph object.
+    objects: HashMap<Handle, ObjectId>,
+    workers: &'a [NodeId],
+    compute_us: Time,
+    task_count: usize,
+}
+
+impl<'a> Deriver<'a> {
+    /// The node a stored object "lives on": scattered deterministically
+    /// by content hash, modeling content-addressed placement across the
+    /// cluster.
+    fn home_node(&self, h: Handle) -> NodeId {
+        let scatter = h.digest().map(|d| d[0]).unwrap_or(0);
+        self.workers[(scatter as usize) % self.workers.len()]
+    }
+
+    /// Bytes that must move to make `h` resident (its transfer size).
+    fn transfer_size(h: Handle) -> u64 {
+        match h.kind() {
+            Kind::Object(DataType::Tree) | Kind::Ref(DataType::Tree) => 32 * h.size(),
+            _ => h.size(),
+        }
+    }
+
+    fn object_for(&mut self, h: Handle) -> Option<ObjectId> {
+        if h.is_literal() {
+            return None; // Literals ride inside handles; nothing moves.
+        }
+        let key = match h.kind() {
+            Kind::Ref(_) => h.as_object_handle(),
+            _ => h,
+        };
+        if let Some(&o) = self.objects.get(&key) {
+            return Some(o);
+        }
+        let node = self.home_node(key);
+        let o = self.builder.object_at(Self::transfer_size(key), &[node]);
+        self.objects.insert(key, o);
+        Some(o)
+    }
+
+    /// Derives the task computing `h`, or `None` when nothing needs to
+    /// run (values, and thunks/encodes whose result is already
+    /// memoized).
+    fn task_for(&mut self, h: Handle) -> Result<Option<TaskId>> {
+        match h.kind() {
+            Kind::Object(_) | Kind::Ref(_) => Ok(None),
+            // An encode's work is evaluating the thunk it wraps; the
+            // memo check happens there.
+            Kind::Encode(..) => self.task_for(h.encoded_thunk()?),
+            Kind::Thunk(kind) => {
+                if let Some(&t) = self.tasks.get(&h) {
+                    return Ok(Some(t));
+                }
+                if self.rt.cache().get(Relation::Eval, h).is_some() {
+                    return Ok(None); // Already computed: pay for results.
+                }
+                let def = h.thunk_definition()?;
+                let mut spec = TaskSpec {
+                    inputs: Vec::new(),
+                    deps: Vec::new(),
+                    compute_us: self.compute_us,
+                    cores: 1,
+                    ram: 64 << 20,
+                    output_size: 8,
+                    output_hint: None,
+                    func: def
+                        .digest()
+                        .map(|d| u32::from_le_bytes(d[..4].try_into().expect("4 bytes")))
+                        .unwrap_or(0),
+                };
+                spec.inputs.extend(self.object_for(def));
+                match kind {
+                    ThunkKind::Application => {
+                        if let Ok(tree) = self.rt.get_tree(def) {
+                            for &e in tree.entries() {
+                                match e.kind() {
+                                    Kind::Encode(..) => {
+                                        if let Some(t) = self.task_for(e)? {
+                                            spec.deps.push(t);
+                                        } else if let Some(r) =
+                                            self.rt.cache().get(Relation::Eval, e.encoded_thunk()?)
+                                        {
+                                            // Memoized dependency: its
+                                            // result is data to fetch,
+                                            // not work to schedule.
+                                            spec.inputs.extend(self.object_for(r));
+                                        }
+                                    }
+                                    // Accessible data is in the minimum
+                                    // repository; Refs contribute metadata
+                                    // only and bare Thunks are lazy.
+                                    Kind::Object(_) => {
+                                        spec.inputs.extend(self.object_for(e));
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    ThunkKind::Selection => {
+                        if let Ok(tree) = self.rt.get_tree(def) {
+                            if let Some(target) = tree.get(0) {
+                                match target.kind() {
+                                    Kind::Thunk(_) | Kind::Encode(..) => {
+                                        if let Some(t) = self.task_for(target)? {
+                                            spec.deps.push(t);
+                                        } else {
+                                            // Memoized dependency: its
+                                            // result is data to fetch,
+                                            // mirroring the Application
+                                            // branch.
+                                            let thunk = match target.kind() {
+                                                Kind::Encode(..) => target.encoded_thunk()?,
+                                                _ => target,
+                                            };
+                                            if let Some(r) =
+                                                self.rt.cache().get(Relation::Eval, thunk)
+                                            {
+                                                spec.inputs.extend(self.object_for(r));
+                                            }
+                                        }
+                                    }
+                                    Kind::Object(_) => {
+                                        spec.inputs.extend(self.object_for(target));
+                                    }
+                                    Kind::Ref(_) => {}
+                                }
+                            }
+                        }
+                    }
+                    ThunkKind::Identification => {
+                        // The definition is the identified datum itself.
+                    }
+                }
+                let t = self.builder.task(spec);
+                self.task_count += 1;
+                self.tasks.insert(h, t);
+                Ok(Some(t))
+            }
+        }
+    }
+
+    /// The force phase of a strict evaluation: walks a value's trees and
+    /// derives a task for every nested thunk/encode (deep-forcing runs
+    /// them all). Ref promotion moves data but runs no procedure, so it
+    /// contributes no task.
+    fn force_tasks(
+        &mut self,
+        h: Handle,
+        seen: &mut std::collections::HashSet<Handle>,
+    ) -> Result<()> {
+        if !seen.insert(h) {
+            return Ok(());
+        }
+        match h.kind() {
+            Kind::Thunk(_) | Kind::Encode(..) => {
+                self.task_for(h)?;
+            }
+            Kind::Object(DataType::Tree) => {
+                if let Ok(tree) = self.rt.get_tree(h) {
+                    for &e in tree.entries() {
+                        self.force_tasks(e, seen)?;
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// The One Fix API.
+// ----------------------------------------------------------------------
+
+impl ObjectApi for ClusterClient {
+    fn put_blob(&self, blob: Blob) -> Handle {
+        self.inner().put_blob(blob)
+    }
+
+    fn put_tree(&self, tree: Tree) -> Handle {
+        self.inner().put_tree(tree)
+    }
+
+    fn get_blob(&self, handle: Handle) -> Result<Blob> {
+        self.inner().get_blob(handle)
+    }
+
+    fn get_tree(&self, handle: Handle) -> Result<Tree> {
+        self.inner().get_tree(handle)
+    }
+
+    fn contains(&self, handle: Handle) -> bool {
+        self.inner().store().contains(handle)
+    }
+}
+
+impl InvocationApi for ClusterClient {
+    fn register_native(&self, name: &str, f: NativeFn) -> Handle {
+        self.inner().register_native(name, f)
+    }
+}
+
+impl Evaluator for ClusterClient {
+    fn eval(&self, handle: Handle) -> Result<Handle> {
+        self.core.eval_with(handle, &self.runner())
+    }
+
+    fn eval_strict(&self, handle: Handle) -> Result<Handle> {
+        self.core.eval_strict_with(handle, &self.runner())
+    }
+
+    fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
+        self.core.eval_many_with(handles, &self.runner())
+    }
+
+    fn footprint(&self, thunk: Handle) -> Result<Footprint> {
+        self.inner().footprint(thunk)
+    }
+
+    fn procedures_run(&self) -> u64 {
+        self.inner().procedures_run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_core::limits::ResourceLimits;
+    use std::sync::Arc;
+
+    fn limits() -> ResourceLimits {
+        ResourceLimits::default_limits()
+    }
+
+    fn client() -> ClusterClient {
+        ClusterClient::builder().build().unwrap()
+    }
+
+    fn register_add(cc: &ClusterClient) -> Handle {
+        cc.register_native(
+            "add",
+            Arc::new(|ctx| {
+                let a = ctx.arg_blob(0)?.as_u64().unwrap();
+                let b = ctx.arg_blob(1)?.as_u64().unwrap();
+                ctx.host
+                    .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+            }),
+        )
+    }
+
+    #[test]
+    fn builder_rejects_broken_setups() {
+        let no_workers = ClusterSetup {
+            specs: vec![NodeSpec::default()],
+            net: NetConfig::default(),
+            workers: vec![],
+            client: None,
+        };
+        let err = ClusterClient::builder().setup(no_workers).build();
+        assert!(matches!(err, Err(Error::Backend { .. })));
+
+        let missing_spec = ClusterSetup::workers_only(0, NodeSpec::default(), NetConfig::default());
+        let mut missing_spec = missing_spec;
+        missing_spec.workers = vec![NodeId(3)];
+        assert!(ClusterClient::builder()
+            .setup(missing_spec)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn evaluates_and_reports() {
+        let cc = client();
+        let add = register_add(&cc);
+        let thunk = cc
+            .apply(
+                limits(),
+                add,
+                &[
+                    cc.put_blob(Blob::from_u64(30)),
+                    cc.put_blob(Blob::from_u64(12)),
+                ],
+            )
+            .unwrap();
+        let out = cc.eval(thunk).unwrap();
+        assert_eq!(cc.get_u64(out).unwrap(), 42);
+        let report = cc.last_report().unwrap();
+        assert_eq!(report.tasks_run, 1);
+        assert!(report.makespan_us > 0);
+    }
+
+    #[test]
+    fn memoized_requests_ship_no_tasks() {
+        let cc = client();
+        let add = register_add(&cc);
+        let thunk = cc
+            .apply(
+                limits(),
+                add,
+                &[
+                    cc.put_blob(Blob::from_u64(1)),
+                    cc.put_blob(Blob::from_u64(2)),
+                ],
+            )
+            .unwrap();
+        cc.eval(thunk).unwrap();
+        let runs_before = cc.reports().len();
+        cc.eval(thunk).unwrap();
+        assert_eq!(
+            cc.reports().len(),
+            runs_before,
+            "a memoized request must not launch a simulated run"
+        );
+    }
+
+    #[test]
+    fn dependencies_become_graph_edges() {
+        let cc = client();
+        let add = register_add(&cc);
+        let one = cc.put_blob(Blob::from_u64(1));
+        let inner = cc
+            .apply(limits(), add, &[one, cc.put_blob(Blob::from_u64(2))])
+            .unwrap();
+        let outer = cc
+            .apply(limits(), add, &[inner.strict().unwrap(), one])
+            .unwrap();
+        let out = cc.eval(outer).unwrap();
+        assert_eq!(cc.get_u64(out).unwrap(), 4);
+        // Two applications: the inner add and the outer add.
+        assert_eq!(cc.last_report().unwrap().tasks_run, 2);
+    }
+
+    #[test]
+    fn batch_is_one_simulated_run() {
+        let cc = client();
+        let add = register_add(&cc);
+        let thunks: Vec<Handle> = (0..8u64)
+            .map(|i| {
+                cc.apply(
+                    limits(),
+                    add,
+                    &[
+                        cc.put_blob(Blob::from_u64(i)),
+                        cc.put_blob(Blob::from_u64(1)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        let results = cc.eval_many(&thunks);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(cc.get_u64(*r.as_ref().unwrap()).unwrap(), i as u64 + 1);
+        }
+        assert_eq!(cc.reports().len(), 1, "one batch, one cluster run");
+        assert_eq!(cc.last_report().unwrap().tasks_run, 8);
+    }
+
+    #[test]
+    fn strict_eval_of_a_value_root_reports_the_force_phase() {
+        use fix_core::data::Tree;
+        let cc = client();
+        let add = register_add(&cc);
+        // A *value* tree whose entries are strict encodes of thunks:
+        // eval() would return it unchanged, but eval_strict runs both
+        // nested adds — and the telemetry must show that work.
+        let t1 = cc
+            .apply(
+                limits(),
+                add,
+                &[
+                    cc.put_blob(Blob::from_u64(1)),
+                    cc.put_blob(Blob::from_u64(2)),
+                ],
+            )
+            .unwrap();
+        let t2 = cc
+            .apply(
+                limits(),
+                add,
+                &[
+                    cc.put_blob(Blob::from_u64(3)),
+                    cc.put_blob(Blob::from_u64(4)),
+                ],
+            )
+            .unwrap();
+        let value_root = cc.put_tree(Tree::from_handles(vec![
+            t1.strict().unwrap(),
+            t2.strict().unwrap(),
+        ]));
+        let forced = cc.eval_strict(value_root).unwrap();
+        let tree = cc.get_tree(forced).unwrap();
+        assert_eq!(cc.get_u64(tree.get(0).unwrap()).unwrap(), 3);
+        assert_eq!(cc.get_u64(tree.get(1).unwrap()).unwrap(), 7);
+        let report = cc.last_report().expect("force phase must be simulated");
+        assert_eq!(report.tasks_run, 2);
+    }
+
+    #[test]
+    fn agrees_with_the_single_node_runtime() {
+        let on_runtime = {
+            let rt = Runtime::builder().build();
+            let add = rt.register_native(
+                "add",
+                Arc::new(|ctx| {
+                    let a = ctx.arg_blob(0)?.as_u64().unwrap();
+                    let b = ctx.arg_blob(1)?.as_u64().unwrap();
+                    ctx.host
+                        .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+                }),
+            );
+            let t = rt
+                .apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(20)),
+                        rt.put_blob(Blob::from_u64(22)),
+                    ],
+                )
+                .unwrap();
+            rt.eval(t).unwrap()
+        };
+        let on_cluster = {
+            let cc = client();
+            let add = register_add(&cc);
+            let t = cc
+                .apply(
+                    limits(),
+                    add,
+                    &[
+                        cc.put_blob(Blob::from_u64(20)),
+                        cc.put_blob(Blob::from_u64(22)),
+                    ],
+                )
+                .unwrap();
+            cc.eval(t).unwrap()
+        };
+        assert_eq!(on_runtime, on_cluster, "content addressing is global truth");
+    }
+}

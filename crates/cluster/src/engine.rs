@@ -89,6 +89,23 @@ impl ClusterSetup {
             client: None,
         }
     }
+
+    /// Checks the setup is runnable: at least one worker, and every
+    /// worker/client id has a spec. Shared by every client builder so
+    /// an inconsistent setup fails with a clean error at construction
+    /// instead of an index panic mid-simulation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers.is_empty() {
+            return Err("cluster setup has no worker nodes".into());
+        }
+        let n = self.specs.len();
+        for node in self.workers.iter().chain(self.client.iter()) {
+            if node.0 >= n {
+                return Err(format!("node {node:?} has no spec (cluster has {n} nodes)"));
+            }
+        }
+        Ok(())
+    }
 }
 
 struct State {

@@ -11,22 +11,30 @@
 //! Workloads are expressed as [`JobGraph`]s (see `fix-workloads` for the
 //! paper's workload generators); baseline engines over the *same* graphs
 //! and simulator live in `fix-baselines`.
+//!
+//! Since the One Fix API refactor the engine is also reachable through
+//! the backend-agnostic `fix_core::api` traits: [`ClusterClient`]
+//! implements `ObjectApi`/`InvocationApi`/`Evaluator`, deriving each
+//! request's dataflow into a [`JobGraph`] and executing it with
+//! [`run_fix`] — so any generic workload doubles as a cluster benchmark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod client;
 pub mod density;
 mod engine;
 mod graph;
 mod report;
 
+pub use client::{derive_job_graph, ClientCore, ClusterClient, ClusterClientBuilder, GraphRunner};
 pub use density::{
     simulate as simulate_density, simulate_profiles as simulate_density_profiles, Admission,
     AppProfile, DensityParams, DensityReport, Phase,
 };
 pub use engine::{run_fix, Binding, ClusterSetup, FixConfig, Placement};
 pub use graph::{small_task, JobGraph, JobGraphBuilder, ObjectId, ObjectSpec, TaskId, TaskSpec};
-pub use report::RunReport;
+pub use report::{ReportLog, RunReport};
 
 #[cfg(test)]
 mod tests {

@@ -43,3 +43,44 @@ impl std::fmt::Display for RunReport {
         )
     }
 }
+
+/// Thread-safe accumulator of simulated [`RunReport`]s, in submission
+/// order.
+///
+/// Shared plumbing for the One-Fix-API clients ([`crate::ClusterClient`]
+/// and `fix_baselines::BaselineEvaluator`), so their telemetry surfaces
+/// cannot drift apart.
+#[derive(Default)]
+pub struct ReportLog(std::sync::Mutex<Vec<RunReport>>);
+
+impl ReportLog {
+    /// Creates an empty log.
+    pub fn new() -> ReportLog {
+        ReportLog::default()
+    }
+
+    /// Appends one run's report.
+    pub fn push(&self, report: RunReport) {
+        self.0.lock().expect("report log lock").push(report);
+    }
+
+    /// Every report so far, in submission order.
+    pub fn all(&self) -> Vec<RunReport> {
+        self.0.lock().expect("report log lock").clone()
+    }
+
+    /// The most recent report, if any.
+    pub fn last(&self) -> Option<RunReport> {
+        self.0.lock().expect("report log lock").last().copied()
+    }
+
+    /// Total simulated wall-clock across all runs, in µs.
+    pub fn total_makespan_us(&self) -> Time {
+        self.0
+            .lock()
+            .expect("report log lock")
+            .iter()
+            .map(|r| r.makespan_us)
+            .sum()
+    }
+}

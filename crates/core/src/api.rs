@@ -1,0 +1,411 @@
+//! The One Fix API: backend-agnostic traits over every execution engine.
+//!
+//! The paper's thesis is that programs, users, and the platform describe
+//! computation in one shared representation. This module is that thesis
+//! at the *API* level: a trait family that every execution backend
+//! implements, so a workload written once runs unchanged on the
+//! single-node runtime (`fixpoint::Runtime`), the simulated distributed
+//! engine (`fix_cluster::ClusterClient`), or a comparator cost model
+//! (`fix_baselines::BaselineEvaluator`):
+//!
+//! * [`ObjectApi`] — the data half of Table 1: store and load Blobs and
+//!   Trees by content-addressed Handle;
+//! * [`InvocationApi`] — the construction half of Table 1: build
+//!   Application/Selection thunks and install procedures;
+//! * [`Evaluator`] — ask for results: lazy ([`Evaluator::eval`]), strict
+//!   ([`Evaluator::eval_strict`]), and batched
+//!   ([`Evaluator::eval_many`]).
+//!
+//! Because handles are content addressed, a correct backend is *forced*
+//! to agree with every other backend on results — the conformance suite
+//! in `tests/api_conformance.rs` asserts exactly that, running one set of
+//! semantic checks against each implementation.
+//!
+//! # One workload, many backends
+//!
+//! ```
+//! use fix_core::api::{Evaluator, InvocationApi, ObjectApi};
+//! use fix_core::data::Blob;
+//! use fix_core::limits::ResourceLimits;
+//! use std::sync::Arc;
+//!
+//! // Written once, against the traits…
+//! fn double_42<R: InvocationApi + Evaluator>(rt: &R) -> fix_core::Result<u64> {
+//!     let double = rt.register_native(
+//!         "api-doc/double",
+//!         Arc::new(|ctx| {
+//!             let x = ctx.arg_blob(0)?.as_u64().unwrap();
+//!             ctx.host.create_blob((2 * x).to_le_bytes().to_vec())
+//!         }),
+//!     );
+//!     let thunk = rt.apply(
+//!         ResourceLimits::default_limits(),
+//!         double,
+//!         &[rt.put_blob(Blob::from_u64(21))],
+//!     )?;
+//!     rt.get_u64(rt.eval(thunk)?)
+//! }
+//!
+//! // …runs on the single-node runtime:
+//! let local = fixpoint::Runtime::builder().build();
+//! assert_eq!(double_42(&local).unwrap(), 42);
+//!
+//! // …and on the netsim-backed cluster client, unchanged:
+//! let cluster = fix_cluster::ClusterClient::builder().build().unwrap();
+//! assert_eq!(double_42(&cluster).unwrap(), 42);
+//! ```
+
+use crate::data::{Blob, Node, Tree};
+use crate::error::{Error, Result};
+use crate::handle::{EncodeStyle, Handle};
+use crate::invocation::Invocation;
+use crate::limits::ResourceLimits;
+use crate::semantics::Footprint;
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// The host interface procedures program against.
+// ----------------------------------------------------------------------
+
+/// The runtime services a guest procedure may invoke (paper Listing 1).
+///
+/// This is the *only* world interface of Fix procedures: attach/create
+/// blobs and trees — no clocks, no randomness, no sockets. Implemented
+/// by the FixVM interpreter host, the engine's store adapter, and
+/// in-memory test fixtures.
+///
+/// Implementations must enforce their own storage-side invariants (e.g.
+/// record created objects so they can be persisted); interpreters perform
+/// the accessibility checks before calling `load_*`.
+pub trait HostApi {
+    /// Loads the bytes of an accessible blob.
+    fn load_blob(&mut self, handle: Handle) -> Result<Blob>;
+    /// Loads the entries of an accessible tree.
+    fn load_tree(&mut self, handle: Handle) -> Result<Tree>;
+    /// Creates (and records) a blob, returning its handle.
+    fn create_blob(&mut self, data: Vec<u8>) -> Result<Handle>;
+    /// Creates (and records) a tree, returning its handle.
+    fn create_tree(&mut self, entries: Vec<Handle>) -> Result<Handle>;
+}
+
+/// Context handed to a native codelet: its input tree handle plus the
+/// host API (identical powers to a VM guest).
+pub struct NativeCtx<'a> {
+    /// The application tree (after Encode resolution), as the guest sees it.
+    pub input: Handle,
+    /// Host services: load accessible data, create new data.
+    pub host: &'a mut dyn HostApi,
+}
+
+impl<'a> NativeCtx<'a> {
+    /// Loads the input application tree.
+    pub fn input_tree(&mut self) -> Result<Tree> {
+        self.host.load_tree(self.input)
+    }
+
+    /// Loads argument `i` of the invocation (slot `2 + i`) as a blob.
+    pub fn arg_blob(&mut self, i: usize) -> Result<Blob> {
+        let tree = self.input_tree()?;
+        let h = tree.get(2 + i).ok_or(Error::MalformedTree {
+            handle: self.input,
+            reason: format!("missing argument {i}"),
+        })?;
+        self.host.load_blob(h)
+    }
+
+    /// Loads argument `i` of the invocation (slot `2 + i`) as a handle.
+    pub fn arg(&mut self, i: usize) -> Result<Handle> {
+        let tree = self.input_tree()?;
+        tree.get(2 + i).ok_or(Error::MalformedTree {
+            handle: self.input,
+            reason: format!("missing argument {i}"),
+        })
+    }
+}
+
+/// The signature of a native codelet: `_fix_apply` in Rust.
+pub type NativeFn = Arc<dyn Fn(&mut NativeCtx<'_>) -> Result<Handle> + Send + Sync>;
+
+// ----------------------------------------------------------------------
+// ObjectApi: the data operations of Table 1.
+// ----------------------------------------------------------------------
+
+/// Content-addressed object storage: the data half of the paper's
+/// Table 1 (`create_blob` / `create_tree` / `read_blob` / `read_tree`).
+///
+/// Implemented by `fix_storage::Store` itself, by `fixpoint::Runtime`,
+/// and by the cluster/baseline clients (which store at the client node).
+pub trait ObjectApi {
+    /// Stores a blob, returning its handle.
+    fn put_blob(&self, blob: Blob) -> Handle;
+
+    /// Stores a tree, returning its handle.
+    fn put_tree(&self, tree: Tree) -> Handle;
+
+    /// Reads a blob back.
+    fn get_blob(&self, handle: Handle) -> Result<Blob>;
+
+    /// Reads a tree back.
+    fn get_tree(&self, handle: Handle) -> Result<Tree>;
+
+    /// True when the object behind `handle` is locally resident
+    /// (literals are always resident: their payload rides in the handle).
+    fn contains(&self, handle: Handle) -> bool;
+
+    /// Stores a whole [`Node`].
+    fn put(&self, node: Node) -> Handle {
+        match node {
+            Node::Blob(b) => self.put_blob(b),
+            Node::Tree(t) => self.put_tree(t),
+        }
+    }
+
+    /// Reads a `u64` result blob (common in workloads and tests).
+    fn get_u64(&self, handle: Handle) -> Result<u64> {
+        self.get_blob(handle)?.as_u64().ok_or(Error::TypeMismatch {
+            handle,
+            expected: "a u64 blob",
+        })
+    }
+}
+
+impl<T: ObjectApi + ?Sized> ObjectApi for &T {
+    fn put_blob(&self, blob: Blob) -> Handle {
+        (**self).put_blob(blob)
+    }
+    fn put_tree(&self, tree: Tree) -> Handle {
+        (**self).put_tree(tree)
+    }
+    fn get_blob(&self, handle: Handle) -> Result<Blob> {
+        (**self).get_blob(handle)
+    }
+    fn get_tree(&self, handle: Handle) -> Result<Tree> {
+        (**self).get_tree(handle)
+    }
+    fn contains(&self, handle: Handle) -> bool {
+        (**self).contains(handle)
+    }
+}
+
+impl<T: ObjectApi + ?Sized> ObjectApi for Arc<T> {
+    fn put_blob(&self, blob: Blob) -> Handle {
+        (**self).put_blob(blob)
+    }
+    fn put_tree(&self, tree: Tree) -> Handle {
+        (**self).put_tree(tree)
+    }
+    fn get_blob(&self, handle: Handle) -> Result<Blob> {
+        (**self).get_blob(handle)
+    }
+    fn get_tree(&self, handle: Handle) -> Result<Tree> {
+        (**self).get_tree(handle)
+    }
+    fn contains(&self, handle: Handle) -> bool {
+        (**self).contains(handle)
+    }
+}
+
+// ----------------------------------------------------------------------
+// InvocationApi: the construction operations of Table 1.
+// ----------------------------------------------------------------------
+
+/// Thunk and procedure construction: the Table-1 operations that describe
+/// computation without running anything.
+///
+/// Everything except procedure installation has a canonical definition in
+/// terms of [`ObjectApi`], provided here, so a backend only supplies
+/// [`register_native`](InvocationApi::register_native) (the one operation
+/// that binds host code to a content-addressed name).
+pub trait InvocationApi: ObjectApi {
+    /// Registers a native codelet under `name`; stores and returns its
+    /// content-addressed marker handle. Every backend that registers the
+    /// same name agrees on the handle.
+    fn register_native(&self, name: &str, f: NativeFn) -> Handle;
+
+    /// Installs a guest module from its serialized bytes, returning the
+    /// handle of the stored code blob. Sandboxed code needs no
+    /// registration: any node holding the blob can run it.
+    fn install_module(&self, module_bytes: Vec<u8>) -> Result<Handle> {
+        Ok(self.put_blob(Blob::from_vec(module_bytes)))
+    }
+
+    /// Builds and stores an application tree `[limits, proc, args...]`,
+    /// returning the Application Thunk.
+    fn apply(&self, limits: ResourceLimits, procedure: Handle, args: &[Handle]) -> Result<Handle> {
+        let inv = Invocation {
+            limits,
+            procedure,
+            args: args.to_vec(),
+        };
+        let h = self.put_tree(inv.to_tree());
+        h.application()
+    }
+
+    /// Builds a strict encode of an application, the most common idiom:
+    /// `strict(application([limits, proc, args...]))`.
+    fn strict_apply(
+        &self,
+        limits: ResourceLimits,
+        procedure: Handle,
+        args: &[Handle],
+    ) -> Result<Handle> {
+        self.apply(limits, procedure, args)?
+            .encode(EncodeStyle::Strict)
+    }
+
+    /// Builds and stores a selection thunk for `target[index]`.
+    fn select(&self, target: Handle, index: u64) -> Result<Handle> {
+        let (tree, thunk) = crate::invocation::build::selection(target, index)?;
+        self.put_tree(tree);
+        Ok(thunk)
+    }
+
+    /// Builds and stores a selection thunk for `target[begin..end]`.
+    fn select_range(&self, target: Handle, begin: u64, end: u64) -> Result<Handle> {
+        let (tree, thunk) = crate::invocation::build::selection_range(target, begin, end)?;
+        self.put_tree(tree);
+        Ok(thunk)
+    }
+}
+
+impl<T: InvocationApi + ?Sized> InvocationApi for &T {
+    fn register_native(&self, name: &str, f: NativeFn) -> Handle {
+        (**self).register_native(name, f)
+    }
+    fn install_module(&self, module_bytes: Vec<u8>) -> Result<Handle> {
+        (**self).install_module(module_bytes)
+    }
+    fn apply(&self, limits: ResourceLimits, procedure: Handle, args: &[Handle]) -> Result<Handle> {
+        (**self).apply(limits, procedure, args)
+    }
+    fn strict_apply(
+        &self,
+        limits: ResourceLimits,
+        procedure: Handle,
+        args: &[Handle],
+    ) -> Result<Handle> {
+        (**self).strict_apply(limits, procedure, args)
+    }
+    fn select(&self, target: Handle, index: u64) -> Result<Handle> {
+        (**self).select(target, index)
+    }
+    fn select_range(&self, target: Handle, begin: u64, end: u64) -> Result<Handle> {
+        (**self).select_range(target, begin, end)
+    }
+}
+
+impl<T: InvocationApi + ?Sized> InvocationApi for Arc<T> {
+    fn register_native(&self, name: &str, f: NativeFn) -> Handle {
+        (**self).register_native(name, f)
+    }
+    fn install_module(&self, module_bytes: Vec<u8>) -> Result<Handle> {
+        (**self).install_module(module_bytes)
+    }
+    fn apply(&self, limits: ResourceLimits, procedure: Handle, args: &[Handle]) -> Result<Handle> {
+        (**self).apply(limits, procedure, args)
+    }
+    fn strict_apply(
+        &self,
+        limits: ResourceLimits,
+        procedure: Handle,
+        args: &[Handle],
+    ) -> Result<Handle> {
+        (**self).strict_apply(limits, procedure, args)
+    }
+    fn select(&self, target: Handle, index: u64) -> Result<Handle> {
+        (**self).select(target, index)
+    }
+    fn select_range(&self, target: Handle, begin: u64, end: u64) -> Result<Handle> {
+        (**self).select_range(target, begin, end)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Evaluator: asking for results.
+// ----------------------------------------------------------------------
+
+/// Evaluation: reduce descriptions of computation to values.
+///
+/// Fix evaluation is deterministic and memoized, so any two conforming
+/// backends return bit-identical handles for the same request — which is
+/// what lets one workload double as a benchmark row for every backend.
+pub trait Evaluator {
+    /// Evaluates a handle to a non-Thunk value (weak head normal form).
+    ///
+    /// Values evaluate to themselves; Thunks are reduced (running
+    /// procedures as needed); Encodes are resolved per their style.
+    fn eval(&self, handle: Handle) -> Result<Handle>;
+
+    /// Fully evaluates: reduces to a value, then deep-forces it so every
+    /// nested Thunk/Encode is resolved and every Ref promoted.
+    fn eval_strict(&self, handle: Handle) -> Result<Handle>;
+
+    /// Evaluates a batch of independent requests.
+    ///
+    /// Semantically identical to mapping [`eval`](Evaluator::eval) over
+    /// `handles` (results are positional), but backends may amortize
+    /// per-request overhead: the single-node runtime submits the whole
+    /// batch to its scheduler under one lock acquisition, and the cluster
+    /// client ships the batch through one simulated run.
+    fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
+        handles.iter().map(|&h| self.eval(h)).collect()
+    }
+
+    /// Computes the minimum repository of a thunk (paper §3.3), using
+    /// whatever evaluation results the backend has already memoized.
+    fn footprint(&self, thunk: Handle) -> Result<Footprint>;
+
+    /// Procedures the backend has actually executed (memoization cache
+    /// misses). The conformance suite observes memoization through this.
+    fn procedures_run(&self) -> u64;
+
+    /// Convenience: apply + strict evaluation in one call.
+    fn run_invocation(
+        &self,
+        limits: ResourceLimits,
+        procedure: Handle,
+        args: &[Handle],
+    ) -> Result<Handle>
+    where
+        Self: InvocationApi + Sized,
+    {
+        let thunk = self.apply(limits, procedure, args)?;
+        self.eval_strict(thunk)
+    }
+}
+
+impl<T: Evaluator + ?Sized> Evaluator for &T {
+    fn eval(&self, handle: Handle) -> Result<Handle> {
+        (**self).eval(handle)
+    }
+    fn eval_strict(&self, handle: Handle) -> Result<Handle> {
+        (**self).eval_strict(handle)
+    }
+    fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
+        (**self).eval_many(handles)
+    }
+    fn footprint(&self, thunk: Handle) -> Result<Footprint> {
+        (**self).footprint(thunk)
+    }
+    fn procedures_run(&self) -> u64 {
+        (**self).procedures_run()
+    }
+}
+
+impl<T: Evaluator + ?Sized> Evaluator for Arc<T> {
+    fn eval(&self, handle: Handle) -> Result<Handle> {
+        (**self).eval(handle)
+    }
+    fn eval_strict(&self, handle: Handle) -> Result<Handle> {
+        (**self).eval_strict(handle)
+    }
+    fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
+        (**self).eval_many(handles)
+    }
+    fn footprint(&self, thunk: Handle) -> Result<Footprint> {
+        (**self).footprint(thunk)
+    }
+    fn procedures_run(&self) -> u64 {
+        (**self).procedures_run()
+    }
+}

@@ -9,7 +9,13 @@ use std::fmt;
 /// correspond to *guest faults* (a procedure violating its contract, e.g.
 /// touching data behind a Ref) or to *platform faults* (an object missing
 /// from storage).
+///
+/// The enum is non-exhaustive: it is the shared error surface of every
+/// [`crate::api`] backend, and backends may grow fault classes (cluster
+/// transport, admission control, ...) without breaking downstream
+/// matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Error {
     /// The referenced object is not present in (local) storage.
     NotFound(Handle),
@@ -67,6 +73,16 @@ pub enum Error {
         /// The configured bound.
         limit: usize,
     },
+    /// A fault specific to one execution backend (e.g. a cluster client
+    /// with no worker nodes). Semantic faults use the shared variants
+    /// above so they stay comparable across backends; this variant is
+    /// for failures of the *substrate*, not of the program.
+    Backend {
+        /// Which backend failed (e.g. `"cluster"`).
+        backend: &'static str,
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -104,6 +120,9 @@ impl fmt::Display for Error {
             Error::NotEvaluated(h) => write!(f, "expected an evaluated value, got {h}"),
             Error::DepthExceeded { limit } => {
                 write!(f, "evaluation depth exceeded the bound of {limit}")
+            }
+            Error::Backend { backend, message } => {
+                write!(f, "{backend} backend fault: {message}")
             }
         }
     }

@@ -12,7 +12,10 @@
 //!   plus the Table-1 construction API;
 //! * [`limits::ResourceLimits`] — explicit per-invocation resource bounds;
 //! * [`semantics`] — minimum-repository (footprint) analysis and the
-//!   data-access rules shared by the runtime and the scheduler.
+//!   data-access rules shared by the runtime and the scheduler;
+//! * [`api`] — the One Fix API: backend-agnostic [`api::ObjectApi`] /
+//!   [`api::InvocationApi`] / [`api::Evaluator`] traits implemented by
+//!   every execution engine in the workspace.
 //!
 //! The runtime that evaluates these objects is the `fixpoint` crate; the
 //! distributed engine is `fix-cluster`.
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod data;
 pub mod error;
 pub mod handle;
@@ -49,6 +53,7 @@ pub mod limits;
 pub mod semantics;
 pub mod wire;
 
+pub use api::{Evaluator, HostApi, InvocationApi, NativeCtx, NativeFn, ObjectApi};
 pub use data::{Blob, Node, Tree};
 pub use error::{Error, Result};
 pub use handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};

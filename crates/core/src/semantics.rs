@@ -270,15 +270,13 @@ fn collect_encodes_inner(
 ) -> Result<()> {
     for entry in tree.entries() {
         match entry.kind() {
-            Kind::Encode(..)
-                if seen.insert(*entry.raw()) => {
-                    found.push(*entry);
-                }
-            Kind::Object(DataType::Tree)
-                if seen.insert(*entry.raw()) => {
-                    let sub = load_tree(source, *entry)?;
-                    collect_encodes_inner(source, &sub, found, seen)?;
-                }
+            Kind::Encode(..) if seen.insert(*entry.raw()) => {
+                found.push(*entry);
+            }
+            Kind::Object(DataType::Tree) if seen.insert(*entry.raw()) => {
+                let sub = load_tree(source, *entry)?;
+                collect_encodes_inner(source, &sub, found, seen)?;
+            }
             _ => {}
         }
     }

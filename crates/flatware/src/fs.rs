@@ -12,10 +12,10 @@
 //!              u8 kind (0 file, 1 dir), u48 size, u16 name-len, name
 //! ```
 
+use fix_core::api::ObjectApi;
 use fix_core::data::{Blob, Tree};
 use fix_core::error::{Error, Result};
 use fix_core::handle::{DataType, Handle, Kind};
-use fix_storage::Store;
 use std::collections::BTreeMap;
 
 /// The kind of a directory entry.
@@ -175,15 +175,16 @@ impl FsBuilder {
         Ok(())
     }
 
-    /// Stores the filesystem; returns the root directory's Tree handle
-    /// (as an accessible Object — demote with `as_ref_handle` to model a
-    /// remote filesystem).
-    pub fn build(&self, store: &Store) -> Handle {
+    /// Stores the filesystem into any [`ObjectApi`] backend (a bare
+    /// store, a runtime, a cluster client); returns the root directory's
+    /// Tree handle (as an accessible Object — demote with
+    /// `as_ref_handle` to model a remote filesystem).
+    pub fn build<A: ObjectApi>(&self, store: &A) -> Handle {
         build_dir(&self.root, store)
     }
 }
 
-fn build_dir(dir: &BTreeMap<String, NodeBuilder>, store: &Store) -> Handle {
+fn build_dir<A: ObjectApi>(dir: &BTreeMap<String, NodeBuilder>, store: &A) -> Handle {
     let mut info = DirInfo::default();
     let mut slots: Vec<Handle> = Vec::with_capacity(dir.len() + 1);
     slots.push(Handle::literal(b"").expect("empty literal")); // Placeholder.
@@ -216,7 +217,7 @@ fn build_dir(dir: &BTreeMap<String, NodeBuilder>, store: &Store) -> Handle {
 
 /// Trusted (runtime-side) path resolution: walks the directory trees
 /// directly. Returns the entry's handle (a Ref, as stored).
-pub fn resolve(store: &Store, root: Handle, path: &str) -> Result<Handle> {
+pub fn resolve<A: ObjectApi>(store: &A, root: Handle, path: &str) -> Result<Handle> {
     let mut current = root;
     let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
     if parts.is_empty() {
@@ -255,7 +256,7 @@ pub fn resolve(store: &Store, root: Handle, path: &str) -> Result<Handle> {
 }
 
 /// Lists a directory's entries (trusted path).
-pub fn list_dir(store: &Store, dir: Handle) -> Result<Vec<DirEntry>> {
+pub fn list_dir<A: ObjectApi>(store: &A, dir: Handle) -> Result<Vec<DirEntry>> {
     let tree = store.get_tree(dir)?;
     let info_handle = tree.get(0).ok_or(Error::MalformedTree {
         handle: dir,
@@ -267,6 +268,7 @@ pub fn list_dir(store: &Store, dir: Handle) -> Result<Vec<DirEntry>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fix_storage::Store;
 
     fn sample() -> (Store, Handle) {
         let store = Store::new();
@@ -382,6 +384,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use fix_storage::Store;
     use proptest::prelude::*;
     use std::collections::HashMap;
 

@@ -8,23 +8,23 @@
 //! encoded Selection (the one piece of data genuinely needed next).
 
 use crate::fs::DirInfo;
+use fix_core::api::{Evaluator, InvocationApi, ObjectApi};
 use fix_core::data::Blob;
 use fix_core::error::{Error, Result};
 use fix_core::handle::{EncodeStyle, Handle};
 use fix_core::invocation::Invocation;
 use fix_core::limits::ResourceLimits;
-use fixpoint::Runtime;
 use std::sync::Arc;
 
-/// Registers the `get-file` native codelet on a runtime, returning its
-/// procedure handle.
+/// Registers the `get-file` native codelet on any [`InvocationApi`]
+/// backend, returning its procedure handle.
 ///
 /// Input layout: `[rlimits, get-file, path, info, dir]` where `path` is
 /// the remaining '/'-separated path, `info` is the current directory's
 /// inode-info blob (accessible), and `dir` is the current directory tree
 /// (typically a Ref). Returns either the selected entry or an
 /// application thunk for the next level.
-pub fn register_get_file(rt: &Runtime) -> Handle {
+pub fn register_get_file<R: InvocationApi>(rt: &R) -> Handle {
     rt.register_native(
         "flatware/get-file",
         Arc::new(|ctx| {
@@ -78,7 +78,12 @@ pub fn register_get_file(rt: &Runtime) -> Handle {
 ///
 /// Returns the entry's handle: for a file, the blob (as stored); for a
 /// directory, the directory tree.
-pub fn get_file(rt: &Runtime, get_file_proc: Handle, root: Handle, path: &str) -> Result<Handle> {
+pub fn get_file<R: ObjectApi + Evaluator>(
+    rt: &R,
+    get_file_proc: Handle,
+    root: Handle,
+    path: &str,
+) -> Result<Handle> {
     let root_tree = rt.get_tree(root)?;
     let info = root_tree.get(0).ok_or(Error::MalformedTree {
         handle: root,
@@ -99,6 +104,7 @@ pub fn get_file(rt: &Runtime, get_file_proc: Handle, root: Handle, path: &str) -
 mod tests {
     use super::*;
     use crate::fs::FsBuilder;
+    use fixpoint::Runtime;
 
     fn runtime_with_fs() -> (Runtime, Handle, Handle) {
         let rt = Runtime::builder().build();

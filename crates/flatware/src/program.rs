@@ -12,13 +12,12 @@
 //! the procedure": the runtime sees only data dependencies.
 
 use crate::fs::DirEntry;
+use fix_core::api::{Evaluator, InvocationApi, NativeCtx, ObjectApi};
 use fix_core::data::{Blob, Tree};
 use fix_core::error::{Error, Result};
 use fix_core::handle::Handle;
 use fix_core::invocation::Invocation;
 use fix_core::limits::ResourceLimits;
-use fix_storage::Store;
-use fixpoint::{NativeCtx, Runtime};
 use std::sync::Arc;
 
 /// Encodes an argv list as a NUL-separated blob.
@@ -125,9 +124,9 @@ impl<'a, 'b> PosixWorld<'a, 'b> {
 }
 
 /// Registers a POSIX-style program as a native codelet under Flatware
-/// conventions.
-pub fn register_posix_program(
-    rt: &Runtime,
+/// conventions, on any [`InvocationApi`] backend.
+pub fn register_posix_program<R: InvocationApi>(
+    rt: &R,
     name: &str,
     main: Arc<dyn Fn(&[String], &mut PosixWorld<'_, '_>) -> Result<u8> + Send + Sync>,
 ) -> Handle {
@@ -141,9 +140,10 @@ pub fn register_posix_program(
     )
 }
 
-/// Invokes a Flatware program and returns `(exit_code, stdout)`.
-pub fn run_program(
-    rt: &Runtime,
+/// Invokes a Flatware program on any One-Fix-API backend and returns
+/// `(exit_code, stdout)`.
+pub fn run_program<R: InvocationApi + Evaluator>(
+    rt: &R,
     program: Handle,
     args: &[&str],
     fs_root: Handle,
@@ -156,11 +156,11 @@ pub fn run_program(
     };
     let tree = rt.put_tree(inv.to_tree());
     let result = rt.eval_strict(tree.application()?)?;
-    parse_program_result(rt.store(), result)
+    parse_program_result(rt, result)
 }
 
 /// Parses the `[exit-code, stdout]` result tree.
-pub fn parse_program_result(store: &Store, result: Handle) -> Result<(u8, Blob)> {
+pub fn parse_program_result<A: ObjectApi>(store: &A, result: Handle) -> Result<(u8, Blob)> {
     let tree: Tree = store.get_tree(result)?;
     let code_blob = store.get_blob(tree.get(0).ok_or(Error::MalformedTree {
         handle: result,
@@ -178,6 +178,7 @@ pub fn parse_program_result(store: &Store, result: Handle) -> Result<(u8, Blob)>
 mod tests {
     use super::*;
     use crate::fs::FsBuilder;
+    use fixpoint::Runtime;
 
     #[test]
     fn argv_round_trip() {

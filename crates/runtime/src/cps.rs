@@ -243,11 +243,9 @@ mod tests {
                     return Ok(StepOutcome::Done(ctx.select(node, 0)?));
                 }
                 let next = ctx.select(node, 1)?;
-                Ok(
-                    StepOutcome::suspend((i - 1).to_le_bytes().to_vec())
-                        // Shallow: hop to the next node *by name*.
-                        .request(next, EncodeStyle::Shallow),
-                )
+                Ok(StepOutcome::suspend((i - 1).to_le_bytes().to_vec())
+                    // Shallow: hop to the next node *by name*.
+                    .request(next, EncodeStyle::Shallow))
             }),
         )
     }
@@ -273,8 +271,7 @@ mod tests {
         let rt = Runtime::builder().build();
         let head = linked_list(&rt, &[0, 1, 2, 3, 4, 5, 6, 7]);
         let get = register_get(&rt);
-        let runs =
-            |rt: &Runtime| rt.engine().stats.procedures_run.load(Ordering::Relaxed);
+        let runs = |rt: &Runtime| rt.engine().stats.procedures_run.load(Ordering::Relaxed);
         let before = runs(&rt);
         let thunk = start(&rt, get, &6u64.to_le_bytes(), &[head]).unwrap();
         rt.eval(thunk).unwrap();
@@ -317,8 +314,7 @@ mod tests {
                         | fix_core::handle::Kind::Ref(fix_core::handle::DataType::Blob) => {
                             // Last value arrived alone (tail of list).
                             let v = ctx.host.load_blob(ctx.args[0])?;
-                            let v =
-                                u64::from_le_bytes(v.as_slice()[..8].try_into().expect("u64"));
+                            let v = u64::from_le_bytes(v.as_slice()[..8].try_into().expect("u64"));
                             return Ok(StepOutcome::Done(Blob::from_u64(acc + v).handle()));
                         }
                         _ => {}

@@ -470,9 +470,7 @@ mod tests {
     /// Two applications sharing a strict-encoded sub-computation, so the
     /// second evaluation's dependency set collides with jobs finished by
     /// the first — the shape that exposed the memo-desync livelock.
-    fn shared_encode_pair(
-        rt: &Runtime,
-    ) -> (fix_core::handle::Handle, fix_core::handle::Handle) {
+    fn shared_encode_pair(rt: &Runtime) -> (fix_core::handle::Handle, fix_core::handle::Handle) {
         let add = register_add(rt);
         let one = rt.put_blob(Blob::from_u64(1));
         let two = rt.put_blob(Blob::from_u64(2));
@@ -533,6 +531,93 @@ mod tests {
                 .unwrap();
             assert_eq!(rt.get_u64(rt.eval(thunk).unwrap()).unwrap(), i + 1);
             drop(rt); // Joins the pool; must never hang.
+        }
+    }
+
+    /// Regression: two inline drivers (no worker pool) sharing one
+    /// scheduler must cooperate, not misreport a stall. Before the
+    /// `inline_executing` claim, driver B could observe an empty queue
+    /// while driver A was mid-step on the last runnable job and fail the
+    /// whole request with "evaluation stalled".
+    #[test]
+    fn concurrent_inline_drivers_never_misreport_a_stall() {
+        use std::sync::Arc;
+        for round in 0..200u64 {
+            let rt = Arc::new(Runtime::builder().build());
+            let add = register_add(&rt);
+            // Both threads race the same dependency chain: shared strict
+            // encodes force one driver to wait on jobs the other may be
+            // executing.
+            let one = rt.put_blob(Blob::from_u64(1));
+            let seed = rt.put_blob(Blob::from_u64(round));
+            let inner = rt.apply(limits(), add, &[seed, one]).unwrap();
+            let shared = inner.strict().unwrap();
+            let left = rt.apply(limits(), add, &[shared, one]).unwrap();
+            let right = rt.apply(limits(), add, &[shared, seed]).unwrap();
+
+            let threads: Vec<_> = [left, right]
+                .into_iter()
+                .map(|thunk| {
+                    let rt = Arc::clone(&rt);
+                    std::thread::spawn(move || rt.eval(thunk).unwrap())
+                })
+                .collect();
+            let outs: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+            assert_eq!(rt.get_u64(outs[0]).unwrap(), round + 2);
+            assert_eq!(rt.get_u64(outs[1]).unwrap(), 2 * round + 1);
+        }
+    }
+
+    /// A panicking codelet is a guest fault, not a scheduler failure: it
+    /// must surface as `Error::Trap` to every driver (inline or pooled)
+    /// and leave the scheduler fully usable — never a lost job, a hang,
+    /// or a dead worker (this test *hanging* is the regression signal).
+    #[test]
+    fn panicking_codelet_does_not_strand_other_drivers() {
+        use std::sync::Arc;
+        for workers in [0usize, 2] {
+            let rt = Arc::new(Runtime::builder().workers(workers).build());
+            let boom = rt.register_native(
+                "panicker",
+                Arc::new(
+                    |_ctx| -> fix_core::error::Result<fix_core::handle::Handle> {
+                        panic!("guest bug")
+                    },
+                ),
+            );
+            let bad = rt.apply(limits(), boom, &[]).unwrap();
+
+            // Two concurrent drivers of the same failing job: both must
+            // come back with the trap, however the job was executed.
+            let threads: Vec<_> = (0..2)
+                .map(|_| {
+                    let rt = Arc::clone(&rt);
+                    std::thread::spawn(move || rt.eval(bad))
+                })
+                .collect();
+            for t in threads {
+                let err = t
+                    .join()
+                    .expect("drivers do not panic")
+                    .expect_err("a panicking job must not produce a value");
+                assert!(
+                    err.to_string().contains("panicked"),
+                    "workers={workers}: {err}"
+                );
+            }
+            // The scheduler (and any pool workers) still work afterward.
+            let add = register_add(&rt);
+            let t = rt
+                .apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(1)),
+                        rt.put_blob(Blob::from_u64(2)),
+                    ],
+                )
+                .unwrap();
+            assert_eq!(rt.get_u64(rt.eval(t).unwrap()).unwrap(), 3);
         }
     }
 

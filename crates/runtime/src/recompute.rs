@@ -266,7 +266,9 @@ mod tests {
     fn pins_survive_eviction() {
         let (rt, double, _) = doubling_runtime();
         let input = rt.put_blob(Blob::from_u64(5));
-        let out = rt.eval(rt.apply(limits(), double, &[input]).unwrap()).unwrap();
+        let out = rt
+            .eval(rt.apply(limits(), double, &[input]).unwrap())
+            .unwrap();
         let outcome = rt.evict_recomputable(&[out]).unwrap();
         assert_eq!(outcome.bytes_reclaimed, 0);
         assert!(rt.store().contains(out));
@@ -312,7 +314,9 @@ mod tests {
         // Even if every memo is gone, recipes are self-contained.
         let (rt, double, _) = doubling_runtime();
         let input = rt.put_blob(Blob::from_u64(8));
-        let out = rt.eval(rt.apply(limits(), double, &[input]).unwrap()).unwrap();
+        let out = rt
+            .eval(rt.apply(limits(), double, &[input]).unwrap())
+            .unwrap();
         rt.evict_recomputable(&[]).unwrap();
         rt.clear_memoization();
         rt.materialize(out).unwrap();

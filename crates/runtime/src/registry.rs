@@ -14,53 +14,15 @@
 //!   handle.
 
 use fix_core::data::Blob;
-use fix_core::error::Result;
 use fix_core::handle::Handle;
-use fix_vm::HostApi;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Context handed to a native codelet: its input tree handle plus the
-/// host API (identical powers to a VM guest).
-pub struct NativeCtx<'a> {
-    /// The application tree (after Encode resolution), as the guest sees it.
-    pub input: Handle,
-    /// Host services: load accessible data, create new data.
-    pub host: &'a mut dyn HostApi,
-}
-
-impl<'a> NativeCtx<'a> {
-    /// Loads the input application tree.
-    pub fn input_tree(&mut self) -> Result<fix_core::data::Tree> {
-        self.host.load_tree(self.input)
-    }
-
-    /// Loads argument `i` of the invocation (slot `2 + i`) as a blob.
-    pub fn arg_blob(&mut self, i: usize) -> Result<fix_core::data::Blob> {
-        let tree = self.input_tree()?;
-        let h = tree
-            .get(2 + i)
-            .ok_or(fix_core::error::Error::MalformedTree {
-                handle: self.input,
-                reason: format!("missing argument {i}"),
-            })?;
-        self.host.load_blob(h)
-    }
-
-    /// Loads argument `i` of the invocation (slot `2 + i`) as a handle.
-    pub fn arg(&mut self, i: usize) -> Result<Handle> {
-        let tree = self.input_tree()?;
-        tree.get(2 + i)
-            .ok_or(fix_core::error::Error::MalformedTree {
-                handle: self.input,
-                reason: format!("missing argument {i}"),
-            })
-    }
-}
-
-/// The signature of a native codelet: `_fix_apply` in Rust.
-pub type NativeFn = Arc<dyn Fn(&mut NativeCtx<'_>) -> Result<Handle> + Send + Sync>;
+// The codelet context and signature live in `fix_core::api` since the
+// One Fix API refactor, so backend-agnostic code can register natives
+// through `InvocationApi` without depending on this crate.
+pub use fix_core::api::{NativeCtx, NativeFn};
 
 /// Maps procedure handles to native implementations.
 #[derive(Default)]

@@ -9,9 +9,8 @@ use crate::engine::{Engine, Job};
 use crate::registry::{NativeFn, ProgramRegistry};
 use crate::scheduler::{Scheduler, WorkerPool};
 use fix_core::data::{Blob, Node, Tree};
-use fix_core::error::{Error, Result};
-use fix_core::handle::{EncodeStyle, Handle};
-use fix_core::invocation::Invocation;
+use fix_core::error::Result;
+use fix_core::handle::Handle;
 use fix_core::limits::ResourceLimits;
 use fix_core::semantics::{footprint, Footprint};
 use fix_storage::{Labels, ProvenanceLedger, RelationCache, Store};
@@ -23,7 +22,6 @@ pub struct RuntimeBuilder {
     workers: usize,
     provenance: bool,
 }
-
 
 impl RuntimeBuilder {
     /// Number of worker threads. With 0, evaluation runs inline on the
@@ -196,35 +194,26 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     /// Builds and stores an application tree `[limits, proc, args...]`,
-    /// returning the Application Thunk.
+    /// returning the Application Thunk. (Canonical definition:
+    /// [`InvocationApi::apply`](fix_core::api::InvocationApi::apply) —
+    /// delegated so the generic and concrete call paths cannot diverge.)
     pub fn apply(
         &self,
         limits: ResourceLimits,
         procedure: Handle,
         args: &[Handle],
     ) -> Result<Handle> {
-        let inv = Invocation {
-            limits,
-            procedure,
-            args: args.to_vec(),
-        };
-        let tree = inv.to_tree();
-        let h = self.store.put_tree(tree);
-        h.application()
+        fix_core::api::InvocationApi::apply(self, limits, procedure, args)
     }
 
     /// Builds and stores a selection thunk for `target[index]`.
     pub fn select(&self, target: Handle, index: u64) -> Result<Handle> {
-        let (tree, thunk) = fix_core::invocation::build::selection(target, index)?;
-        self.store.put_tree(tree);
-        Ok(thunk)
+        fix_core::api::InvocationApi::select(self, target, index)
     }
 
     /// Builds and stores a selection thunk for `target[begin..end]`.
     pub fn select_range(&self, target: Handle, begin: u64, end: u64) -> Result<Handle> {
-        let (tree, thunk) = fix_core::invocation::build::selection_range(target, begin, end)?;
-        self.store.put_tree(tree);
-        Ok(thunk)
+        fix_core::api::InvocationApi::select_range(self, target, begin, end)
     }
 
     // ------------------------------------------------------------------
@@ -247,6 +236,42 @@ impl Runtime {
     pub fn eval_strict(&self, handle: Handle) -> Result<Handle> {
         let value = self.eval(handle)?;
         self.scheduler.run_inline(Job::Force(value))
+    }
+
+    /// Evaluates a batch of independent requests (results positional).
+    ///
+    /// Equivalent to mapping [`eval`](Runtime::eval) over `handles`, but
+    /// the whole batch enters the scheduler under **one** lock
+    /// acquisition and one wakeup broadcast instead of a submit/notify
+    /// round per request — the batched dispatch path measured by the
+    /// `api_eval_many` bench. Shared sub-computations are deduplicated
+    /// across the batch exactly as they are within one evaluation.
+    pub fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
+        // Values evaluate to themselves without touching the scheduler.
+        let jobs: Vec<Job> = handles
+            .iter()
+            .filter(|h| !h.is_value())
+            .map(|&h| Job::Eval(h))
+            .collect();
+        let mut batched = self.scheduler.run_inline_many(&jobs).into_iter();
+        handles
+            .iter()
+            .map(|&h| {
+                if h.is_value() {
+                    Ok(h)
+                } else {
+                    batched.next().expect("one result per submitted job")
+                }
+            })
+            .collect()
+    }
+
+    /// Procedures actually executed so far (memoization cache misses).
+    pub fn procedures_run(&self) -> u64 {
+        self.engine
+            .stats
+            .procedures_run
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Convenience: apply + strict evaluation in one call.
@@ -295,10 +320,7 @@ impl Runtime {
 
     /// Reads a `u64` result blob (common in examples and tests).
     pub fn get_u64(&self, handle: Handle) -> Result<u64> {
-        self.get_blob(handle)?.as_u64().ok_or(Error::TypeMismatch {
-            handle,
-            expected: "a u64 blob",
-        })
+        fix_core::api::ObjectApi::get_u64(self, handle)
     }
 
     /// Builds a strict encode of an application, the most common idiom:
@@ -309,8 +331,7 @@ impl Runtime {
         procedure: Handle,
         args: &[Handle],
     ) -> Result<Handle> {
-        self.apply(limits, procedure, args)?
-            .encode(EncodeStyle::Strict)
+        fix_core::api::InvocationApi::strict_apply(self, limits, procedure, args)
     }
 
     /// Stores a whole [`Node`].
@@ -322,5 +343,61 @@ impl Runtime {
 impl Default for Runtime {
     fn default() -> Self {
         Runtime::builder().build()
+    }
+}
+
+// ----------------------------------------------------------------------
+// The One Fix API (fix_core::api): Runtime is the reference backend.
+// The trait impls delegate to the inherent methods above so that code
+// written against either surface behaves identically.
+// ----------------------------------------------------------------------
+
+impl fix_core::api::ObjectApi for Runtime {
+    fn put_blob(&self, blob: Blob) -> Handle {
+        Runtime::put_blob(self, blob)
+    }
+
+    fn put_tree(&self, tree: Tree) -> Handle {
+        Runtime::put_tree(self, tree)
+    }
+
+    fn get_blob(&self, handle: Handle) -> Result<Blob> {
+        Runtime::get_blob(self, handle)
+    }
+
+    fn get_tree(&self, handle: Handle) -> Result<Tree> {
+        Runtime::get_tree(self, handle)
+    }
+
+    fn contains(&self, handle: Handle) -> bool {
+        self.store.contains(handle)
+    }
+}
+
+impl fix_core::api::InvocationApi for Runtime {
+    fn register_native(&self, name: &str, f: NativeFn) -> Handle {
+        Runtime::register_native(self, name, f)
+    }
+}
+
+impl fix_core::api::Evaluator for Runtime {
+    fn eval(&self, handle: Handle) -> Result<Handle> {
+        Runtime::eval(self, handle)
+    }
+
+    fn eval_strict(&self, handle: Handle) -> Result<Handle> {
+        Runtime::eval_strict(self, handle)
+    }
+
+    fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
+        Runtime::eval_many(self, handles)
+    }
+
+    fn footprint(&self, thunk: Handle) -> Result<Footprint> {
+        Runtime::footprint(self, thunk)
+    }
+
+    fn procedures_run(&self) -> u64 {
+        Runtime::procedures_run(self)
     }
 }

@@ -55,6 +55,11 @@ const MAX_RESPINS: u32 = 10_000;
 struct Shared {
     jobs: HashMap<Job, JobEntry>,
     queue: VecDeque<Job>,
+    /// Inline drivers currently stepping a popped job outside the lock.
+    /// Living inside `Shared` makes the invariant structural: every
+    /// mutation happens under the mutex, so a driver that checks this
+    /// while deciding to park cannot miss the release wakeup.
+    inline_executing: usize,
 }
 
 /// The shared scheduler for one node.
@@ -173,17 +178,43 @@ impl Scheduler {
         }
     }
 
+    /// True when no one can make progress: no pool workers and no inline
+    /// driver mid-step. The caller holds `shared`, so a `false` answer is
+    /// stable until the lock is released.
+    fn drained_and_stalled(&self, shared: &Shared) -> bool {
+        self.active_workers() == 0 && shared.inline_executing == 0
+    }
+
+    /// Pops the next queued job, claiming executor status under the lock
+    /// so a concurrent inline driver that finds the queue empty sees the
+    /// in-flight step instead of declaring a stall. The returned
+    /// [`InlineClaim`] releases the claim on drop — including on unwind
+    /// out of a panicking codelet, so a panic degrades to the stall
+    /// error, never a parked-forever driver.
+    fn pop_claimed<'a>(&'a self, shared: &mut Shared) -> Option<InlineClaim<'a>> {
+        let job = shared.queue.pop_front()?;
+        shared.inline_executing += 1;
+        Some(InlineClaim {
+            scheduler: self,
+            job,
+        })
+    }
+
     /// Drives the queue on the calling thread until `root` completes.
     ///
     /// If worker threads are also draining the queue, this cooperates with
     /// them; when the queue is momentarily empty it waits for progress.
+    /// Kept allocation-free separately from the batched
+    /// [`run_inline_many`](Scheduler::run_inline_many) — this is the
+    /// Fig. 7a microsecond path — with the subtle parts (executor claims,
+    /// the stall predicate) shared between the two loops.
     pub fn run_inline(&self, root: Job) -> Result<Handle> {
         self.submit(root);
         loop {
             if let Some(result) = self.poll(root) {
                 return result;
             }
-            let job = {
+            let claim = {
                 let mut shared = self.shared.lock();
                 loop {
                     match shared.jobs.get(&root).and_then(|e| e.state.as_ref()) {
@@ -191,12 +222,13 @@ impl Scheduler {
                         Some(JobState::Failed(e)) => return Err(e.clone()),
                         _ => {}
                     }
-                    if let Some(job) = shared.queue.pop_front() {
-                        break job;
+                    if let Some(claim) = self.pop_claimed(&mut shared) {
+                        break claim;
                     }
-                    // Queue is empty but the root isn't finished: some jobs
-                    // are running on workers, or the graph is stalled.
-                    if self.active_workers() == 0 {
+                    // Queue is empty but the root isn't finished: jobs are
+                    // running on pool workers or another inline driver, or
+                    // the graph is stalled.
+                    if self.drained_and_stalled(&shared) {
                         return Err(Error::Trap(format!(
                             "evaluation stalled: no runnable jobs for {root}"
                         )));
@@ -204,12 +236,91 @@ impl Scheduler {
                     self.cv.wait(&mut shared);
                 }
             };
-            self.execute(job);
+            claim.execute();
         }
+    }
+
+    /// Drives the queue on the calling thread until every job in `roots`
+    /// completes; results are positional.
+    ///
+    /// The batched counterpart of [`run_inline`](Scheduler::run_inline)
+    /// behind `Runtime::eval_many`: the whole batch is submitted under
+    /// **one** lock acquisition and one wakeup broadcast, instead of a
+    /// lock/notify round per root, and the calling thread then drains the
+    /// queue once for all of them. With a worker pool attached, the
+    /// batch's independent subgraphs run concurrently from the start.
+    pub fn run_inline_many(&self, roots: &[Job]) -> Vec<Result<Handle>> {
+        {
+            let mut shared = self.shared.lock();
+            for &job in roots {
+                self.submit_locked(&mut shared, job);
+            }
+        }
+        self.cv.notify_all();
+
+        let mut results: Vec<Option<Result<Handle>>> = vec![None; roots.len()];
+        // Positions still unfinished, so each drain pass only re-polls
+        // jobs that haven't completed yet (roots may contain duplicates;
+        // every position gets its answer).
+        let mut open: Vec<usize> = (0..roots.len()).collect();
+        while !open.is_empty() {
+            let claim = {
+                let mut shared = self.shared.lock();
+                loop {
+                    open.retain(|&i| {
+                        match shared.jobs.get(&roots[i]).and_then(|e| e.state.as_ref()) {
+                            Some(JobState::Done(h)) => {
+                                results[i] = Some(Ok(*h));
+                                false
+                            }
+                            Some(JobState::Failed(e)) => {
+                                results[i] = Some(Err(e.clone()));
+                                false
+                            }
+                            _ => true,
+                        }
+                    });
+                    if open.is_empty() {
+                        return results.into_iter().map(|r| r.expect("filled")).collect();
+                    }
+                    if let Some(claim) = self.pop_claimed(&mut shared) {
+                        break claim;
+                    }
+                    // Queue is empty but roots remain: jobs are running on
+                    // pool workers or another inline driver, or the graph
+                    // is genuinely stalled.
+                    if self.drained_and_stalled(&shared) {
+                        for &i in &open {
+                            results[i] = Some(Err(Error::Trap(format!(
+                                "evaluation stalled: no runnable jobs for {}",
+                                roots[i]
+                            ))));
+                        }
+                        return results.into_iter().map(|r| r.expect("filled")).collect();
+                    }
+                    self.cv.wait(&mut shared);
+                }
+            };
+            claim.execute();
+        }
+        results.into_iter().map(|r| r.expect("filled")).collect()
     }
 
     fn active_workers(&self) -> usize {
         self.workers_running.load(Ordering::Relaxed)
+    }
+
+    /// Releases an inline-executor claim. The decrement happens while
+    /// holding the mutex (like [`begin_shutdown`](Scheduler::begin_shutdown)'s
+    /// flag store, and for the same reason): an unlocked release could
+    /// slip between a parked driver's stall check and its `cv.wait`,
+    /// losing the wakeup.
+    fn release_claim(&self) {
+        {
+            let mut shared = self.shared.lock();
+            shared.inline_executing -= 1;
+        }
+        self.cv.notify_all();
     }
 
     /// Raises the shutdown flag so workers exit.
@@ -240,8 +351,23 @@ impl Scheduler {
     }
 
     /// Steps a job and records the outcome.
+    ///
+    /// A panicking codelet is caught at this boundary and recorded as a
+    /// guest [`Error::Trap`] — panics are guest faults like VM traps, and
+    /// converting them here lets failure propagation wake every waiter.
+    /// Letting the panic unwind instead would lose the job (its entry
+    /// stays `Queued` but it is no longer in the queue), permanently
+    /// hanging any driver or pool waiting on it.
     fn execute(&self, job: Job) {
-        let step = self.engine.step(job);
+        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.engine.step(job)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                Err(Error::Trap(format!("codelet panicked: {msg}")))
+            });
         let mut shared = self.shared.lock();
         match step {
             Ok(Step::Done(h)) => self.complete(&mut shared, job, Ok(h)),
@@ -332,6 +458,31 @@ impl Scheduler {
     }
 }
 
+/// An inline driver's executor claim on one popped job (see
+/// [`Scheduler::pop_claimed`]): while it lives, concurrent drivers that
+/// find the queue empty wait for this step instead of reporting a
+/// stall. Dropping releases the claim and wakes parked drivers — also
+/// on unwind, so a panicking codelet leaves the scheduler consistent
+/// (the surviving driver then reports the stall as an error).
+struct InlineClaim<'a> {
+    scheduler: &'a Scheduler,
+    job: Job,
+}
+
+impl InlineClaim<'_> {
+    /// Steps the claimed job, then releases the claim.
+    fn execute(self) {
+        self.scheduler.execute(self.job);
+        // Release happens in Drop, which also covers the panic path.
+    }
+}
+
+impl Drop for InlineClaim<'_> {
+    fn drop(&mut self) {
+        self.scheduler.release_claim();
+    }
+}
+
 /// A pool of worker threads draining a scheduler's queue.
 pub struct WorkerPool {
     scheduler: Arc<Scheduler>,
@@ -374,6 +525,23 @@ impl Drop for WorkerPool {
 
 impl Scheduler {
     fn worker_loop(&self) {
+        /// Keeps `workers_running` an honest *live*-worker count: the
+        /// decrement runs on every exit, including unwinding out of a
+        /// panicking codelet. Without it, a dead worker would satisfy
+        /// the stall predicate forever and park inline drivers instead
+        /// of letting them report the stall. Decrement under the lock +
+        /// notify, like every other stall-predicate mutation.
+        struct LiveWorker<'a>(&'a Scheduler);
+        impl Drop for LiveWorker<'_> {
+            fn drop(&mut self) {
+                {
+                    let _guard = self.0.shared.lock();
+                    self.0.workers_running.fetch_sub(1, Ordering::SeqCst);
+                }
+                self.0.cv.notify_all();
+            }
+        }
+        let _live = LiveWorker(self);
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;

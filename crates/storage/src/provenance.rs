@@ -332,7 +332,11 @@ pub fn plan_eviction(store: &Store, ledger: &ProvenanceLedger, pins: &[Handle]) 
 ///
 /// Fails (before deleting anything) if any victim lost its recipe since
 /// planning — eviction without provenance would be data loss.
-pub fn apply_eviction(store: &Store, ledger: &ProvenanceLedger, plan: &EvictionPlan) -> Result<u64> {
+pub fn apply_eviction(
+    store: &Store,
+    ledger: &ProvenanceLedger,
+    plan: &EvictionPlan,
+) -> Result<u64> {
     for v in &plan.victims {
         if ledger.recipe_for(v.handle).is_none() {
             return Err(Error::Trap(format!(

@@ -204,6 +204,33 @@ impl DataSource for Store {
     }
 }
 
+/// A bare store is the minimal [`ObjectApi`](fix_core::api::ObjectApi)
+/// backend: Table-1 data
+/// operations with no evaluator attached. Code that only moves data
+/// (filesystem builders, parcel plumbing, fixtures) can be written
+/// against the trait and handed either a store or a full runtime.
+impl fix_core::api::ObjectApi for Store {
+    fn put_blob(&self, blob: Blob) -> Handle {
+        Store::put_blob(self, blob)
+    }
+
+    fn put_tree(&self, tree: Tree) -> Handle {
+        Store::put_tree(self, tree)
+    }
+
+    fn get_blob(&self, handle: Handle) -> Result<Blob> {
+        Store::get_blob(self, handle)
+    }
+
+    fn get_tree(&self, handle: Handle) -> Result<Tree> {
+        Store::get_tree(self, handle)
+    }
+
+    fn contains(&self, handle: Handle) -> bool {
+        Store::contains(self, handle)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -145,24 +145,21 @@ impl Module {
             let n = f.code.len() as u32;
             for (ip, instr) in f.code.iter().enumerate() {
                 match instr {
-                    Instr::Jump(t) | Instr::JumpIf(t) | Instr::JumpIfZero(t)
-                        if *t >= n => {
-                            return Err(malformed(format!(
-                                "function {idx}: jump target {t} out of bounds at {ip}"
-                            )));
-                        }
-                    Instr::LocalGet(l) | Instr::LocalSet(l)
-                        if *l >= f.nlocals => {
-                            return Err(malformed(format!(
-                                "function {idx}: local {l} out of bounds at {ip}"
-                            )));
-                        }
-                    Instr::Call(target)
-                        if *target as usize >= self.functions.len() => {
-                            return Err(malformed(format!(
-                                "function {idx}: call target {target} out of bounds at {ip}"
-                            )));
-                        }
+                    Instr::Jump(t) | Instr::JumpIf(t) | Instr::JumpIfZero(t) if *t >= n => {
+                        return Err(malformed(format!(
+                            "function {idx}: jump target {t} out of bounds at {ip}"
+                        )));
+                    }
+                    Instr::LocalGet(l) | Instr::LocalSet(l) if *l >= f.nlocals => {
+                        return Err(malformed(format!(
+                            "function {idx}: local {l} out of bounds at {ip}"
+                        )));
+                    }
+                    Instr::Call(target) if *target as usize >= self.functions.len() => {
+                        return Err(malformed(format!(
+                            "function {idx}: call target {target} out of bounds at {ip}"
+                        )));
+                    }
                     _ => {}
                 }
             }

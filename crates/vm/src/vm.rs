@@ -20,21 +20,10 @@ use fix_core::error::{Error, Result};
 use fix_core::handle::{DataType, Handle, Kind};
 use fix_core::limits::ResourceLimits;
 
-/// The runtime services a guest may invoke.
-///
-/// Implementations must enforce their own storage-side invariants (e.g.
-/// record created objects so they can be persisted); the interpreter
-/// performs the accessibility checks before calling `load_*`.
-pub trait HostApi {
-    /// Loads the bytes of an accessible blob.
-    fn load_blob(&mut self, handle: Handle) -> Result<Blob>;
-    /// Loads the entries of an accessible tree.
-    fn load_tree(&mut self, handle: Handle) -> Result<Tree>;
-    /// Creates (and records) a blob, returning its handle.
-    fn create_blob(&mut self, data: Vec<u8>) -> Result<Handle>;
-    /// Creates (and records) a tree, returning its handle.
-    fn create_tree(&mut self, entries: Vec<Handle>) -> Result<Handle>;
-}
+// The host interface lives in `fix_core::api` since the One Fix API
+// refactor (every backend and the native-codelet registry share it);
+// re-exported here because the VM is its primary consumer.
+pub use fix_core::api::HostApi;
 
 /// Execution limits for one guest run.
 #[derive(Debug, Clone, Copy)]

@@ -10,13 +10,13 @@
 //! keys blob (`O(a · key size)`), not the whole node — the property
 //! Table 2 credits for Fix's advantage at fine granularity.
 
+use fix_core::api::{Evaluator, InvocationApi, ObjectApi};
 use fix_core::data::{Blob, Tree};
 use fix_core::error::{Error, Result};
 use fix_core::handle::{EncodeStyle, Handle};
 use fix_core::invocation::{Invocation, Selection};
 use fix_core::limits::ResourceLimits;
 use fix_storage::Store;
-use fixpoint::Runtime;
 use std::sync::Arc;
 
 /// The parsed keys blob of one node.
@@ -193,7 +193,7 @@ pub fn lookup_trusted(
 ///
 /// Input: `[rlimits, proc, key, keys-blob, node]` where `keys-blob` is
 /// accessible and `node` is (typically) a TreeRef.
-pub fn register_lookup(rt: &Runtime) -> Handle {
+pub fn register_lookup<R: InvocationApi>(rt: &R) -> Handle {
     rt.register_native(
         "bptree/lookup",
         Arc::new(|ctx| {
@@ -249,7 +249,12 @@ pub fn register_lookup(rt: &Runtime) -> Handle {
 
 /// Looks up `key` through the Fix-level codelet; returns the value blob
 /// handle.
-pub fn lookup_fix(rt: &Runtime, proc_h: Handle, tree: &BPlusTree, key: &str) -> Result<Handle> {
+pub fn lookup_fix<R: ObjectApi + Evaluator>(
+    rt: &R,
+    proc_h: Handle,
+    tree: &BPlusTree,
+    key: &str,
+) -> Result<Handle> {
     let root_tree = rt.get_tree(tree.root)?;
     let keys_blob = root_tree.get(0).expect("keys slot");
     let inv = Invocation {
@@ -343,6 +348,7 @@ pub fn fig9_time_us(
 mod tests {
     use super::*;
     use crate::titles::generate_sorted_titles;
+    use fixpoint::Runtime;
 
     fn sample_tree(n: usize, arity: usize) -> (Runtime, BPlusTree, Vec<String>) {
         let rt = Runtime::builder().build();
@@ -470,6 +476,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use fixpoint::Runtime;
     use proptest::prelude::*;
     use std::collections::BTreeMap;
 

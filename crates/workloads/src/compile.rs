@@ -9,12 +9,12 @@
 //! dependencies match the paper's job.
 
 use fix_cluster::{JobGraph, JobGraphBuilder, TaskSpec};
+use fix_core::api::{Evaluator, InvocationApi};
 use fix_core::data::Blob;
 use fix_core::error::{Error, Result};
 use fix_core::handle::Handle;
 use fix_core::limits::ResourceLimits;
 use fix_netsim::{NodeId, Time};
-use fixpoint::Runtime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -261,7 +261,7 @@ pub fn link(objects: &[ObjectFile]) -> Result<Blob> {
 // ----------------------------------------------------------------------
 
 /// Registers the compile codelet: `[rl, proc, source] -> object blob`.
-pub fn register_compile(rt: &Runtime) -> Handle {
+pub fn register_compile<R: InvocationApi>(rt: &R) -> Handle {
     rt.register_native(
         "compile/cc",
         Arc::new(|ctx| {
@@ -275,7 +275,7 @@ pub fn register_compile(rt: &Runtime) -> Handle {
 }
 
 /// Registers the link codelet: `[rl, proc, objects-tree] -> executable`.
-pub fn register_link(rt: &Runtime) -> Handle {
+pub fn register_link<R: InvocationApi>(rt: &R) -> Handle {
     rt.register_native(
         "compile/ld",
         Arc::new(|ctx| {
@@ -295,7 +295,11 @@ pub fn register_link(rt: &Runtime) -> Handle {
 /// Builds a whole project for real on the runtime: compiles `n_files`
 /// generated sources in parallel (as lazy applications) and links the
 /// results. Returns the executable blob handle.
-pub fn build_project_fix(rt: &Runtime, seed: u64, n_files: u32) -> Result<Handle> {
+pub fn build_project_fix<R: InvocationApi + Evaluator>(
+    rt: &R,
+    seed: u64,
+    n_files: u32,
+) -> Result<Handle> {
     let cc = register_compile(rt);
     let ld = register_link(rt);
     let limits = ResourceLimits::default_limits();
@@ -390,6 +394,7 @@ pub fn fig10_graph(p: &Fig10Params) -> JobGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fixpoint::Runtime;
 
     #[test]
     fn lexer_handles_the_generated_language() {

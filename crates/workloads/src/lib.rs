@@ -12,7 +12,13 @@
 //! * [`compile`] — the burst-parallel compilation job with a real lexer
 //!   and linker (Fig. 10);
 //! * [`template`] / [`archive`] / [`sebs`] — the SeBS `dynamic-html` and
-//!   `compression` functions ported through Flatware (§5.6).
+//!   `compression` functions ported through Flatware (§5.6);
+//! * [`guests`] — the shared FixVM guest fixtures (`fib`/`add`).
+//!
+//! Since the One Fix API refactor every real-runtime entry point here is
+//! generic over the `fix_core::api` traits, so the same workload runs
+//! unchanged on `fixpoint::Runtime`, `fix_cluster::ClusterClient`, or a
+//! `fix_baselines::BaselineEvaluator`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +27,7 @@ pub mod archive;
 pub mod bptree;
 pub mod compile;
 pub mod corpus;
+pub mod guests;
 pub mod mapreduce;
 pub mod sebs;
 pub mod template;

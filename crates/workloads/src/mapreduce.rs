@@ -11,10 +11,10 @@
 //! stage. Nothing about the pattern is workload-specific; `count-string`
 //! (Fig. 8b) is one instantiation.
 
+use fix_core::api::{Evaluator, InvocationApi};
 use fix_core::error::Result;
 use fix_core::handle::Handle;
 use fix_core::limits::ResourceLimits;
-use fixpoint::Runtime;
 
 /// A map-reduce job description: procedures plus per-invocation limits.
 #[derive(Debug, Clone, Copy)]
@@ -33,9 +33,9 @@ impl MapReduce {
     /// Describes the job over `inputs`, with `extra_map_args` appended
     /// to every map invocation (e.g. the needle of count-string).
     /// Returns the root Thunk — **nothing has run yet**.
-    pub fn describe(
+    pub fn describe<R: InvocationApi>(
         &self,
-        rt: &Runtime,
+        rt: &R,
         inputs: &[Handle],
         extra_map_args: &[Handle],
     ) -> Result<Handle> {
@@ -70,7 +70,12 @@ impl MapReduce {
     }
 
     /// Describes and evaluates the job, returning the final value.
-    pub fn run(&self, rt: &Runtime, inputs: &[Handle], extra_map_args: &[Handle]) -> Result<Handle> {
+    pub fn run<R: InvocationApi + Evaluator>(
+        &self,
+        rt: &R,
+        inputs: &[Handle],
+        extra_map_args: &[Handle],
+    ) -> Result<Handle> {
         let root = self.describe(rt, inputs, extra_map_args)?;
         rt.eval(root)
     }
@@ -81,6 +86,7 @@ mod tests {
     use super::*;
     use crate::wordcount::{register_count_string, register_merge_counts, store_shards};
     use fix_core::data::Blob;
+    use fixpoint::Runtime;
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
@@ -107,10 +113,7 @@ mod tests {
         );
         // The whole job is 8 maps + 7 merges once evaluated.
         rt.eval(root).unwrap();
-        assert_eq!(
-            rt.engine().stats.procedures_run.load(Ordering::Relaxed),
-            15
-        );
+        assert_eq!(rt.engine().stats.procedures_run.load(Ordering::Relaxed), 15);
     }
 
     #[test]
@@ -153,7 +156,8 @@ mod tests {
             "mr/len",
             Arc::new(|ctx| {
                 let b = ctx.arg_blob(0)?;
-                ctx.host.create_blob((b.len() as u64).to_le_bytes().to_vec())
+                ctx.host
+                    .create_blob((b.len() as u64).to_le_bytes().to_vec())
             }),
         );
         let max_proc = rt.register_native(

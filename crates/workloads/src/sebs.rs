@@ -10,9 +10,9 @@
 
 use crate::archive::create_archive;
 use crate::template::{render, Context};
+use fix_core::api::{InvocationApi, ObjectApi};
 use fix_core::error::Result;
 use fix_core::handle::Handle;
-use fixpoint::Runtime;
 use flatware::{register_posix_program, EntryKind};
 use std::sync::Arc;
 
@@ -35,7 +35,7 @@ pub const DYNAMIC_HTML_TEMPLATE: &str = r#"<!DOCTYPE html>
 /// "Randomness" is deterministic (seeded from the username) because Fix
 /// procedures cannot consume nondeterminism — exactly the delineation
 /// the paper discusses in §6.
-pub fn register_dynamic_html(rt: &Runtime) -> Handle {
+pub fn register_dynamic_html<R: InvocationApi>(rt: &R) -> Handle {
     register_posix_program(
         rt,
         "sebs/dynamic-html",
@@ -68,7 +68,7 @@ pub fn register_dynamic_html(rt: &Runtime) -> Handle {
 
 /// Registers `compression`: argv = `[prog, bucket_dir]`; stdout is the
 /// archive bytes.
-pub fn register_compression(rt: &Runtime) -> Handle {
+pub fn register_compression<R: InvocationApi>(rt: &R) -> Handle {
     register_posix_program(
         rt,
         "sebs/compression",
@@ -91,7 +91,7 @@ pub fn register_compression(rt: &Runtime) -> Handle {
 
 /// Builds the Flatware filesystem both benchmarks expect: the template
 /// under `templates/` and some bucket files to compress.
-pub fn build_sebs_fs(rt: &Runtime, bucket_files: &[(String, Vec<u8>)]) -> Result<Handle> {
+pub fn build_sebs_fs<R: ObjectApi>(rt: &R, bucket_files: &[(String, Vec<u8>)]) -> Result<Handle> {
     let mut fs = flatware::FsBuilder::new();
     fs.add_file(
         "templates/template.html",
@@ -100,13 +100,14 @@ pub fn build_sebs_fs(rt: &Runtime, bucket_files: &[(String, Vec<u8>)]) -> Result
     for (name, contents) in bucket_files {
         fs.add_file(&format!("bucket/{name}"), contents.clone())?;
     }
-    Ok(fs.build(rt.store()))
+    Ok(fs.build(rt))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::archive::extract_archive;
+    use fixpoint::Runtime;
     use flatware::run_program;
 
     #[test]

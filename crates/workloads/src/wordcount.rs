@@ -9,17 +9,17 @@
 
 use crate::corpus::{count_nonoverlapping, generate_shard};
 use fix_cluster::{JobGraph, JobGraphBuilder, TaskId, TaskSpec};
+use fix_core::api::{Evaluator, InvocationApi, ObjectApi};
 use fix_core::data::Blob;
 use fix_core::handle::Handle;
 use fix_core::limits::ResourceLimits;
 use fix_netsim::{NodeId, Time};
-use fixpoint::Runtime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Registers `count-string`: `[rl, proc, chunk, needle] -> u64 blob`.
-pub fn register_count_string(rt: &Runtime) -> Handle {
+pub fn register_count_string<R: InvocationApi>(rt: &R) -> Handle {
     rt.register_native(
         "wordcount/count-string",
         Arc::new(|ctx| {
@@ -32,7 +32,7 @@ pub fn register_count_string(rt: &Runtime) -> Handle {
 }
 
 /// Registers `merge-counts`: `[rl, proc, a, b] -> u64 blob`.
-pub fn register_merge_counts(rt: &Runtime) -> Handle {
+pub fn register_merge_counts<R: InvocationApi>(rt: &R) -> Handle {
     rt.register_native(
         "wordcount/merge-counts",
         Arc::new(|ctx| {
@@ -47,7 +47,11 @@ pub fn register_merge_counts(rt: &Runtime) -> Handle {
 /// across `shards` with a binary merge reduction, entirely as Fix
 /// thunks/encodes — an instantiation of the generic
 /// [`MapReduce`](crate::mapreduce::MapReduce) paradigm.
-pub fn run_wordcount_fix(rt: &Runtime, shards: &[Handle], needle: &[u8]) -> fix_core::Result<u64> {
+pub fn run_wordcount_fix<R: InvocationApi + Evaluator>(
+    rt: &R,
+    shards: &[Handle],
+    needle: &[u8],
+) -> fix_core::Result<u64> {
     let mr = crate::mapreduce::MapReduce {
         map_proc: register_count_string(rt),
         reduce_proc: register_merge_counts(rt),
@@ -59,7 +63,12 @@ pub fn run_wordcount_fix(rt: &Runtime, shards: &[Handle], needle: &[u8]) -> fix_
 }
 
 /// Generates and stores corpus shards, returning their handles.
-pub fn store_shards(rt: &Runtime, seed: u64, n_shards: usize, shard_size: usize) -> Vec<Handle> {
+pub fn store_shards<R: ObjectApi>(
+    rt: &R,
+    seed: u64,
+    n_shards: usize,
+    shard_size: usize,
+) -> Vec<Handle> {
     (0..n_shards)
         .map(|i| rt.put_blob(Blob::from_vec(generate_shard(seed, i as u64, shard_size))))
         .collect()
@@ -198,6 +207,7 @@ pub fn fig8a_graph(p: &Fig8aParams) -> JobGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fixpoint::Runtime;
 
     #[test]
     fn real_wordcount_matches_direct_count() {

@@ -70,7 +70,11 @@ fn main() -> Result<()> {
     // Three providers: the cheapest one is unreliable.
     let mut market = Marketplace::new(
         vec![
-            Provider::new("BudgetCloud", Money::from_micros(12), Behavior::WrongEvery(2)),
+            Provider::new(
+                "BudgetCloud",
+                Money::from_micros(12),
+                Behavior::WrongEvery(2),
+            ),
             Provider::new("SteadyCompute", Money::from_micros(30), Behavior::Honest),
             Provider::new("PremiumGrid", Money::from_micros(85), Behavior::Honest),
         ],
@@ -94,7 +98,11 @@ fn main() -> Result<()> {
         out.paid
     );
     for att in &out.attestations {
-        let verdict = if att.result == out.result { "✓" } else { "✗ WRONG" };
+        let verdict = if att.result == out.result {
+            "✓"
+        } else {
+            "✗ WRONG"
+        };
         println!("  {verdict} {att}");
     }
     for claim in &out.claims {

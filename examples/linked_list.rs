@@ -49,7 +49,9 @@ fn get_blocking(rt: &Runtime, head: Handle, i: u64) -> Result<(u64, u64)> {
         bytes_accessed += 32 * node.len() as u64;
         // Blocking style materializes the value of every visited node
         // (a Ray Node holds its ObjectRefs' data once fetched).
-        bytes_accessed += rt.get_blob(node.get(0).expect("value").as_object_handle())?.len() as u64;
+        bytes_accessed += rt
+            .get_blob(node.get(0).expect("value").as_object_handle())?
+            .len() as u64;
     }
     let value = rt.get_blob(node.get(0).expect("value").as_object_handle())?;
     bytes_accessed += value.len() as u64;

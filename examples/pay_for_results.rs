@@ -26,7 +26,13 @@ fn main() {
     let nn = noisy_neighbor(&price);
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>10}  {:>14} {:>14}",
-        "tenancy", "instructions", "L2 misses", "L3 misses", "wall ms", "effort bill", "results bill"
+        "tenancy",
+        "instructions",
+        "L2 misses",
+        "L3 misses",
+        "wall ms",
+        "effort bill",
+        "results bill"
     );
     for (label, perf, bills) in [
         ("dedicated", nn.isolated, &nn.isolated_bills),
@@ -46,14 +52,14 @@ fn main() {
     println!(
         "\npay-for-effort bill inflates {:.2}x under contention; \
          pay-for-results is invariant\n",
-        ratio(
-            nn.contended_bills.0.total(),
-            nn.isolated_bills.0.total()
-        )
+        ratio(nn.contended_bills.0.total(), nn.isolated_bills.0.total())
     );
 
     // Itemized invoice, to show what the customer can audit.
-    println!("itemized pay-for-results invoice (noisy run):\n{}\n", nn.contended_bills.1);
+    println!(
+        "itemized pay-for-results invoice (noisy run):\n{}\n",
+        nn.contended_bills.1
+    );
 
     // --- Experiment 2: the scheduling incentive (Fig. 8a re-billed). ---
     println!("== Scheduling incentive: Fig 8a workload, two platforms ==\n");
@@ -82,5 +88,7 @@ fn main() {
          more for the same results;",
         ratio(out.effort_bills.1, out.effort_bills.0)
     );
-    println!("under pay-for-results, scheduling quality is the provider's problem — as it should be.");
+    println!(
+        "under pay-for-results, scheduling quality is the provider's problem — as it should be."
+    );
 }

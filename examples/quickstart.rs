@@ -1,14 +1,19 @@
 //! Quickstart: the Fix programming model in five minutes.
 //!
+//! The whole walkthrough is one generic function over the One Fix API
+//! traits (`ObjectApi` + `InvocationApi` + `Evaluator`), so the *same
+//! program* runs first on the single-node runtime and then on the
+//! simulated distributed engine — and, because handles are content
+//! addressed, produces bit-identical results on both.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use fix::prelude::*;
 use std::sync::Arc;
 
-fn main() -> Result<()> {
-    // A Fixpoint node: content-addressed storage + evaluator.
-    let rt = Runtime::builder().build();
-
+/// The Fix programming model, against any backend. Returns the final
+/// result handle so the two backends can be compared.
+fn walkthrough<R: InvocationApi + Evaluator>(rt: &R) -> Result<Handle> {
     // --- Data: Blobs and Trees, named by 256-bit Handles. -------------
     let hello = rt.put_blob(Blob::from_slice(b"hello"));
     println!("blob handle:  {hello}   (≤30 bytes ⇒ stored inline as a literal)");
@@ -43,7 +48,7 @@ fn main() -> Result<()> {
         fp.is_complete()
     );
 
-    // --- Evaluation: the runtime performs all I/O and runs the code. --
+    // --- Evaluation: the platform performs all I/O and runs the code. --
     let result = rt.eval(thunk)?;
     println!(
         "result:       {:?}",
@@ -51,17 +56,11 @@ fn main() -> Result<()> {
     );
 
     // --- Determinism ⇒ memoization: the second eval is a cache hit. ---
-    let runs = |rt: &Runtime| {
-        rt.engine()
-            .stats
-            .procedures_run
-            .load(std::sync::atomic::Ordering::Relaxed)
-    };
-    let before = runs(&rt);
+    let before = rt.procedures_run();
     rt.eval(thunk)?;
     println!(
         "memoized:     second eval ran {} procedures (result comes from the relation cache)",
-        runs(&rt) - before
+        rt.procedures_run() - before
     );
 
     // --- Laziness: encode only what you need. --------------------------
@@ -71,5 +70,29 @@ fn main() -> Result<()> {
     let picked = rt.eval(pick)?;
     assert_eq!(picked, hello);
     println!("selection:    tree[0] == {picked}");
+    Ok(result)
+}
+
+fn main() -> Result<()> {
+    // A Fixpoint node: content-addressed storage + evaluator.
+    println!("=== on the single-node runtime ===");
+    let local = Runtime::builder().build();
+    let local_result = walkthrough(&local)?;
+
+    // The same program, unchanged, on the simulated 10-node cluster:
+    // evaluations are placed with dataflow-aware locality and late
+    // binding, and every request accumulates a run report.
+    println!("\n=== on the distributed engine (10 simulated nodes) ===");
+    let cluster = ClusterClient::builder().build()?;
+    let cluster_result = walkthrough(&cluster)?;
+
+    assert_eq!(
+        local_result, cluster_result,
+        "content addressing makes backends agree bit-for-bit"
+    );
+    println!("\nbackends agree: {local_result}");
+    for (i, report) in cluster.reports().iter().enumerate() {
+        println!("cluster run {i}: {report}");
+    }
     Ok(())
 }

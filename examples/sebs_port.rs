@@ -2,36 +2,38 @@
 //! functions running on Fix through Flatware — inputs as command-line
 //! arguments, data dependencies as files in a Flatware filesystem.
 //!
+//! The entire port is generic over the One Fix API traits, so the same
+//! functions run here on the single-node runtime and on the simulated
+//! cluster without touching the workload code.
+//!
 //! Run with: `cargo run --example sebs_port [username]`
 
+use fix::prelude::*;
 use fix::workloads::archive::extract_archive;
 use fix::workloads::sebs::{build_sebs_fs, register_compression, register_dynamic_html};
-use fix_core::data::Blob;
-use fixpoint::Runtime;
 use flatware::run_program;
 
-fn main() {
-    let username = std::env::args().nth(1).unwrap_or_else(|| "yuhan".into());
-    let rt = Runtime::builder().build();
-
+/// Both SeBS functions against any backend. Returns the rendered HTML
+/// and the archive bytes for cross-backend comparison.
+fn port<R: InvocationApi + Evaluator>(rt: &R, username: &str) -> Result<(Blob, Blob)> {
     // The Flatware filesystem carries the template and the bucket files.
     let bucket = vec![
         ("report.txt".to_string(), b"quarterly numbers...".to_vec()),
         ("image.bin".to_string(), vec![0xA5; 2048]),
         ("notes.md".to_string(), b"# port to Fix\n".to_vec()),
     ];
-    let root = build_sebs_fs(&rt, &bucket).expect("fs");
+    let root = build_sebs_fs(rt, &bucket)?;
 
     // --- dynamic-html -------------------------------------------------
-    let dh = register_dynamic_html(&rt);
-    let (code, html) = run_program(&rt, dh, &["dynamic-html", &username, "6"], root).expect("run");
+    let dh = register_dynamic_html(rt);
+    let (code, html) = run_program(rt, dh, &["dynamic-html", username, "6"], root)?;
     println!("dynamic-html exited {code}; output:\n");
     println!("{}", String::from_utf8_lossy(html.as_slice()));
 
     // --- compression ---------------------------------------------------
-    let comp = register_compression(&rt);
-    let (code, archive) = run_program(&rt, comp, &["compression", "bucket"], root).expect("run");
-    let files = extract_archive(&Blob::from_slice(archive.as_slice())).expect("archive");
+    let comp = register_compression(rt);
+    let (code, archive) = run_program(rt, comp, &["compression", "bucket"], root)?;
+    let files = extract_archive(&Blob::from_slice(archive.as_slice()))?;
     println!(
         "compression exited {code}; archive holds {} files:",
         files.len()
@@ -43,19 +45,29 @@ fn main() {
 
     // Both invocations are ordinary Fix computations: rerunning either is
     // a pure cache hit.
-    let before = rt
-        .engine()
-        .stats
-        .procedures_run
-        .load(std::sync::atomic::Ordering::Relaxed);
-    run_program(&rt, dh, &["dynamic-html", &username, "6"], root).expect("rerun");
-    let after = rt
-        .engine()
-        .stats
-        .procedures_run
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let before = rt.procedures_run();
+    run_program(rt, dh, &["dynamic-html", username, "6"], root)?;
     println!(
         "\nre-render was memoized ({} new procedure runs)",
-        after - before
+        rt.procedures_run() - before
+    );
+    Ok((html, archive))
+}
+
+fn main() {
+    let username = std::env::args().nth(1).unwrap_or_else(|| "yuhan".into());
+
+    let rt = Runtime::builder().build();
+    let (html, archive) = port(&rt, &username).expect("run on the runtime");
+
+    // The identical port on the distributed engine.
+    let cc = ClusterClient::builder().build().expect("cluster client");
+    let (html2, archive2) = port(&cc, &username).expect("run on the cluster");
+    assert_eq!(html.as_slice(), html2.as_slice());
+    assert_eq!(archive.as_slice(), archive2.as_slice());
+    println!(
+        "\nsame port on the distributed engine: {} simulated runs, {} µs total",
+        cc.reports().len(),
+        cc.total_simulated_us()
     );
 }

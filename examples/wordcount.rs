@@ -1,14 +1,32 @@
 //! The paper's count-string map-reduce (§5.3.2), for real: generates a
 //! sharded corpus, counts a trigram with parallel `count-string`
 //! invocations, and merges with a binary reduction of `merge-counts` —
-//! all expressed as Fix thunks and strict encodes.
+//! all expressed as Fix thunks and strict encodes, and all driven
+//! through the backend-agnostic One Fix API traits: the same workload
+//! function runs on the multi-worker runtime *and* on the simulated
+//! distributed engine.
 //!
 //! Run with: `cargo run --release --example wordcount [n_shards] [shard_kib]`
 
+use fix::prelude::*;
 use fix::workloads::corpus::{count_nonoverlapping, generate_shard};
 use fix::workloads::wordcount::{run_wordcount_fix, store_shards};
-use fixpoint::Runtime;
 use std::time::Instant;
+
+/// The whole workload against any backend: store the corpus, run the
+/// map-reduce, return (count, procedures actually executed).
+fn count_on<R: InvocationApi + Evaluator>(
+    rt: &R,
+    seed: u64,
+    n_shards: usize,
+    shard_size: usize,
+    needle: &[u8],
+) -> Result<(u64, u64)> {
+    let shards = store_shards(rt, seed, n_shards, shard_size);
+    let before = rt.procedures_run();
+    let total = run_wordcount_fix(rt, &shards, needle)?;
+    Ok((total, rt.procedures_run() - before))
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -17,22 +35,19 @@ fn main() {
     let shard_size = shard_kib * 1024;
     let needle = b"the";
 
-    println!("generating {n_shards} shards x {shard_kib} KiB ...");
+    println!("counting in {n_shards} shards x {shard_kib} KiB ...");
     let rt = Runtime::builder().workers(num_threads()).build();
-    let shards = store_shards(&rt, 42, n_shards, shard_size);
-    println!(
-        "stored {} objects, {:.1} MiB total",
-        rt.store().object_count(),
-        rt.store().total_bytes() as f64 / (1 << 20) as f64
-    );
-
     let start = Instant::now();
-    let total = run_wordcount_fix(&rt, &shards, needle).expect("wordcount");
+    let (total, runs) = count_on(&rt, 42, n_shards, shard_size, needle).expect("wordcount");
     let elapsed = start.elapsed();
     println!(
         "count-string(\"{}\") = {total}   in {elapsed:?} on {} workers",
         String::from_utf8_lossy(needle),
         num_threads(),
+    );
+    println!(
+        "procedures run: {runs} ({n_shards} map + {} merges)",
+        n_shards - 1
     );
 
     // Verify against a direct scan.
@@ -42,14 +57,13 @@ fn main() {
     assert_eq!(total, expect, "Fix result must match the direct scan");
     println!("verified against a direct scan ✓");
 
-    let stats = &rt.engine().stats;
+    // The identical workload function on the simulated 10-node cluster.
+    let cc = ClusterClient::builder().build().expect("cluster client");
+    let (cluster_total, _) = count_on(&cc, 42, n_shards, shard_size, needle).expect("cluster");
+    assert_eq!(cluster_total, total, "backends agree bit-for-bit");
     println!(
-        "procedures run: {} ({} map + {} merges)",
-        stats
-            .procedures_run
-            .load(std::sync::atomic::Ordering::Relaxed),
-        n_shards,
-        n_shards - 1
+        "same workload on the distributed engine: {cluster_total}  ({})",
+        cc.last_report().expect("one simulated run")
     );
 }
 

@@ -27,8 +27,14 @@ const ROOT: u32 = 1 << 3;
 const KEYED_HASH: u32 = 1 << 4;
 
 const IV: [u32; 8] = [
-    0x6A09_E667, 0xBB67_AE85, 0x3C6E_F372, 0xA54F_F53A,
-    0x510E_527F, 0x9B05_688C, 0x1F83_D9AB, 0x5BE0_CD19,
+    0x6A09_E667,
+    0xBB67_AE85,
+    0x3C6E_F372,
+    0xA54F_F53A,
+    0x510E_527F,
+    0x9B05_688C,
+    0x1F83_D9AB,
+    0x5BE0_CD19,
 ];
 
 const MSG_PERMUTATION: [usize; 16] = [2, 6, 3, 10, 7, 0, 4, 13, 1, 11, 12, 5, 9, 14, 15, 8];
@@ -72,9 +78,22 @@ fn compress(
     flags: u32,
 ) -> [u32; 16] {
     let mut state = [
-        cv[0], cv[1], cv[2], cv[3], cv[4], cv[5], cv[6], cv[7],
-        IV[0], IV[1], IV[2], IV[3],
-        counter as u32, (counter >> 32) as u32, block_len, flags,
+        cv[0],
+        cv[1],
+        cv[2],
+        cv[3],
+        cv[4],
+        cv[5],
+        cv[6],
+        cv[7],
+        IV[0],
+        IV[1],
+        IV[2],
+        IV[3],
+        counter as u32,
+        (counter >> 32) as u32,
+        block_len,
+        flags,
     ];
     let mut block = *block_words;
     round(&mut state, &block); // round 1
@@ -117,7 +136,13 @@ struct Output {
 
 impl Output {
     fn chaining_value(&self) -> [u32; 8] {
-        first_8(compress(&self.cv, &self.block, self.counter, self.block_len, self.flags))
+        first_8(compress(
+            &self.cv,
+            &self.block,
+            self.counter,
+            self.block_len,
+            self.flags,
+        ))
     }
 
     fn root_block(&self, block_counter: u64) -> [u8; 64] {
@@ -163,7 +188,11 @@ impl ChunkState {
     }
 
     fn start_flag(&self) -> u32 {
-        if self.blocks_compressed == 0 { CHUNK_START } else { 0 }
+        if self.blocks_compressed == 0 {
+            CHUNK_START
+        } else {
+            0
+        }
     }
 
     fn update(&mut self, mut input: &[u8]) {
@@ -205,7 +234,13 @@ fn parent_output(left: [u32; 8], right: [u32; 8], key: &[u32; 8], flags: u32) ->
     let mut block = [0u32; 16];
     block[..8].copy_from_slice(&left);
     block[8..].copy_from_slice(&right);
-    Output { cv: *key, block, counter: 0, block_len: BLOCK_LEN as u32, flags: flags | PARENT }
+    Output {
+        cv: *key,
+        block,
+        counter: 0,
+        block_len: BLOCK_LEN as u32,
+        flags: flags | PARENT,
+    }
 }
 
 /// A 32-byte BLAKE3 digest.
@@ -267,7 +302,12 @@ impl Hasher {
     }
 
     fn with_key_flags(key: [u32; 8], flags: u32) -> Hasher {
-        Hasher { chunk: ChunkState::new(&key, 0, flags), key, cv_stack: Vec::new(), flags }
+        Hasher {
+            chunk: ChunkState::new(&key, 0, flags),
+            key,
+            cv_stack: Vec::new(),
+            flags,
+        }
     }
 
     fn add_chunk_cv(&mut self, mut cv: [u32; 8], mut total_chunks: u64) {
@@ -313,7 +353,10 @@ impl Hasher {
 
     /// An extendable-output reader over the root node.
     pub fn finalize_xof(&self) -> OutputReader {
-        OutputReader { output: self.root_output(), position: 0 }
+        OutputReader {
+            output: self.root_output(),
+            position: 0,
+        }
     }
 }
 
@@ -367,18 +410,54 @@ mod tests {
     #[test]
     fn official_vectors() {
         let cases: &[(usize, &str)] = &[
-            (0, "af1349b9f5f9a1a6a0404dea36dcc9499bcb25c9adc112b7cc9a93cae41f3262"),
-            (1, "2d3adedff11b61f14c886e35afa036736dcd87a74d27b5c1510225d0f592e213"),
-            (1023, "10108970eeda3eb932baac1428c7a2163b0e924c9a9e25b35bba72b28f70bd11"),
-            (1024, "42214739f095a406f3fc83deb889744ac00df831c10daa55189b5d121c855af7"),
-            (1025, "d00278ae47eb27b34faecf67b4fe263f82d5412916c1ffd97c8cb7fb814b8444"),
-            (2048, "e776b6028c7cd22a4d0ba182a8bf62205d2ef576467e838ed6f2529b85fba24a"),
-            (2049, "5f4d72f40d7a5f82b15ca2b2e44b1de3c2ef86c426c95c1af0b6879522563030"),
-            (3072, "b98cb0ff3623be03326b373de6b9095218513e64f1ee2edd2525c7ad1e5cffd2"),
-            (3073, "7124b49501012f81cc7f11ca069ec9226cecb8a2c850cfe644e327d22d3e1cd3"),
-            (4096, "015094013f57a5277b59d8475c0501042c0b642e531b0a1c8f58d2163229e969"),
-            (5120, "9cadc15fed8b5d854562b26a9536d9707cadeda9b143978f319ab34230535833"),
-            (31744, "62b6960e1a44bcc1eb1a611a8d6235b6b4b78f32e7abc4fb4c6cdcce94895c47"),
+            (
+                0,
+                "af1349b9f5f9a1a6a0404dea36dcc9499bcb25c9adc112b7cc9a93cae41f3262",
+            ),
+            (
+                1,
+                "2d3adedff11b61f14c886e35afa036736dcd87a74d27b5c1510225d0f592e213",
+            ),
+            (
+                1023,
+                "10108970eeda3eb932baac1428c7a2163b0e924c9a9e25b35bba72b28f70bd11",
+            ),
+            (
+                1024,
+                "42214739f095a406f3fc83deb889744ac00df831c10daa55189b5d121c855af7",
+            ),
+            (
+                1025,
+                "d00278ae47eb27b34faecf67b4fe263f82d5412916c1ffd97c8cb7fb814b8444",
+            ),
+            (
+                2048,
+                "e776b6028c7cd22a4d0ba182a8bf62205d2ef576467e838ed6f2529b85fba24a",
+            ),
+            (
+                2049,
+                "5f4d72f40d7a5f82b15ca2b2e44b1de3c2ef86c426c95c1af0b6879522563030",
+            ),
+            (
+                3072,
+                "b98cb0ff3623be03326b373de6b9095218513e64f1ee2edd2525c7ad1e5cffd2",
+            ),
+            (
+                3073,
+                "7124b49501012f81cc7f11ca069ec9226cecb8a2c850cfe644e327d22d3e1cd3",
+            ),
+            (
+                4096,
+                "015094013f57a5277b59d8475c0501042c0b642e531b0a1c8f58d2163229e969",
+            ),
+            (
+                5120,
+                "9cadc15fed8b5d854562b26a9536d9707cadeda9b143978f319ab34230535833",
+            ),
+            (
+                31744,
+                "62b6960e1a44bcc1eb1a611a8d6235b6b4b78f32e7abc4fb4c6cdcce94895c47",
+            ),
         ];
         for &(len, expect) in cases {
             assert_eq!(hash(&pattern(len)).to_hex(), expect, "input length {len}");
@@ -390,16 +469,35 @@ mod tests {
         // key = "whats the Elvish word for friend" (the official vector key).
         let key: &[u8; 32] = b"whats the Elvish word for friend";
         let cases: &[(usize, &str)] = &[
-            (0, "92b2b75604ed3c761f9d6f62392c8a9227ad0ea3f09573e783f1498a4ed60d26"),
-            (1, "6d7878dfff2f485635d39013278ae14f1454b8c0a3a2d34bc1ab38228a80c95b"),
-            (1024, "75c46f6f3d9eb4f55ecaaee480db732e6c2105546f1e675003687c31719c7ba4"),
-            (1025, "357dc55de0c7e382c900fd6e320acc04146be01db6a8ce7210b7189bd664ea69"),
+            (
+                0,
+                "92b2b75604ed3c761f9d6f62392c8a9227ad0ea3f09573e783f1498a4ed60d26",
+            ),
+            (
+                1,
+                "6d7878dfff2f485635d39013278ae14f1454b8c0a3a2d34bc1ab38228a80c95b",
+            ),
+            (
+                1024,
+                "75c46f6f3d9eb4f55ecaaee480db732e6c2105546f1e675003687c31719c7ba4",
+            ),
+            (
+                1025,
+                "357dc55de0c7e382c900fd6e320acc04146be01db6a8ce7210b7189bd664ea69",
+            ),
             // Regression pin (cross-checked against fix-hash's independent
             // implementation), not transcribed from the official file.
-            (2049, "9f29700902f7c86e514ddc4df1e3049f258b2472b6dd5267f61bf13983b78dd5"),
+            (
+                2049,
+                "9f29700902f7c86e514ddc4df1e3049f258b2472b6dd5267f61bf13983b78dd5",
+            ),
         ];
         for &(len, expect) in cases {
-            assert_eq!(keyed_hash(key, &pattern(len)).to_hex(), expect, "keyed length {len}");
+            assert_eq!(
+                keyed_hash(key, &pattern(len)).to_hex(),
+                expect,
+                "keyed length {len}"
+            );
         }
     }
 

@@ -64,15 +64,20 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Runs and reports one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+    /// Runs and reports one benchmark. Like the real crate's
+    /// `impl Into<BenchmarkId>`, the id may be owned or borrowed.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
         let mut b = Bencher { last: None };
         f(&mut b);
         let median = b.last.unwrap_or_default();
         match self.throughput {
             Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
-                let gibps =
-                    n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+                let gibps = n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
                 println!("{}/{id}: {median:?}/iter ({gibps:.2} GiB/s)", self.name);
             }
             Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
@@ -106,11 +111,19 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
     }
 
     /// Runs a single standalone benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
         self.benchmark_group("bench").bench_function(id, f);
         self
     }

@@ -79,7 +79,8 @@ pub mod test_runner {
     }
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait
+/// behind it.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -167,7 +168,10 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> SizeRange {
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -185,7 +189,10 @@ pub mod collection {
 
     /// `Vec`s of `size` elements drawn from `elem`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -209,7 +216,11 @@ pub mod collection {
         value: V,
         size: impl Into<SizeRange>,
     ) -> HashMapStrategy<K, V> {
-        HashMapStrategy { key, value, size: size.into() }
+        HashMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
     }
 
     impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
@@ -245,7 +256,10 @@ pub mod collection {
 
     /// `BTreeSet`s of `size` elements drawn from `elem`.
     pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
-        BTreeSetStrategy { elem, size: size.into() }
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for BTreeSetStrategy<S>
@@ -374,7 +388,11 @@ pub mod string {
                 (1, 1)
             };
             assert!(!set.is_empty(), "empty char class");
-            atoms.push(Atom { chars: set, min, max });
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
         }
         atoms
     }
@@ -502,7 +520,9 @@ mod tests {
             let first = cs.next().unwrap();
             assert!(first.is_ascii_lowercase());
             assert!(s.len() <= 9);
-            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'));
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+            );
         }
     }
 

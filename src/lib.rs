@@ -57,11 +57,19 @@ pub use fixpoint as runtime;
 pub use flatware;
 
 /// The most common imports for writing Fix programs.
+///
+/// Includes the One Fix API traits ([`Evaluator`](fix_core::api::Evaluator),
+/// [`InvocationApi`](fix_core::api::InvocationApi),
+/// [`ObjectApi`](fix_core::api::ObjectApi)) so generic workloads and the
+/// backends that run them (`Runtime`, `ClusterClient`) are one import
+/// away.
 pub mod prelude {
+    pub use fix_cluster::ClusterClient;
+    pub use fix_core::api::{Evaluator, HostApi, InvocationApi, NativeCtx, NativeFn, ObjectApi};
     pub use fix_core::data::{Blob, Node, Tree};
     pub use fix_core::handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};
     pub use fix_core::invocation::{build, Invocation, Selection};
     pub use fix_core::limits::ResourceLimits;
     pub use fix_core::{Error, Result};
-    pub use fixpoint::{NativeCtx, Runtime};
+    pub use fixpoint::Runtime;
 }

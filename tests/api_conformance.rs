@@ -1,0 +1,339 @@
+//! Backend-conformance suite for the One Fix API.
+//!
+//! One set of semantics assertions — memoization, determinism, laziness,
+//! error equivalence, batching — written once against the
+//! `fix_core::api` traits and executed against every backend: the
+//! single-node `fixpoint::Runtime` and the netsim-backed
+//! `fix_cluster::ClusterClient`. Because handles are content addressed,
+//! conforming backends must agree *bit for bit*, so each check also
+//! returns its result handles and the harness compares them across
+//! backends.
+
+use fix::prelude::*;
+use fix_cluster::ClusterClient;
+use fix_workloads::guests;
+use std::sync::Arc;
+
+fn limits() -> ResourceLimits {
+    ResourceLimits::default_limits()
+}
+
+/// Runs `check` on every backend and asserts the returned handles are
+/// identical across them.
+fn on_every_backend<F>(check: F)
+where
+    F: Fn(&dyn BackendUnderTest) -> Vec<Handle>,
+{
+    let runtime = Runtime::builder().build();
+    let cluster = ClusterClient::builder().build().expect("cluster client");
+    let backends: Vec<(&str, &dyn BackendUnderTest)> =
+        vec![("Runtime", &runtime), ("ClusterClient", &cluster)];
+    let mut results: Vec<(&str, Vec<Handle>)> = Vec::new();
+    for (name, backend) in backends {
+        results.push((name, check(backend)));
+    }
+    let (first_name, first) = &results[0];
+    for (name, handles) in &results[1..] {
+        assert_eq!(
+            first, handles,
+            "backend '{name}' disagrees with '{first_name}'"
+        );
+    }
+}
+
+/// The object-safe face of the trait family, so one closure can drive
+/// heterogeneous backends. (Generic user code uses the traits directly;
+/// this erasure is a harness convenience only.)
+trait BackendUnderTest: ObjectApi + InvocationApi + Evaluator {}
+impl<T: ObjectApi + InvocationApi + Evaluator> BackendUnderTest for T {}
+
+fn register_add(rt: &dyn BackendUnderTest) -> Handle {
+    rt.register_native(
+        "conf/add",
+        Arc::new(|ctx| {
+            let a = ctx.arg_blob(0)?.as_u64().unwrap();
+            let b = ctx.arg_blob(1)?.as_u64().unwrap();
+            ctx.host
+                .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+        }),
+    )
+}
+
+#[test]
+fn arithmetic_and_data_round_trips_agree() {
+    on_every_backend(|rt| {
+        let add = register_add(rt);
+        let a = rt.put_blob(Blob::from_u64(30));
+        let b = rt.put_blob(Blob::from_u64(12));
+        let thunk = rt.apply(limits(), add, &[a, b]).unwrap();
+        let out = rt.eval(thunk).unwrap();
+        assert_eq!(rt.get_u64(out).unwrap(), 42);
+        assert!(rt.contains(out));
+        // Tree round trip through the trait surface.
+        let tree = rt.put_tree(Tree::from_handles(vec![a, out]));
+        assert_eq!(rt.get_tree(tree).unwrap().entries(), &[a, out]);
+        vec![add, thunk, out, tree]
+    });
+}
+
+#[test]
+fn memoization_runs_each_procedure_once() {
+    on_every_backend(|rt| {
+        let add = register_add(rt);
+        let thunk = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(1)),
+                    rt.put_blob(Blob::from_u64(2)),
+                ],
+            )
+            .unwrap();
+        let first = rt.eval(thunk).unwrap();
+        let runs = rt.procedures_run();
+        assert_eq!(runs, 1, "one apply, one execution");
+        let second = rt.eval(thunk).unwrap();
+        assert_eq!(first, second, "evaluation must be deterministic");
+        assert_eq!(
+            rt.procedures_run(),
+            runs,
+            "the repeat request must be a pure cache hit"
+        );
+        vec![first]
+    });
+}
+
+#[test]
+fn laziness_skips_untaken_branches() {
+    on_every_backend(|rt| {
+        let boom = rt.register_native(
+            "conf/boom",
+            Arc::new(|_ctx| -> Result<Handle> { Err(Error::Trap("must never run".into())) }),
+        );
+        let constant = rt.register_native(
+            "conf/one",
+            Arc::new(|ctx| ctx.host.create_blob(1u64.to_le_bytes().to_vec())),
+        );
+        let pick = rt.register_native(
+            "conf/if",
+            Arc::new(|ctx| {
+                let pred = ctx.arg_blob(0)?.as_u64().unwrap_or(0) != 0;
+                if pred {
+                    ctx.arg(1)
+                } else {
+                    ctx.arg(2)
+                }
+            }),
+        );
+        let good = rt.apply(limits(), constant, &[]).unwrap();
+        let bad = rt.apply(limits(), boom, &[]).unwrap();
+        let branch = rt
+            .apply(limits(), pick, &[rt.put_blob(Blob::from_u64(1)), good, bad])
+            .unwrap();
+        let out = rt.eval(branch).unwrap();
+        assert_eq!(rt.get_u64(out).unwrap(), 1);
+        vec![out]
+    });
+}
+
+#[test]
+fn errors_are_equivalent_across_backends() {
+    on_every_backend(|rt| {
+        // Unknown procedure.
+        let junk = rt.put_blob(Blob::from_vec(vec![0xAB; 64]));
+        let thunk = rt.apply(limits(), junk, &[]).unwrap();
+        assert!(matches!(
+            rt.eval(thunk),
+            Err(Error::UnknownProcedure(h)) if h == junk
+        ));
+
+        // Out-of-bounds selection, with identical coordinates reported.
+        let tree = rt.put_tree(Tree::from_handles(vec![junk]));
+        let sel = rt.select(tree, 5).unwrap();
+        match rt.eval(sel) {
+            Err(Error::BadSelection {
+                begin, end, len, ..
+            }) => {
+                assert_eq!((begin, end, len), (5, 6, 1));
+            }
+            other => panic!("expected BadSelection, got {other:?}"),
+        }
+
+        // Guest faults propagate as Traps with the guest's message.
+        let boom = rt.register_native(
+            "conf/boom2",
+            Arc::new(|_ctx| -> Result<Handle> { Err(Error::Trap("boom".into())) }),
+        );
+        let bad = rt.apply(limits(), boom, &[]).unwrap();
+        assert!(matches!(rt.eval(bad), Err(Error::Trap(m)) if m == "boom"));
+        vec![thunk, sel, bad]
+    });
+}
+
+#[test]
+fn eval_many_matches_a_loop_of_evals() {
+    on_every_backend(|rt| {
+        let add = register_add(rt);
+        let thunks: Vec<Handle> = (0..16u64)
+            .map(|i| {
+                rt.apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(i)),
+                        rt.put_blob(Blob::from_u64(100)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        // Mix in an already-evaluated value and (after the batch) verify
+        // positional correspondence.
+        let mut batch = thunks.clone();
+        batch.push(rt.put_blob(Blob::from_u64(7)));
+        let many: Vec<Handle> = rt
+            .eval_many(&batch)
+            .into_iter()
+            .map(|r| r.expect("batch member succeeds"))
+            .collect();
+        let looped: Vec<Handle> = batch.iter().map(|&h| rt.eval(h).unwrap()).collect();
+        assert_eq!(many, looped, "batched and single dispatch must agree");
+        for (i, h) in many[..16].iter().enumerate() {
+            assert_eq!(rt.get_u64(*h).unwrap(), i as u64 + 100);
+        }
+        assert_eq!(rt.get_u64(many[16]).unwrap(), 7);
+        many
+    });
+}
+
+#[test]
+fn eval_many_reports_per_request_failures() {
+    on_every_backend(|rt| {
+        let add = register_add(rt);
+        let good = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(1)),
+                    rt.put_blob(Blob::from_u64(1)),
+                ],
+            )
+            .unwrap();
+        let junk = rt.put_blob(Blob::from_vec(vec![0xCD; 40]));
+        let bad = rt.apply(limits(), junk, &[]).unwrap();
+        let results = rt.eval_many(&[good, bad]);
+        let ok = results[0].as_ref().expect("good request succeeds");
+        assert_eq!(rt.get_u64(*ok).unwrap(), 2);
+        assert!(
+            matches!(results[1], Err(Error::UnknownProcedure(_))),
+            "bad request fails alone: {:?}",
+            results[1]
+        );
+        vec![*ok]
+    });
+}
+
+#[test]
+fn sandboxed_guests_agree() {
+    on_every_backend(|rt| {
+        let fib = guests::install_fib(&rt).unwrap();
+        let add = guests::install_add(&rt).unwrap();
+        let thunk = rt
+            .apply(limits(), fib, &[add, rt.put_blob(Blob::from_u64(12))])
+            .unwrap();
+        let out = rt.eval(thunk).unwrap();
+        assert_eq!(rt.get_u64(out).unwrap(), 144);
+        vec![fib, add, out]
+    });
+}
+
+#[test]
+fn strict_evaluation_deep_forces() {
+    on_every_backend(|rt| {
+        let add = register_add(rt);
+        let inner = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(2)),
+                    rt.put_blob(Blob::from_u64(3)),
+                ],
+            )
+            .unwrap();
+        let wrap = rt.register_native(
+            "conf/wrap",
+            Arc::new(move |ctx| ctx.host.create_tree(vec![inner])),
+        );
+        let outer = rt.apply(limits(), wrap, &[]).unwrap();
+        let forced = rt.eval_strict(outer).unwrap();
+        let tree = rt.get_tree(forced).unwrap();
+        let entry = tree.get(0).unwrap();
+        assert!(entry.is_accessible(), "strict eval promotes everything");
+        assert_eq!(rt.get_u64(entry).unwrap(), 5);
+        vec![forced, entry]
+    });
+}
+
+#[test]
+fn footprints_agree() {
+    on_every_backend(|rt| {
+        let add = register_add(rt);
+        let big = rt.put_blob(Blob::from_vec(vec![9u8; 4096]));
+        let thunk = rt
+            .apply(limits(), add, &[big, rt.put_blob(Blob::from_u64(1))])
+            .unwrap();
+        let fp = rt.footprint(thunk).unwrap();
+        assert!(fp.is_complete());
+        assert!(fp.objects.contains(&big));
+        assert!(fp.total_bytes >= 4096);
+        // The footprint's object list is part of the shared semantics.
+        let mut objs = fp.objects.clone();
+        objs.sort_by_key(|h| *h.raw());
+        objs
+    });
+}
+
+/// The whole real map-reduce workload, generically, with identical
+/// counts — the "a workload written once becomes a benchmark row for
+/// every backend" property.
+#[test]
+fn wordcount_workload_agrees() {
+    use fix_workloads::wordcount::{run_wordcount_fix, store_shards};
+    on_every_backend(|rt| {
+        let shards = store_shards(&rt, 11, 8, 16 << 10);
+        let total = run_wordcount_fix(&rt, &shards, b"of").unwrap();
+        assert!(total > 0);
+        vec![rt.put_blob(Blob::from_u64(total))]
+    });
+}
+
+/// ClusterClient-specific conformance: the simulated substrate must not
+/// change observable semantics, only produce telemetry.
+#[test]
+fn cluster_client_telemetry_is_pure_observation() {
+    let cc = ClusterClient::builder().build().unwrap();
+    let add = register_add(&cc);
+    let thunk = cc
+        .apply(
+            limits(),
+            add,
+            &[
+                cc.put_blob(Blob::from_u64(5)),
+                cc.put_blob(Blob::from_u64(6)),
+            ],
+        )
+        .unwrap();
+    assert!(cc.reports().is_empty(), "construction ships nothing");
+    cc.eval(thunk).unwrap();
+    assert_eq!(cc.reports().len(), 1);
+    assert_eq!(cc.last_report().unwrap().tasks_run, 1);
+    cc.eval(thunk).unwrap();
+    assert_eq!(
+        cc.reports().len(),
+        1,
+        "memoized request must not ship a cluster run"
+    );
+}

@@ -5,16 +5,13 @@ use fix::prelude::*;
 use std::sync::Arc;
 
 /// The paper's Fig. 3 workload as sandboxed FixVM guests, end to end:
-/// fib creates recursive thunks and tail-calls into add.
+/// fib creates recursive thunks and tail-calls into add. The guest
+/// sources are the shared fixtures from `fix_workloads::guests`.
 #[test]
 fn vm_fibonacci_with_memoized_recursion() {
     let rt = Runtime::builder().build();
-    let fib = rt
-        .install_vm_module(include_str!("guests/fib.fvm"))
-        .expect("assemble fib");
-    let add = rt
-        .install_vm_module(include_str!("guests/add.fvm"))
-        .expect("assemble add");
+    let fib = fix::workloads::guests::install_fib(&rt).expect("assemble fib");
+    let add = fix::workloads::guests::install_add(&rt).expect("assemble add");
 
     for (n, expect) in [(0u64, 0u64), (1, 1), (2, 1), (10, 55), (20, 6765)] {
         let thunk = rt
@@ -253,14 +250,14 @@ fn two_real_nodes_delegate_via_parcels() {
     // Node B: a different machine as far as the code is concerned.
     let node_b = Runtime::builder().build();
     register_revsort(&node_b); // B has the code for this function.
-    let root = node_b.store().import(Parcel::from_bytes(&wire_bytes).unwrap());
+    let root = node_b
+        .store()
+        .import(Parcel::from_bytes(&wire_bytes).unwrap());
     let result = node_b.eval(root).unwrap();
 
     // Ship the result back; node A reads it without ever running revsort.
     let back = node_b.store().export(result).unwrap().to_bytes();
-    let result_at_a = node_a
-        .store()
-        .import(Parcel::from_bytes(&back).unwrap());
+    let result_at_a = node_a.store().import(Parcel::from_bytes(&back).unwrap());
     let blob = node_a.get_blob(result_at_a).unwrap();
     let mut expect: Vec<u8> = (0u8..200).collect();
     expect.reverse();

@@ -24,7 +24,8 @@ fn transform_runtime() -> (Runtime, Handle) {
             for (i, b) in data.as_slice().iter().enumerate() {
                 out[i % 64] = out[i % 64].wrapping_add(b.wrapping_mul(salt as u8 | 1));
             }
-            out[63] ^= salt as u8; // Make distinct salts distinguishable.
+            // Make distinct salts distinguishable.
+            out[63] ^= salt as u8;
             // Never the identity — an identity stage's output *is* its
             // input (content addressing), which would make it its own
             // recipe support and legitimately unevictable.

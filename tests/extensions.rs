@@ -48,7 +48,10 @@ fn histogram_pipeline(rt: &Runtime, n_shards: usize) -> Handle {
     let shards = fix_workloads::wordcount::store_shards(rt, 7, n_shards, 16 << 10);
     let mut layer: Vec<Handle> = shards
         .iter()
-        .map(|&s| rt.eval(rt.apply(limits(), histogram, &[s]).unwrap()).unwrap())
+        .map(|&s| {
+            rt.eval(rt.apply(limits(), histogram, &[s]).unwrap())
+                .unwrap()
+        })
         .collect();
     while layer.len() > 1 {
         let mut next = Vec::new();
@@ -338,19 +341,10 @@ fn marketplace_tie_is_an_error_not_a_coin_flip() {
 fn recompute_counts_procedures_not_cache_hits() {
     let rt = Runtime::builder().with_provenance().build();
     let total = histogram_pipeline(&rt, 4);
-    let runs_before = rt
-        .engine()
-        .stats
-        .procedures_run
-        .load(Ordering::Relaxed);
+    let runs_before = rt.engine().stats.procedures_run.load(Ordering::Relaxed);
     rt.evict_recomputable(&[]).unwrap();
     rt.materialize(total).unwrap();
-    let reran = rt
-        .engine()
-        .stats
-        .procedures_run
-        .load(Ordering::Relaxed)
-        - runs_before;
+    let reran = rt.engine().stats.procedures_run.load(Ordering::Relaxed) - runs_before;
     // 4 histograms + 3 merges re-ran; nothing else.
     assert_eq!(reran, 7);
 }
