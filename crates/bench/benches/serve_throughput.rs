@@ -1,0 +1,70 @@
+//! Criterion bench for the serving layer's warm-memoized path: a full
+//! serve run — load generation, weighted-fair admission, the virtual
+//! clock, and the real driver pool draining every batch through
+//! `eval_many` — against a runtime whose relation cache already holds
+//! every result.
+//!
+//! The first (unmeasured) run pays the cold evaluations; the measured
+//! runs reuse the same seed, so every minted thunk is a cache hit and
+//! the bench isolates serving overhead per request: the continuation of
+//! PR 2's batched-dispatch trajectory, now under multi-tenant traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fix_serve::{serve, ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
+use fixpoint::Runtime;
+use std::hint::black_box;
+
+/// ~2000 requests across two tenants on a short virtual horizon.
+fn warm_config() -> ServeConfig {
+    ServeConfig {
+        seed: 77,
+        duration_us: 250_000,
+        drivers: 4,
+        batch: 32,
+        queue_capacity: 256,
+        batch_overhead_us: 5,
+        tenants: vec![
+            TenantSpec::uniform_mix(
+                "adds",
+                3,
+                ArrivalProcess::Poisson { rate_rps: 6000.0 },
+                RequestKind::Add,
+            ),
+            TenantSpec::uniform_mix(
+                "fibs",
+                1,
+                ArrivalProcess::Poisson { rate_rps: 2000.0 },
+                RequestKind::Fib { max_n: 12 },
+            ),
+        ],
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let cfg = warm_config();
+    let rt = Runtime::builder().build();
+    // Warm-up: evaluates every distinct thunk the seed will ever mint.
+    let warm = serve(&rt, &cfg).expect("warm-up serve run");
+    let n = warm.completed;
+
+    // Requests/sec on the warm path, reported directly alongside the
+    // criterion timing (wall-clock, so indicative rather than exact).
+    let t0 = std::time::Instant::now();
+    let again = serve(&rt, &cfg).expect("warm serve run");
+    let wall = t0.elapsed();
+    assert_eq!(again.completed, n, "same seed, same traffic");
+    println!(
+        "serve_throughput: {n} warm requests in {:.1} ms wall ≈ {:.0} req/s",
+        wall.as_secs_f64() * 1e3,
+        n as f64 / wall.as_secs_f64()
+    );
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.bench_function(&format!("warm_memoized/{n}_reqs"), |b| {
+        b.iter(|| black_box(serve(&rt, black_box(&cfg)).expect("serve")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! evaluation section.
 //!
 //! ```text
-//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|summary|all] [--quick]
+//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|summary|all] [--quick]
 //! ```
 //!
 //! `--quick` runs everything at reduced scale (CI-friendly); without it,
@@ -73,6 +73,20 @@ fn main() {
     if run_fig("fig10") {
         let n = if quick { 500 } else { 2000 };
         println!("{}\n", fix_bench::fig10::run(n));
+    }
+    // Beyond the paper: every backend of the One Fix API in one table,
+    // and the serving layer's open-loop traffic report.
+    if which == "all" || which == "comparators" {
+        let (shards, bytes) = if quick {
+            (16, 16 << 10)
+        } else {
+            (64, 64 << 10)
+        };
+        println!("{}", fix_bench::comparators::run(shards, bytes));
+    }
+    if which == "all" || which == "serve" {
+        let scale = if quick { 1 } else { 5 };
+        println!("{}", fix_bench::serve_report::table_text(scale));
     }
     // Extension experiments (paper §6 future work, implemented here).
     if which == "all" || which == "extgc" {

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod comparators;
 pub mod ext_billing;
 pub mod ext_density;
 pub mod ext_gc;
@@ -17,3 +18,4 @@ pub mod fig7b;
 pub mod fig8a;
 pub mod fig8b;
 pub mod fig9;
+pub mod serve_report;

@@ -374,6 +374,22 @@ pub trait Evaluator {
     }
 }
 
+/// The full One Fix API, shareable across threads: everything a
+/// serving layer needs from a backend — build requests
+/// ([`InvocationApi`]), evaluate them ([`Evaluator`]) — plus the
+/// `Send + Sync` bounds that let one backend be driven by a pool of
+/// worker threads through a shared reference.
+///
+/// Blanket-implemented, so this is a *bound alias*, not a new
+/// capability: `fixpoint::Runtime`, `fix_cluster::ClusterClient`, and
+/// `fix_baselines::BaselineEvaluator` all qualify automatically, as
+/// does `Arc<T>`/`&T` of any of them (via the reference impls above).
+/// Write multi-threaded drivers — e.g. the `fix-serve` driver pool —
+/// against this trait and they run unchanged on every backend.
+pub trait ConcurrentApi: InvocationApi + Evaluator + Send + Sync {}
+
+impl<T: InvocationApi + Evaluator + Send + Sync + ?Sized> ConcurrentApi for T {}
+
 impl<T: Evaluator + ?Sized> Evaluator for &T {
     fn eval(&self, handle: Handle) -> Result<Handle> {
         (**self).eval(handle)

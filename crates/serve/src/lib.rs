@@ -1,0 +1,82 @@
+//! `fix-serve`: a multi-tenant serving layer over the One Fix API.
+//!
+//! The ROADMAP's north star is a platform that "serves heavy traffic
+//! from millions of users", and the serving-oriented related work
+//! (Nexus, SNF) evaluates exactly that regime: open-loop arrivals,
+//! per-tenant queues, tail latency under load. This crate closes that
+//! gap. It is deliberately *not* a new execution engine — it is a layer
+//! over [`fix_core::api::ConcurrentApi`], so the same serving run drives
+//! `fixpoint::Runtime`, `fix_cluster::ClusterClient`, or
+//! `fix_baselines::BaselineEvaluator` unchanged.
+//!
+//! Four pieces:
+//!
+//! * [`loadgen`] — deterministic open-loop arrival processes (seeded
+//!   Poisson, uniform, bursts, traces) merged into one global timeline;
+//! * [`tenant`] — per-tenant request mixes drawn from the repo's real
+//!   workloads (native `add`, FixVM `fib`, `count-string` shards, the
+//!   SeBS `dynamic-html` port), minted as ordinary Fix thunks;
+//! * [`queue`] — admission control: bounded per-tenant FIFO queues with
+//!   weighted-fair (deficit round robin) dispatch and per-tenant drop
+//!   accounting;
+//! * [`telemetry`] — mergeable fixed-bucket log-scale latency
+//!   histograms with deterministic p50/p90/p99/p999 extraction.
+//!
+//! [`serve`] ties them together: a discrete-event simulation schedules
+//! the admitted traffic onto `N` virtual drivers in virtual time (the
+//! reproducible half), and a pool of `N` real threads then executes the
+//! exact same batches through [`Evaluator::eval_many`] (the real half).
+//! See [`server`] for why the split makes the latency tables
+//! bit-identical across runs while every result still comes from a
+//! real evaluation.
+//!
+//! [`Evaluator::eval_many`]: fix_core::api::Evaluator::eval_many
+//!
+//! # Example
+//!
+//! ```
+//! use fix_serve::{serve, ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
+//!
+//! let cfg = ServeConfig {
+//!     seed: 42,
+//!     duration_us: 40_000,
+//!     drivers: 2,
+//!     batch: 8,
+//!     queue_capacity: 32,
+//!     batch_overhead_us: 5,
+//!     tenants: vec![
+//!         TenantSpec::uniform_mix(
+//!             "interactive",
+//!             3,
+//!             ArrivalProcess::Poisson { rate_rps: 2000.0 },
+//!             RequestKind::Add,
+//!         ),
+//!         TenantSpec::uniform_mix(
+//!             "batchy",
+//!             1,
+//!             ArrivalProcess::Bursts { period_us: 10_000, burst: 16 },
+//!             RequestKind::Fib { max_n: 8 },
+//!         ),
+//!     ],
+//! };
+//! // The same run works against ClusterClient or BaselineEvaluator.
+//! let rt = fixpoint::Runtime::builder().build();
+//! let report = serve(&rt, &cfg).unwrap();
+//! assert_eq!(report.completed + report.total_dropped(),
+//!            report.tenants.iter().map(|t| t.offered).sum::<u64>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+pub mod telemetry;
+pub mod tenant;
+
+pub use loadgen::{Arrival, ArrivalProcess, Micros};
+pub use queue::{QueuedRequest, TenantQueues};
+pub use server::{serve, DriverReport, ServeConfig, ServeReport, TenantReport};
+pub use telemetry::LatencyHistogram;
+pub use tenant::{RequestFactory, RequestKind, TenantSpec};

@@ -1,0 +1,580 @@
+//! The serving engine: open-loop admission simulation + a real driver
+//! pool executing the admitted traffic through
+//! [`Evaluator::eval_many`](fix_core::api::Evaluator::eval_many).
+//!
+//! A serve run has two synchronized halves:
+//!
+//! 1. **Virtual time.** Arrivals (from the load generator) flow through
+//!    admission and the weighted-fair queues into batches served by `N`
+//!    virtual drivers, under a deterministic per-request service model
+//!    ([`RequestKind::cold_service_us`](crate::tenant::RequestKind::cold_service_us)).
+//!    This half produces the
+//!    latency/occupancy/drop telemetry — it is a discrete-event
+//!    queueing simulation, so two runs with the same seed print
+//!    identical tables (the property CI asserts).
+//! 2. **Real execution.** The exact batches the virtual drivers served
+//!    are then drained by `N` real OS threads sharing one backend,
+//!    each calling `eval_many` per batch — so the scheduler-lock
+//!    amortization that batching bought in PR 2 is exercised under
+//!    realistic multi-tenant traffic, and every result (and error) in
+//!    the report comes from a real evaluation.
+//!
+//! Splitting the clock from the execution is what reconciles "real
+//! threads, real evaluations" with "bit-identical tables": thread
+//! interleaving can reorder *work*, but it cannot reorder the virtual
+//! timeline, and content-addressed evaluation makes the results
+//! order-independent.
+
+use crate::loadgen::{merge_timelines, tenant_seed, Arrival, Micros};
+use crate::queue::{QueuedRequest, TenantQueues};
+use crate::telemetry::LatencyHistogram;
+use crate::tenant::{draw_kind, RequestFactory, TenantSpec};
+use fix_core::api::ConcurrentApi;
+use fix_core::error::Result;
+use fix_core::handle::Handle;
+use std::collections::HashSet;
+
+/// Configuration of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Run seed; every random choice (arrivals, mixes, corpora) derives
+    /// from it.
+    pub seed: u64,
+    /// Open-loop generation horizon, in virtual µs.
+    pub duration_us: Micros,
+    /// Driver pool size: virtual servers in the simulation, real OS
+    /// threads in the execution phase.
+    pub drivers: usize,
+    /// Maximum requests per `eval_many` batch.
+    pub batch: usize,
+    /// Per-tenant queue bound; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Fixed per-batch dispatch overhead, in virtual µs (the one
+    /// scheduler-lock round the batch amortizes).
+    pub batch_overhead_us: Micros,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl ServeConfig {
+    /// Validates structural invariants (positive pool, batch, horizon,
+    /// at least one tenant).
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.drivers == 0 {
+            return Err("driver pool must have at least one driver".into());
+        }
+        if self.batch == 0 {
+            return Err("batch size must be positive".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be positive".into());
+        }
+        if self.duration_us == 0 {
+            return Err("duration must be positive".into());
+        }
+        if self.tenants.is_empty() {
+            return Err("at least one tenant is required".into());
+        }
+        for t in &self.tenants {
+            if t.weight == 0 {
+                return Err(format!("tenant '{}' has zero weight", t.name));
+            }
+            if t.mix.is_empty() {
+                return Err(format!("tenant '{}' has an empty mix", t.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-tenant serving outcome.
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Arrivals generated for this tenant.
+    pub offered: u64,
+    /// Arrivals admitted past the bounded queue.
+    pub admitted: u64,
+    /// Arrivals shed at admission.
+    pub dropped: u64,
+    /// Requests that completed real evaluation successfully.
+    pub ok: u64,
+    /// Requests whose real evaluation returned an error.
+    pub errors: u64,
+    /// Virtual queueing + service latency of admitted requests.
+    pub latency: LatencyHistogram,
+}
+
+/// Per-driver serving outcome.
+pub struct DriverReport {
+    /// Batches this driver served.
+    pub batches: u64,
+    /// Requests this driver served.
+    pub requests: u64,
+    /// Virtual µs spent serving (vs. idle).
+    pub busy_us: Micros,
+    /// Virtual latency recorded by this driver alone (merging these
+    /// across drivers equals the union of tenant histograms).
+    pub latency: LatencyHistogram,
+}
+
+/// The outcome of one serve run.
+pub struct ServeReport {
+    /// Per-tenant rows, in configuration order.
+    pub tenants: Vec<TenantReport>,
+    /// Per-driver rows.
+    pub drivers: Vec<DriverReport>,
+    /// Virtual end-to-end makespan (origin to last completion).
+    pub makespan_us: Micros,
+    /// Requests that completed (ok + errors, real evaluations).
+    pub completed: u64,
+}
+
+impl ServeReport {
+    /// Served request throughput over the virtual makespan, in
+    /// requests/second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_us == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1e6 / self.makespan_us as f64
+    }
+
+    /// Union latency across all tenants (equivalently: across all
+    /// drivers — the merge-equality the telemetry tests pin down).
+    pub fn total_latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for d in &self.drivers {
+            h.merge(&d.latency);
+        }
+        h
+    }
+
+    /// Total arrivals shed across tenants.
+    pub fn total_dropped(&self) -> u64 {
+        self.tenants.iter().map(|t| t.dropped).sum()
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total_latency();
+        let (p50, p90, p99, p999) = total.tail_summary();
+        writeln!(
+            f,
+            "served {} requests in {:.3} s virtual ({:.0} req/s), {} dropped",
+            self.completed,
+            self.makespan_us as f64 / 1e6,
+            self.throughput_rps(),
+            self.total_dropped(),
+        )?;
+        writeln!(
+            f,
+            "latency µs: p50 {p50}  p90 {p90}  p99 {p99}  p999 {p999}  max {}",
+            total.max()
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>8} {:>7} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8}",
+            "tenant", "offered", "admitted", "dropped", "ok", "err", "p50", "p99", "p999", "mean"
+        )?;
+        for t in &self.tenants {
+            let (tp50, _, tp99, tp999) = t.latency.tail_summary();
+            writeln!(
+                f,
+                "{:<12} {:>8} {:>8} {:>7} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8.0}",
+                t.name,
+                t.offered,
+                t.admitted,
+                t.dropped,
+                t.ok,
+                t.errors,
+                tp50,
+                tp99,
+                tp999,
+                t.latency.mean(),
+            )?;
+        }
+        for (i, d) in self.drivers.iter().enumerate() {
+            writeln!(
+                f,
+                "driver {i}: {} batches, {} requests, occupancy {:.0}%",
+                d.batches,
+                d.requests,
+                if self.makespan_us == 0 {
+                    0.0
+                } else {
+                    d.busy_us as f64 * 100.0 / self.makespan_us as f64
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A virtual driver's planned batch: the requests it served, in order.
+struct PlannedBatch {
+    requests: Vec<QueuedRequest>,
+}
+
+/// Runs the full serve pipeline against `rt`: generate traffic, admit
+/// and schedule it in virtual time, then execute the planned batches on
+/// a real driver-thread pool through `eval_many`.
+///
+/// # Examples
+///
+/// ```
+/// use fix_serve::{ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
+///
+/// let cfg = ServeConfig {
+///     seed: 7,
+///     duration_us: 50_000,
+///     drivers: 2,
+///     batch: 8,
+///     queue_capacity: 64,
+///     batch_overhead_us: 5,
+///     tenants: vec![TenantSpec::uniform_mix(
+///         "t0",
+///         1,
+///         ArrivalProcess::Uniform { period_us: 500 },
+///         RequestKind::Add,
+///     )],
+/// };
+/// let rt = fixpoint::Runtime::builder().build();
+/// let report = fix_serve::serve(&rt, &cfg).unwrap();
+/// assert_eq!(report.completed, 100);
+/// assert_eq!(report.total_dropped(), 0);
+/// ```
+pub fn serve<A: ConcurrentApi>(rt: &A, cfg: &ServeConfig) -> Result<ServeReport> {
+    cfg.validate().map_err(|message| fix_core::Error::Backend {
+        backend: "serve",
+        message,
+    })?;
+    let factory = RequestFactory::install(rt, &cfg.tenants, cfg.seed)?;
+
+    // ------------------------------------------------------------------
+    // Load generation: per-tenant arrival streams, merged and minted.
+    // ------------------------------------------------------------------
+    let per_tenant: Vec<Vec<Micros>> = cfg
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            t.arrivals
+                .generate(tenant_seed(cfg.seed, i, 0), cfg.duration_us)
+        })
+        .collect();
+    let timeline = merge_timelines(per_tenant);
+
+    // ------------------------------------------------------------------
+    // Virtual-time admission + dispatch simulation.
+    // ------------------------------------------------------------------
+    let weights: Vec<u32> = cfg.tenants.iter().map(|t| t.weight).collect();
+    let mut queues = TenantQueues::new(weights, cfg.queue_capacity);
+    let mut free: Vec<Micros> = vec![0; cfg.drivers];
+    let mut plans: Vec<Vec<PlannedBatch>> = (0..cfg.drivers).map(|_| Vec::new()).collect();
+    let mut drivers: Vec<DriverReport> = (0..cfg.drivers)
+        .map(|_| DriverReport {
+            batches: 0,
+            requests: 0,
+            busy_us: 0,
+            latency: LatencyHistogram::new(),
+        })
+        .collect();
+    let mut tenant_hists: Vec<LatencyHistogram> = (0..cfg.tenants.len())
+        .map(|_| LatencyHistogram::new())
+        .collect();
+    let mut admitted_per_tenant = vec![0u64; cfg.tenants.len()];
+    let mut seen: HashSet<Handle> = HashSet::new();
+    let mut makespan: Micros = 0;
+
+    let offer = |queues: &mut TenantQueues,
+                 seen: &mut HashSet<Handle>,
+                 admitted: &mut [u64],
+                 a: &Arrival|
+     -> Result<()> {
+        // Capacity check before any per-request work: a shed arrival
+        // must cost O(1) — minting a thunk builds and stores real
+        // objects on the backend, exactly what overload protection is
+        // supposed to avoid.
+        if queues.at_capacity(a.tenant) {
+            queues.shed(a.tenant);
+            return Ok(());
+        }
+        let spec = &cfg.tenants[a.tenant];
+        let kind = draw_kind(&spec.mix, tenant_seed(cfg.seed, a.tenant, 1), a.seq);
+        let thunk = factory.mint(rt, a.tenant, a.seq, kind)?;
+        // First *admitted* sight of a thunk pays the cold service time;
+        // repeats are warm — mirroring the backend's memoization (a shed
+        // request never executed, so it warms nothing).
+        let service_us = if seen.contains(&thunk) {
+            kind.warm_service_us()
+        } else {
+            kind.cold_service_us()
+        };
+        if queues.offer(QueuedRequest {
+            arrival_us: a.time_us,
+            tenant: a.tenant,
+            thunk,
+            service_us,
+        }) {
+            admitted[a.tenant] += 1;
+            seen.insert(thunk);
+        }
+        Ok(())
+    };
+
+    let mut next = 0usize; // Next unadmitted arrival in the timeline.
+    loop {
+        // The earliest-free driver serves next (ties to the lowest
+        // index, keeping the event order deterministic).
+        let d = (0..cfg.drivers)
+            .min_by_key(|&i| (free[i], i))
+            .expect("pool is non-empty");
+        let now = free[d];
+        // Everything that arrived while drivers were busy is offered in
+        // arrival order before the next dispatch decision.
+        while next < timeline.len() && timeline[next].time_us <= now {
+            offer(
+                &mut queues,
+                &mut seen,
+                &mut admitted_per_tenant,
+                &timeline[next],
+            )?;
+            next += 1;
+        }
+        if queues.is_empty() {
+            if next >= timeline.len() {
+                break; // Drained: the run is over.
+            }
+            // Idle until the next arrival instant (admit every arrival
+            // stamped with that exact time before dispatching). Every
+            // driver already free is idle across the gap, so virtual
+            // time advances for all of them — otherwise a stale driver
+            // clock could "serve" a request before it arrived.
+            let t = timeline[next].time_us;
+            while next < timeline.len() && timeline[next].time_us == t {
+                offer(
+                    &mut queues,
+                    &mut seen,
+                    &mut admitted_per_tenant,
+                    &timeline[next],
+                )?;
+                next += 1;
+            }
+            for f in free.iter_mut() {
+                *f = (*f).max(t);
+            }
+            continue;
+        }
+        let batch = queues.next_batch(cfg.batch);
+        let service: Micros =
+            cfg.batch_overhead_us + batch.iter().map(|r| r.service_us).sum::<Micros>();
+        let done = now + service;
+        for r in &batch {
+            debug_assert!(r.arrival_us <= now, "service must not precede arrival");
+            let latency = done - r.arrival_us;
+            tenant_hists[r.tenant].record(latency);
+            drivers[d].latency.record(latency);
+        }
+        drivers[d].batches += 1;
+        drivers[d].requests += batch.len() as u64;
+        drivers[d].busy_us += service;
+        free[d] = done;
+        makespan = makespan.max(done);
+        plans[d].push(PlannedBatch { requests: batch });
+    }
+
+    // ------------------------------------------------------------------
+    // Real execution: one OS thread per driver, `eval_many` per batch.
+    // ------------------------------------------------------------------
+    let outcomes: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let n_tenants = cfg.tenants.len();
+                scope.spawn(move || {
+                    let mut ok = vec![0u64; n_tenants];
+                    let mut errors = vec![0u64; n_tenants];
+                    for batch in plan {
+                        let thunks: Vec<Handle> = batch.requests.iter().map(|r| r.thunk).collect();
+                        for (r, req) in rt.eval_many(&thunks).iter().zip(&batch.requests) {
+                            match r {
+                                Ok(_) => ok[req.tenant] += 1,
+                                Err(_) => errors[req.tenant] += 1,
+                            }
+                        }
+                    }
+                    (ok, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread must not panic"))
+            .collect()
+    });
+
+    let mut ok = vec![0u64; cfg.tenants.len()];
+    let mut errors = vec![0u64; cfg.tenants.len()];
+    for (o, e) in outcomes {
+        for t in 0..cfg.tenants.len() {
+            ok[t] += o[t];
+            errors[t] += e[t];
+        }
+    }
+
+    let tenants: Vec<TenantReport> = cfg
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TenantReport {
+            name: t.name.clone(),
+            offered: queues.offered[i],
+            admitted: admitted_per_tenant[i],
+            dropped: queues.dropped[i],
+            ok: ok[i],
+            errors: errors[i],
+            latency: std::mem::take(&mut tenant_hists[i]),
+        })
+        .collect();
+    let completed = tenants.iter().map(|t| t.ok + t.errors).sum();
+    Ok(ServeReport {
+        tenants,
+        drivers,
+        makespan_us: makespan,
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::ArrivalProcess;
+    use crate::tenant::RequestKind;
+    use fixpoint::Runtime;
+
+    fn two_tenant_cfg(seed: u64) -> ServeConfig {
+        ServeConfig {
+            seed,
+            duration_us: 100_000,
+            drivers: 3,
+            batch: 16,
+            queue_capacity: 32,
+            batch_overhead_us: 5,
+            tenants: vec![
+                TenantSpec {
+                    name: "poisson".into(),
+                    weight: 2,
+                    arrivals: ArrivalProcess::Poisson { rate_rps: 3000.0 },
+                    mix: vec![(RequestKind::Add, 3), (RequestKind::Fib { max_n: 8 }, 1)],
+                },
+                TenantSpec::uniform_mix(
+                    "bursty",
+                    1,
+                    ArrivalProcess::Bursts {
+                        period_us: 20_000,
+                        burst: 64,
+                    },
+                    RequestKind::Add,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn serve_accounts_for_every_arrival() {
+        let rt = Runtime::builder().build();
+        let report = serve(&rt, &two_tenant_cfg(11)).unwrap();
+        for t in &report.tenants {
+            assert_eq!(t.offered, t.admitted + t.dropped, "tenant {}", t.name);
+            assert_eq!(t.admitted, t.ok + t.errors, "tenant {}", t.name);
+            assert_eq!(t.admitted, t.latency.count(), "tenant {}", t.name);
+            assert_eq!(t.errors, 0, "all minted requests are valid");
+        }
+        assert!(report.completed > 0);
+        assert!(report.makespan_us > 0);
+        // Driver-side and tenant-side accounting agree.
+        let driver_reqs: u64 = report.drivers.iter().map(|d| d.requests).sum();
+        assert_eq!(driver_reqs, report.completed);
+        let mut tenant_union = LatencyHistogram::new();
+        for t in &report.tenants {
+            tenant_union.merge(&t.latency);
+        }
+        assert_eq!(
+            tenant_union.tail_summary(),
+            report.total_latency().tail_summary(),
+            "per-driver merge must equal per-tenant merge"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_tables() {
+        let report_a = serve(&Runtime::builder().build(), &two_tenant_cfg(5)).unwrap();
+        let report_b = serve(&Runtime::builder().build(), &two_tenant_cfg(5)).unwrap();
+        assert_eq!(report_a.to_string(), report_b.to_string());
+        let report_c = serve(&Runtime::builder().build(), &two_tenant_cfg(6)).unwrap();
+        assert_ne!(
+            report_a.to_string(),
+            report_c.to_string(),
+            "a different seed must shift the traffic"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_deterministically() {
+        // One driver, tiny queue, heavy bursts: shedding is guaranteed.
+        let cfg = ServeConfig {
+            seed: 3,
+            duration_us: 50_000,
+            drivers: 1,
+            batch: 4,
+            queue_capacity: 8,
+            batch_overhead_us: 10,
+            tenants: vec![TenantSpec::uniform_mix(
+                "flood",
+                1,
+                ArrivalProcess::Bursts {
+                    period_us: 10_000,
+                    burst: 200,
+                },
+                RequestKind::SebsHtml { users: 2 },
+            )],
+        };
+        let rt = Runtime::builder().build();
+        let report = serve(&rt, &cfg).unwrap();
+        assert!(report.total_dropped() > 0, "overload must shed");
+        let again = serve(&Runtime::builder().build(), &cfg).unwrap();
+        assert_eq!(report.total_dropped(), again.total_dropped());
+        assert_eq!(report.to_string(), again.to_string());
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_setups() {
+        let mut cfg = two_tenant_cfg(1);
+        cfg.drivers = 0;
+        let rt = Runtime::builder().build();
+        assert!(serve(&rt, &cfg).is_err());
+        let mut cfg = two_tenant_cfg(1);
+        cfg.tenants.clear();
+        assert!(serve(&rt, &cfg).is_err());
+        let mut cfg = two_tenant_cfg(1);
+        cfg.tenants[0].mix.clear();
+        assert!(serve(&rt, &cfg).is_err());
+    }
+
+    #[test]
+    fn runs_identically_on_the_cluster_backend() {
+        let cfg = ServeConfig {
+            duration_us: 30_000,
+            ..two_tenant_cfg(9)
+        };
+        let rt_report = serve(&Runtime::builder().build(), &cfg).unwrap();
+        let cc = fix_cluster::ClusterClient::builder().build().unwrap();
+        let cc_report = serve(&cc, &cfg).unwrap();
+        // The virtual-time telemetry is backend-independent; so are the
+        // (content-addressed) evaluation outcomes.
+        assert_eq!(rt_report.to_string(), cc_report.to_string());
+        assert!(cc.reports().len() > 0, "real cluster runs were recorded");
+    }
+}

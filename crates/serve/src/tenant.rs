@@ -1,0 +1,329 @@
+//! Tenants and their request mixes.
+//!
+//! A tenant is a stream of requests drawn from a weighted mix of
+//! request kinds, all expressed as ordinary Fix thunks against the One
+//! Fix API — which is the point: the serving layer never special-cases
+//! a workload, it just builds thunks and asks a backend to evaluate
+//! them. The kinds cover the repo's real workloads: native codelets
+//! (the Fig. 7a hot path), FixVM guest programs (`fib`), the
+//! count-string map shard (Fig. 8b), and the SeBS `dynamic-html` port
+//! running through Flatware.
+
+use crate::loadgen::{ArrivalProcess, Micros};
+use fix_core::api::InvocationApi;
+use fix_core::data::Blob;
+use fix_core::error::Result;
+use fix_core::handle::Handle;
+use fix_core::limits::ResourceLimits;
+use fix_workloads::guests;
+use fix_workloads::sebs::{build_sebs_fs, register_dynamic_html};
+use fix_workloads::wordcount::{register_count_string, store_shards};
+use std::sync::Arc;
+
+/// One kind of request a tenant can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Native `add` codelet with per-request arguments — every request
+    /// is distinct, so this exercises the cold native-invocation path.
+    Add,
+    /// FixVM guest `fib(n)` with `n` cycling below this bound; repeats
+    /// hit the memoization cache, so a fib tenant mixes cold and warm.
+    Fib {
+        /// Exclusive upper bound on the cycled `n` (≥ 1).
+        max_n: u64,
+    },
+    /// `count-string` over one of the tenant's corpus shards with a
+    /// per-request needle (the Fig. 8b map task, served one at a time).
+    Wordcount {
+        /// Size of each stored corpus shard, in bytes.
+        shard_bytes: usize,
+    },
+    /// The SeBS `dynamic-html` port through Flatware, with the username
+    /// cycling over a small user population (warm after first render).
+    SebsHtml {
+        /// Number of distinct usernames to cycle through (≥ 1).
+        users: u64,
+    },
+}
+
+impl RequestKind {
+    /// Modeled service time of a *cold* (not yet memoized) request, in
+    /// µs of virtual time. Like `ClusterClient`'s flat
+    /// `task_compute_us`, these are calibration constants, not
+    /// measurements: they anchor the virtual clock that makes latency
+    /// tables reproducible. Derived from the paper's Fig. 7a scale
+    /// (native invocation ≈ 2.9 µs, VM startup tens of µs) and the
+    /// relative heft of each workload.
+    pub fn cold_service_us(&self) -> Micros {
+        match self {
+            RequestKind::Add => 30,
+            RequestKind::Fib { max_n } => 120 + 40 * max_n,
+            RequestKind::Wordcount { shard_bytes } => 80 + (*shard_bytes as Micros) / 256,
+            RequestKind::SebsHtml { .. } => 600,
+        }
+    }
+
+    /// Modeled service time of a warm (memoized) repeat, in µs: the
+    /// Fig. 7a warm-memoized path, independent of the procedure.
+    pub fn warm_service_us(&self) -> Micros {
+        3
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestKind::Add => "add",
+            RequestKind::Fib { .. } => "fib",
+            RequestKind::Wordcount { .. } => "wordcount",
+            RequestKind::SebsHtml { .. } => "sebs-html",
+        }
+    }
+}
+
+/// One tenant of the serving layer.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (also the table row key).
+    pub name: String,
+    /// Weighted-fair share of driver capacity relative to other tenants.
+    pub weight: u32,
+    /// The tenant's arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Weighted request mix; kinds are drawn per-request with these
+    /// relative weights (deterministically, from the tenant's seed).
+    pub mix: Vec<(RequestKind, u32)>,
+}
+
+impl TenantSpec {
+    /// A tenant issuing only `kind`.
+    pub fn uniform_mix(
+        name: &str,
+        weight: u32,
+        arrivals: ArrivalProcess,
+        kind: RequestKind,
+    ) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+            arrivals,
+            mix: vec![(kind, 1)],
+        }
+    }
+}
+
+/// Per-backend request factory: registers each tenant's procedures and
+/// data once, then mints the thunk for any `(tenant, seq, kind)`.
+///
+/// Thunks are content addressed, so the factory is deterministic by
+/// construction: the same configuration mints bit-identical handles on
+/// every backend — which is what lets the serving example compare
+/// backends under identical traffic.
+pub struct RequestFactory {
+    add_proc: Handle,
+    fib_mod: Handle,
+    fib_add_mod: Handle,
+    count_proc: Handle,
+    html_proc: Handle,
+    sebs_root: Handle,
+    /// Per-tenant corpus shards (lazily sized by the first Wordcount
+    /// kind in the tenant's mix; one shard set per tenant).
+    shards: Vec<Vec<Handle>>,
+    limits: ResourceLimits,
+}
+
+/// Shards stored per wordcount tenant (requests cycle across them).
+const SHARDS_PER_TENANT: usize = 4;
+
+impl RequestFactory {
+    /// Registers procedures and stores per-tenant data on `rt`.
+    pub fn install<R: InvocationApi>(
+        rt: &R,
+        tenants: &[TenantSpec],
+        seed: u64,
+    ) -> Result<RequestFactory> {
+        let add_proc = rt.register_native(
+            "serve/add",
+            Arc::new(|ctx| {
+                let a = ctx.arg_blob(0)?.as_u64().unwrap_or(0);
+                let b = ctx.arg_blob(1)?.as_u64().unwrap_or(0);
+                ctx.host
+                    .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+            }),
+        );
+        let fib_mod = guests::install_fib(rt)?;
+        let fib_add_mod = guests::install_add(rt)?;
+        let count_proc = register_count_string(rt);
+        let html_proc = register_dynamic_html(rt);
+        let sebs_root = build_sebs_fs(
+            rt,
+            &[("inbox.txt".to_string(), b"serve-layer fixture".to_vec())],
+        )?;
+        let mut shards = Vec::with_capacity(tenants.len());
+        for (i, t) in tenants.iter().enumerate() {
+            let shard_bytes = t.mix.iter().find_map(|(k, _)| match k {
+                RequestKind::Wordcount { shard_bytes } => Some(*shard_bytes),
+                _ => None,
+            });
+            shards.push(match shard_bytes {
+                Some(bytes) => store_shards(
+                    rt,
+                    crate::loadgen::tenant_seed(seed, i, 7),
+                    SHARDS_PER_TENANT,
+                    bytes,
+                ),
+                None => Vec::new(),
+            });
+        }
+        Ok(RequestFactory {
+            add_proc,
+            fib_mod,
+            fib_add_mod,
+            count_proc,
+            html_proc,
+            sebs_root,
+            shards,
+            limits: ResourceLimits::default_limits(),
+        })
+    }
+
+    /// Builds the thunk for request `seq` of `tenant` with `kind`.
+    pub fn mint<R: InvocationApi>(
+        &self,
+        rt: &R,
+        tenant: usize,
+        seq: u64,
+        kind: RequestKind,
+    ) -> Result<Handle> {
+        match kind {
+            RequestKind::Add => rt.apply(
+                self.limits,
+                self.add_proc,
+                &[
+                    rt.put_blob(Blob::from_u64(seq)),
+                    rt.put_blob(Blob::from_u64((tenant as u64) << 32 | 1)),
+                ],
+            ),
+            RequestKind::Fib { max_n } => rt.apply(
+                self.limits,
+                self.fib_mod,
+                &[
+                    self.fib_add_mod,
+                    rt.put_blob(Blob::from_u64(seq % max_n.max(1))),
+                ],
+            ),
+            RequestKind::Wordcount { .. } => {
+                let shard = self.shards[tenant][(seq as usize) % SHARDS_PER_TENANT];
+                let needle = rt.put_blob(Blob::from_slice(
+                    format!("t{tenant}w{}", seq % 64).as_bytes(),
+                ));
+                rt.apply(self.limits, self.count_proc, &[shard, needle])
+            }
+            RequestKind::SebsHtml { users } => {
+                let argv = rt.put_blob(flatware::encode_argv(&[
+                    "dynamic-html",
+                    &format!("tenant{tenant}-user{}", seq % users.max(1)),
+                    "4",
+                ]));
+                rt.apply(self.limits, self.html_proc, &[argv, self.sebs_root])
+            }
+        }
+    }
+}
+
+/// Draws the kind of request `seq` from `mix` (weighted, deterministic
+/// in `(seed, seq)` alone so admission replay and real execution agree).
+pub fn draw_kind(mix: &[(RequestKind, u32)], seed: u64, seq: u64) -> RequestKind {
+    assert!(!mix.is_empty(), "tenant mix must not be empty");
+    let total: u64 = mix.iter().map(|(_, w)| *w as u64).sum();
+    assert!(total > 0, "tenant mix weights must not all be zero");
+    // Stateless splittable draw: hash (seed, seq) to a weight slot.
+    let mut z = seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let mut slot = (z ^ (z >> 31)) % total;
+    for (kind, w) in mix {
+        if slot < *w as u64 {
+            return *kind;
+        }
+        slot -= *w as u64;
+    }
+    mix[mix.len() - 1].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixpoint::Runtime;
+
+    fn tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec {
+                name: "mixed".into(),
+                weight: 2,
+                arrivals: ArrivalProcess::Uniform { period_us: 100 },
+                mix: vec![
+                    (RequestKind::Add, 3),
+                    (RequestKind::Fib { max_n: 10 }, 1),
+                    (RequestKind::Wordcount { shard_bytes: 4096 }, 1),
+                    (RequestKind::SebsHtml { users: 4 }, 1),
+                ],
+            },
+            TenantSpec::uniform_mix(
+                "adds",
+                1,
+                ArrivalProcess::Uniform { period_us: 50 },
+                RequestKind::Add,
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_kind_mints_an_evaluable_thunk() {
+        let rt = Runtime::builder().build();
+        let specs = tenants();
+        let f = RequestFactory::install(&rt, &specs, 5).unwrap();
+        for kind in [
+            RequestKind::Add,
+            RequestKind::Fib { max_n: 10 },
+            RequestKind::Wordcount { shard_bytes: 4096 },
+            RequestKind::SebsHtml { users: 4 },
+        ] {
+            let t = f.mint(&rt, 0, 3, kind).unwrap();
+            rt.eval(t).unwrap_or_else(|e| panic!("{kind:?}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn minting_is_deterministic_across_backends() {
+        let specs = tenants();
+        let rt = Runtime::builder().build();
+        let cc = fix_cluster::ClusterClient::builder().build().unwrap();
+        let fa = RequestFactory::install(&rt, &specs, 5).unwrap();
+        let fb = RequestFactory::install(&cc, &specs, 5).unwrap();
+        for seq in 0..8 {
+            let kind = draw_kind(&specs[0].mix, 99, seq);
+            assert_eq!(
+                fa.mint(&rt, 0, seq, kind).unwrap(),
+                fb.mint(&cc, 0, seq, kind).unwrap(),
+                "content addressing must make minting backend-agnostic"
+            );
+        }
+    }
+
+    #[test]
+    fn draw_kind_respects_weights_roughly() {
+        let mix = vec![(RequestKind::Add, 9), (RequestKind::Fib { max_n: 4 }, 1)];
+        let adds = (0..1000)
+            .filter(|&s| draw_kind(&mix, 1, s) == RequestKind::Add)
+            .count();
+        assert!((820..980).contains(&adds), "{adds} adds of 1000");
+    }
+
+    #[test]
+    fn service_model_orders_kinds_sensibly() {
+        let add = RequestKind::Add;
+        let html = RequestKind::SebsHtml { users: 4 };
+        assert!(add.cold_service_us() < html.cold_service_us());
+        assert!(add.warm_service_us() < add.cold_service_us());
+    }
+}

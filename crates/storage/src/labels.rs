@@ -4,10 +4,29 @@
 //! example programs a mutable namespace over them (like git refs over
 //! commit hashes). Labels are a convenience layer only — nothing in Fix
 //! semantics depends on them.
+//!
+//! The namespace is sharded by name hash (the same recipe as the
+//! 64-way object store and 32-way relation cache), closing the last
+//! ROADMAP-flagged single-lock hot spot outside the scheduler: binds
+//! and lookups of unrelated names never contend.
 
 use fix_core::handle::Handle;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+
+/// Lock shards. Labels see far less traffic than the object store, so
+/// 16 ways is plenty to take independent names off one lock.
+const SHARDS: usize = 16;
+
+/// FNV-1a over the name bytes; stable, and cheap for short names.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
 
 /// A mutable map from names to Handles.
 ///
@@ -22,9 +41,16 @@ use std::collections::BTreeMap;
 /// labels.set("compile", h);
 /// assert_eq!(labels.get("compile"), Some(h));
 /// ```
-#[derive(Default)]
 pub struct Labels {
-    map: RwLock<BTreeMap<String, Handle>>,
+    shards: Vec<RwLock<BTreeMap<String, Handle>>>,
+}
+
+impl Default for Labels {
+    fn default() -> Labels {
+        Labels {
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+        }
+    }
 }
 
 impl Labels {
@@ -35,26 +61,41 @@ impl Labels {
 
     /// Binds (or rebinds) a name.
     pub fn set(&self, name: &str, handle: Handle) {
-        self.map.write().insert(name.to_string(), handle);
+        self.shards[shard_of(name)]
+            .write()
+            .insert(name.to_string(), handle);
     }
 
     /// Resolves a name.
     pub fn get(&self, name: &str) -> Option<Handle> {
-        self.map.read().get(name).copied()
+        self.shards[shard_of(name)].read().get(name).copied()
     }
 
     /// Removes a binding, returning the old target.
     pub fn remove(&self, name: &str) -> Option<Handle> {
-        self.map.write().remove(name)
+        self.shards[shard_of(name)].write().remove(name)
     }
 
     /// All bindings, sorted by name.
+    ///
+    /// Weaker than the pre-sharding version: each shard is read under
+    /// its own lock, so the result is per-shard consistent but not an
+    /// atomic snapshot of the whole namespace — a concurrent writer
+    /// touching two shards may appear in one and not the other. Callers
+    /// needing a true snapshot must hold exterior synchronization.
     pub fn list(&self) -> Vec<(String, Handle)> {
-        self.map
-            .read()
+        let mut all: Vec<(String, Handle)> = self
+            .shards
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 }
 
@@ -84,5 +125,48 @@ mod tests {
         labels.set("alpha", h);
         let names: Vec<String> = labels.list().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn names_spread_over_shards() {
+        // Not a distribution-quality claim — just a guard that the hash
+        // actually routes different names to different locks.
+        let shards: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of(&format!("label-{i}"))).collect();
+        assert!(shards.len() > SHARDS / 2, "{} shards used", shards.len());
+    }
+
+    #[test]
+    fn concurrent_binds_from_many_threads_land_intact() {
+        let labels = std::sync::Arc::new(Labels::new());
+        let threads = 8;
+        let per_thread = 200;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let labels = std::sync::Arc::clone(&labels);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let name = format!("t{t}/n{i}");
+                        let h = Blob::from_slice(name.as_bytes()).handle();
+                        labels.set(&name, h);
+                        assert_eq!(labels.get(&name), Some(h), "{name}");
+                        // Churn a shared name too: the winning bind must
+                        // be one of the two candidate handles.
+                        labels.set("shared", h);
+                    }
+                });
+            }
+        });
+        assert_eq!(labels.list().len() as u64, threads * per_thread + 1);
+        for t in 0..threads {
+            for i in 0..per_thread {
+                let name = format!("t{t}/n{i}");
+                assert_eq!(
+                    labels.get(&name),
+                    Some(Blob::from_slice(name.as_bytes()).handle())
+                );
+            }
+        }
+        assert!(labels.get("shared").is_some());
     }
 }

@@ -22,7 +22,10 @@
 //!   distributed Fix engine, and the comparator systems;
 //! * [`flatware`] — the Unix-like filesystem layer;
 //! * [`workloads`] — every workload of the paper's
-//!   evaluation.
+//!   evaluation;
+//! * [`serve`] — the multi-tenant serving layer: open-loop load
+//!   generation, weighted-fair queueing, a batched driver pool, and
+//!   tail-latency telemetry over any One-Fix-API backend.
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@ pub use fix_cluster as cluster;
 pub use fix_core as core;
 pub use fix_hash as hash;
 pub use fix_netsim as netsim;
+pub use fix_serve as serve;
 pub use fix_storage as storage;
 pub use fix_vm as vm;
 pub use fix_workloads as workloads;
@@ -65,7 +69,9 @@ pub use flatware;
 /// away.
 pub mod prelude {
     pub use fix_cluster::ClusterClient;
-    pub use fix_core::api::{Evaluator, HostApi, InvocationApi, NativeCtx, NativeFn, ObjectApi};
+    pub use fix_core::api::{
+        ConcurrentApi, Evaluator, HostApi, InvocationApi, NativeCtx, NativeFn, ObjectApi,
+    };
     pub use fix_core::data::{Blob, Node, Tree};
     pub use fix_core::handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};
     pub use fix_core::invocation::{build, Invocation, Selection};

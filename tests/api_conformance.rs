@@ -236,6 +236,67 @@ fn eval_many_reports_per_request_failures() {
 }
 
 #[test]
+fn eval_many_mixed_outcomes_stay_positional() {
+    // One batch holding every outcome class — ok, guest trap, and a
+    // not-found dangling reference — must return per-slot results in
+    // submission order, with no cross-contamination: the failures of
+    // slots 1 and 2 must not disturb slots 0 and 3.
+    on_every_backend(|rt| {
+        let add = register_add(rt);
+        let ok = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(20)),
+                    rt.put_blob(Blob::from_u64(22)),
+                ],
+            )
+            .unwrap();
+        let boom = rt.register_native(
+            "conf/mixed-boom",
+            Arc::new(|_ctx| -> Result<Handle> { Err(Error::Trap("mixed".into())) }),
+        );
+        let trap = rt.apply(limits(), boom, &[]).unwrap();
+        // A selection whose target tree was never stored: the handle is
+        // valid (content addressed) but the object is absent.
+        let missing = Tree::from_handles(vec![rt.put_blob(Blob::from_u64(9))]).handle();
+        let not_found = rt.select(missing, 0).unwrap();
+        let tail_ok = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(2)),
+                    rt.put_blob(Blob::from_u64(3)),
+                ],
+            )
+            .unwrap();
+
+        let results = rt.eval_many(&[ok, trap, not_found, tail_ok]);
+        assert_eq!(results.len(), 4);
+        let first = *results[0].as_ref().expect("slot 0 succeeds");
+        assert_eq!(rt.get_u64(first).unwrap(), 42);
+        assert!(
+            matches!(&results[1], Err(Error::Trap(m)) if m == "mixed"),
+            "slot 1 must trap: {:?}",
+            results[1]
+        );
+        assert!(
+            matches!(results[2], Err(Error::NotFound(h)) if h == missing),
+            "slot 2 must be not-found: {:?}",
+            results[2]
+        );
+        let last = *results[3].as_ref().expect("slot 3 succeeds");
+        assert_eq!(rt.get_u64(last).unwrap(), 5);
+        // The failures must also match a loop of single evals.
+        assert!(matches!(rt.eval(trap), Err(Error::Trap(_))));
+        assert!(matches!(rt.eval(not_found), Err(Error::NotFound(_))));
+        vec![first, last]
+    });
+}
+
+#[test]
 fn sandboxed_guests_agree() {
     on_every_backend(|rt| {
         let fib = guests::install_fib(&rt).unwrap();
