@@ -67,7 +67,7 @@ impl Default for BaselineEvaluatorBuilder {
                 fix_netsim::NetConfig::default(),
             ),
             profile: None,
-            task_compute_us: 100,
+            task_compute_us: fix_core::calibration::SERVICE_COSTS.task_compute_us,
         }
     }
 }
@@ -87,7 +87,8 @@ impl BaselineEvaluatorBuilder {
         self
     }
 
-    /// Modeled compute time per simulated task, in µs (default 100).
+    /// Modeled compute time per simulated task, in µs (default: the
+    /// shared [`fix_core::calibration::SERVICE_COSTS`] flat charge).
     pub fn task_compute_us(mut self, us: Time) -> Self {
         self.task_compute_us = us;
         self

@@ -21,6 +21,7 @@ pub fn config(scale: u32) -> ServeConfig {
         batch: 32,
         queue_capacity: 96,
         batch_overhead_us: 5,
+        inflight: 2,
         tenants: vec![
             TenantSpec {
                 name: "interactive".into(),

@@ -50,7 +50,7 @@ impl Default for ClusterClientBuilder {
         ClusterClientBuilder {
             setup: ClusterSetup::workers_only(10, NodeSpec::default(), NetConfig::default()),
             cfg: FixConfig::default(),
-            task_compute_us: 100,
+            task_compute_us: fix_core::calibration::SERVICE_COSTS.task_compute_us,
             provenance: false,
         }
     }
@@ -70,9 +70,13 @@ impl ClusterClientBuilder {
         self
     }
 
-    /// Modeled compute time per simulated task, in µs (default 100).
-    /// The derivation has no cost model for guest code, so every task is
-    /// charged this flat amount.
+    /// Modeled compute time per simulated task, in µs. The derivation
+    /// has no cost model for guest code, so every task is charged this
+    /// flat amount; the default comes from the workspace-wide
+    /// calibration table
+    /// ([`fix_core::calibration::SERVICE_COSTS`]`.task_compute_us`),
+    /// the same table the serving layer's per-kind service model reads,
+    /// so the two simulated clocks cannot drift apart.
     pub fn task_compute_us(mut self, us: Time) -> Self {
         self.task_compute_us = us;
         self

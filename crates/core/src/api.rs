@@ -14,7 +14,13 @@
 //!   Application/Selection thunks and install procedures;
 //! * [`Evaluator`] — ask for results: lazy ([`Evaluator::eval`]), strict
 //!   ([`Evaluator::eval_strict`]), and batched
-//!   ([`Evaluator::eval_many`]).
+//!   ([`Evaluator::eval_many`]);
+//! * [`SubmitApi`] — ask for results *later*: non-blocking
+//!   [`submit`](SubmitApi::submit) / [`submit_many`](SubmitApi::submit_many)
+//!   return [`Ticket`]s resolved by `poll`/`wait`/`wait_any`, so a
+//!   driver can overlap admission with execution. `fixpoint::Runtime`
+//!   implements it natively; [`BlockingOffload`] lifts any plain
+//!   [`Evaluator`] onto it.
 //!
 //! Because handles are content addressed, a correct backend is *forced*
 //! to agree with every other backend on results — the conformance suite
@@ -62,6 +68,9 @@ use crate::invocation::Invocation;
 use crate::limits::ResourceLimits;
 use crate::semantics::Footprint;
 use std::sync::Arc;
+
+pub use crate::offload::BlockingOffload;
+pub use crate::ticket::{BatchTicket, PendingBatch, Ticket};
 
 // ----------------------------------------------------------------------
 // The host interface procedures program against.
@@ -347,8 +356,13 @@ pub trait Evaluator {
     /// per-request overhead: the single-node runtime submits the whole
     /// batch to its scheduler under one lock acquisition, and the cluster
     /// client ships the batch through one simulated run.
+    ///
+    /// Blocking is the special case of submission: this default resolves
+    /// the batch at submission time and waits on the resulting (ready)
+    /// ticket, and backends implementing [`SubmitApi`] override it with
+    /// a real `submit_many(..).wait()` — same surface, pipelined engine.
     fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
-        handles.iter().map(|&h| self.eval(h)).collect()
+        BatchTicket::ready(handles.iter().map(|&h| self.eval(h)).collect()).wait()
     }
 
     /// Computes the minimum repository of a thunk (paper §3.3), using
@@ -371,6 +385,130 @@ pub trait Evaluator {
     {
         let thunk = self.apply(limits, procedure, args)?;
         self.eval_strict(thunk)
+    }
+}
+
+// ----------------------------------------------------------------------
+// SubmitApi: asking for results *later*.
+// ----------------------------------------------------------------------
+
+/// Submission-first evaluation: describe a batch now, resolve it later.
+///
+/// [`Evaluator`] is call-and-block — every `eval_many` parks the calling
+/// thread until the whole batch resolves. This trait decouples the two
+/// halves, the same decoupling the paper's externalized-I/O design
+/// implies at the API level: [`submit_many`](SubmitApi::submit_many)
+/// registers the batch with the backend and returns a [`BatchTicket`]
+/// immediately, and the caller chooses when (and whether) to block.
+/// A driver can keep a window of batches in flight — submit batch *k+1*
+/// while *k* executes — which is what lets the `fix-serve` driver pool
+/// overlap admission with execution.
+///
+/// Implementations:
+///
+/// * `fixpoint::Runtime` — native: submission takes the scheduler's
+///   job-map lock once, registers completion watchers, and returns; no
+///   caller thread is parked per batch.
+/// * [`BlockingOffload<T>`] — lifts any plain [`Evaluator`] (the
+///   cluster client, the baselines) onto this trait via a pool of
+///   submission threads.
+///
+/// Contract (held by the conformance suite):
+///
+/// * `submit_many(h).wait()` is positionally identical to
+///   [`Evaluator::eval_many`]`(h)`;
+/// * dropping a ticket mid-flight *detaches* it — the backend neither
+///   hangs other work nor leaks per-batch bookkeeping;
+/// * tickets resolve exactly once; `poll` is non-blocking.
+///
+/// # Overlapping batches
+///
+/// ```
+/// use fix_core::api::{Evaluator, InvocationApi, ObjectApi, SubmitApi};
+/// use fix_core::data::Blob;
+/// use fix_core::limits::ResourceLimits;
+/// use std::sync::Arc;
+///
+/// let rt = fixpoint::Runtime::builder().build();
+/// let add = rt.register_native("submit-doc/add", Arc::new(|ctx| {
+///     let a = ctx.arg_blob(0)?.as_u64().unwrap();
+///     let b = ctx.arg_blob(1)?.as_u64().unwrap();
+///     ctx.host.create_blob((a + b).to_le_bytes().to_vec())
+/// }));
+/// let batch = |base: u64| -> Vec<_> {
+///     (0..4u64)
+///         .map(|i| {
+///             rt.apply(
+///                 ResourceLimits::default_limits(),
+///                 add,
+///                 &[rt.put_blob(Blob::from_u64(base + i)), rt.put_blob(Blob::from_u64(1))],
+///             )
+///             .unwrap()
+///         })
+///         .collect()
+/// };
+///
+/// // Two batches in flight at once: submission returns immediately.
+/// let first = rt.submit_many(&batch(0));
+/// let second = rt.submit_many(&batch(100));
+///
+/// // Resolve in whichever order suits the driver.
+/// let second_results = rt.wait_batch(second);
+/// let first_results = rt.wait_batch(first);
+/// assert_eq!(rt.get_u64(*first_results[0].as_ref().unwrap()).unwrap(), 1);
+/// assert_eq!(rt.get_u64(*second_results[3].as_ref().unwrap()).unwrap(), 104);
+/// ```
+pub trait SubmitApi: Evaluator {
+    /// Begins evaluating a batch of independent requests, returning a
+    /// ticket for the positional results. Must not block on evaluation:
+    /// the work proceeds in the backend (or on later `wait`/`advance`
+    /// calls for inline backends), not in this call.
+    fn submit_many(&self, handles: &[Handle]) -> BatchTicket;
+
+    /// Begins evaluating one handle (a batch of one).
+    fn submit(&self, handle: Handle) -> Ticket {
+        Ticket::from_batch(self.submit_many(std::slice::from_ref(&handle)))
+    }
+
+    /// Non-blocking: true once `ticket` has completed (its result is
+    /// then claimed with [`Ticket::take_result`] or [`wait`](SubmitApi::wait)).
+    fn poll(&self, ticket: &mut Ticket) -> bool {
+        ticket.poll()
+    }
+
+    /// Non-blocking: true once every slot of `ticket` has completed.
+    fn poll_batch(&self, ticket: &mut BatchTicket) -> bool {
+        ticket.poll()
+    }
+
+    /// Blocks until the evaluation completes, consuming the ticket.
+    fn wait(&self, ticket: Ticket) -> Result<Handle> {
+        ticket.wait()
+    }
+
+    /// Blocks until the whole batch completes, consuming the ticket;
+    /// results are positional.
+    fn wait_batch(&self, ticket: BatchTicket) -> Vec<Result<Handle>> {
+        ticket.wait()
+    }
+
+    /// Blocks until at least one unclaimed ticket completes, returning
+    /// its index; `None` when every ticket was already claimed. See
+    /// [`BatchTicket::wait_any`].
+    fn wait_any(&self, tickets: &mut [BatchTicket]) -> Option<usize> {
+        BatchTicket::wait_any(tickets)
+    }
+}
+
+impl<T: SubmitApi + ?Sized> SubmitApi for &T {
+    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
+        (**self).submit_many(handles)
+    }
+}
+
+impl<T: SubmitApi + ?Sized> SubmitApi for Arc<T> {
+    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
+        (**self).submit_many(handles)
     }
 }
 

@@ -1,0 +1,75 @@
+//! The shared service-cost calibration table.
+//!
+//! Two simulating layers charge modeled time for work they do not
+//! really measure: the cluster/baseline engines charge a flat compute
+//! cost per derived task, and the serving layer's virtual clock charges
+//! per-kind cold/warm service times. These constants used to live in
+//! two places (`fix_cluster::ClusterClientBuilder::task_compute_us` and
+//! `fix_serve::RequestKind::cold_service_us`) and could drift apart;
+//! this module is the single table both consume.
+//!
+//! The values are *calibration constants, not measurements*: they
+//! anchor virtual clocks so that latency tables and simulated makespans
+//! are reproducible bit for bit. They are derived from the paper's
+//! Fig. 7a scale — native invocation ≈ 2.9 µs, warm-memoized ≈ 0.8 µs,
+//! VM startup tens of µs — and the relative heft of each workload in
+//! this repo. Changing any value changes every serving table and every
+//! simulated makespan downstream, deterministically.
+
+/// Modeled per-kind service costs, in virtual µs (one shared instance:
+/// [`SERVICE_COSTS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Calibration {
+    /// Cold native-codelet invocation (the `add` request kind): VM-free
+    /// dispatch plus argument loads.
+    pub native_cold_us: u64,
+    /// FixVM guest startup: module decode plus interpreter spin-up.
+    pub vm_start_us: u64,
+    /// Per recursion step of the `fib` guest (each step is one memoized
+    /// sub-invocation).
+    pub vm_step_us: u64,
+    /// `count-string` shard scan: fixed per-request overhead…
+    pub wordcount_base_us: u64,
+    /// …plus one µs per this many corpus bytes scanned.
+    pub wordcount_bytes_per_us: u64,
+    /// The SeBS `dynamic-html` render through Flatware (template fetch,
+    /// render loop, filesystem traversal).
+    pub sebs_html_cold_us: u64,
+    /// A warm repeat of any kind: the Fig. 7a warm-memoized path,
+    /// independent of the procedure.
+    pub warm_hit_us: u64,
+    /// The flat compute charge per simulated cluster task, used when a
+    /// derived dataflow graph carries no per-kind information (the
+    /// graph deriver sees thunks, not request kinds). Sits mid-range
+    /// between [`native_cold_us`](Self::native_cold_us) and
+    /// [`sebs_html_cold_us`](Self::sebs_html_cold_us).
+    pub task_compute_us: u64,
+}
+
+/// The one calibration every simulating layer shares.
+pub const SERVICE_COSTS: Calibration = Calibration {
+    native_cold_us: 30,
+    vm_start_us: 120,
+    vm_step_us: 40,
+    wordcount_base_us: 80,
+    wordcount_bytes_per_us: 256,
+    sebs_html_cold_us: 600,
+    warm_hit_us: 3,
+    task_compute_us: 100,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_is_cheapest_and_flat_charge_is_mid_range() {
+        let c = SERVICE_COSTS;
+        assert!(c.warm_hit_us < c.native_cold_us);
+        assert!(c.native_cold_us < c.sebs_html_cold_us);
+        assert!(
+            (c.native_cold_us..=c.sebs_html_cold_us).contains(&c.task_compute_us),
+            "the flat per-task charge must sit inside the per-kind range"
+        );
+    }
+}

@@ -14,8 +14,12 @@
 //! * [`semantics`] — minimum-repository (footprint) analysis and the
 //!   data-access rules shared by the runtime and the scheduler;
 //! * [`api`] — the One Fix API: backend-agnostic [`api::ObjectApi`] /
-//!   [`api::InvocationApi`] / [`api::Evaluator`] traits implemented by
-//!   every execution engine in the workspace.
+//!   [`api::InvocationApi`] / [`api::Evaluator`] / [`api::SubmitApi`]
+//!   traits implemented by every execution engine in the workspace,
+//!   plus the [`ticket`] machinery behind submission-first evaluation
+//!   and the [`offload`] adapter that lifts blocking backends onto it;
+//! * [`calibration`] — the shared service-cost table every simulating
+//!   layer (cluster tasks, serving clocks) charges from.
 //!
 //! The runtime that evaluates these objects is the `fixpoint` crate; the
 //! distributed engine is `fix-cluster`.
@@ -45,15 +49,21 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod calibration;
 pub mod data;
 pub mod error;
 pub mod handle;
 pub mod invocation;
 pub mod limits;
+pub mod offload;
 pub mod semantics;
+pub mod ticket;
 pub mod wire;
 
-pub use api::{Evaluator, HostApi, InvocationApi, NativeCtx, NativeFn, ObjectApi};
+pub use api::{
+    BatchTicket, BlockingOffload, Evaluator, HostApi, InvocationApi, NativeCtx, NativeFn,
+    ObjectApi, SubmitApi, Ticket,
+};
 pub use data::{Blob, Node, Tree};
 pub use error::{Error, Result};
 pub use handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};

@@ -1,0 +1,340 @@
+//! [`BlockingOffload`]: submission-first evaluation over any blocking
+//! backend.
+//!
+//! The single-node runtime implements [`SubmitApi`] natively by hooking
+//! its scheduler. Every other backend — the netsim-backed cluster client,
+//! the baseline cost models, any future engine — is a plain blocking
+//! [`Evaluator`]. This adapter lifts such a backend onto the submission
+//! API with a small pool of submission threads: `submit_many` hands the
+//! batch to a thread and returns a ticket immediately; the thread runs
+//! the backend's ordinary `eval_many` and fills the ticket's completion
+//! slot. One conformant surface, every backend.
+//!
+//! Cancel-on-drop: a dropped ticket marks its slot detached. A batch
+//! the threads have not yet started is then skipped entirely — the
+//! closest a blocking backend can get to cancellation — while a batch
+//! already executing simply completes into the abandoned slot.
+
+use crate::api::{Evaluator, InvocationApi, NativeFn, ObjectApi, SubmitApi};
+use crate::data::{Blob, Node, Tree};
+use crate::error::{Error, Result};
+use crate::handle::Handle;
+use crate::limits::ResourceLimits;
+use crate::semantics::Footprint;
+use crate::ticket::{BatchTicket, PendingBatch};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One submitted batch in flight between a ticket and the worker pool.
+struct OffloadJob {
+    thunks: Vec<Handle>,
+    slot: Arc<OffloadSlot>,
+}
+
+#[derive(Default)]
+struct SlotState {
+    /// Positional results, once produced.
+    results: Option<Vec<Result<Handle>>>,
+    /// Set when `results` has been written (stays true after a take).
+    produced: bool,
+    /// Set when the ticket was dropped unresolved.
+    detached: bool,
+}
+
+/// The completion slot shared between one ticket and the worker that
+/// (eventually) executes its batch.
+#[derive(Default)]
+struct OffloadSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl OffloadSlot {
+    fn fill(&self, results: Vec<Result<Handle>>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.results = Some(results);
+        state.produced = true;
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+/// The ticket side of an offloaded batch.
+struct OffloadPending {
+    slot: Arc<OffloadSlot>,
+}
+
+impl PendingBatch for OffloadPending {
+    fn try_take(&self) -> Option<Vec<Result<Handle>>> {
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.results.take()
+    }
+
+    fn wait(&self) -> Vec<Result<Handle>> {
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.produced {
+                return state
+                    .results
+                    .take()
+                    .expect("offload results are claimed exactly once");
+            }
+            state = self.slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn advance(&self, timeout: Duration) {
+        let state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.produced {
+            let _ = self
+                .slot
+                .cv
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn detach(&self) {
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.detached = true;
+    }
+}
+
+/// Lifts a blocking [`Evaluator`] onto the submission-first
+/// [`SubmitApi`] via a pool of submission threads.
+///
+/// The adapter implements the *whole* One Fix API by delegation —
+/// construction calls go straight to the inner backend; only evaluation
+/// is routed through the pool — so code written against
+/// [`SubmitApi`] + [`InvocationApi`] runs unchanged over
+/// `BlockingOffload<ClusterClient>`, `BlockingOffload<BaselineEvaluator>`,
+/// or the natively-submitting `fixpoint::Runtime`.
+///
+/// Dropping the adapter drains all submitted batches (their tickets
+/// still resolve) and joins the threads.
+///
+/// # Examples
+///
+/// ```
+/// use fix_core::api::{BlockingOffload, Evaluator, InvocationApi, ObjectApi, SubmitApi};
+/// use fix_core::data::Blob;
+/// use fix_core::limits::ResourceLimits;
+/// use std::sync::Arc;
+///
+/// // Any plain Evaluator backend gains submit/wait:
+/// let cc = BlockingOffload::new(fix_cluster::ClusterClient::builder().build().unwrap());
+/// let add = cc.register_native("offload/add", Arc::new(|ctx| {
+///     let a = ctx.arg_blob(0)?.as_u64().unwrap();
+///     let b = ctx.arg_blob(1)?.as_u64().unwrap();
+///     ctx.host.create_blob((a + b).to_le_bytes().to_vec())
+/// }));
+/// let thunk = cc.apply(
+///     ResourceLimits::default_limits(),
+///     add,
+///     &[cc.put_blob(Blob::from_u64(40)), cc.put_blob(Blob::from_u64(2))],
+/// ).unwrap();
+/// let ticket = cc.submit(thunk);          // returns immediately
+/// assert_eq!(cc.get_u64(ticket.wait().unwrap()).unwrap(), 42);
+/// ```
+pub struct BlockingOffload<T: ?Sized> {
+    sender: Option<mpsc::Sender<OffloadJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    inner: Arc<T>,
+}
+
+impl<T: Evaluator + Send + Sync + 'static> BlockingOffload<T> {
+    /// Wraps `inner` with a single submission thread.
+    pub fn new(inner: T) -> BlockingOffload<T> {
+        Self::from_arc(Arc::new(inner))
+    }
+
+    /// Wraps an already-shared backend with a single submission thread.
+    pub fn from_arc(inner: Arc<T>) -> BlockingOffload<T> {
+        Self::with_threads(inner, 1)
+    }
+
+    /// Wraps an already-shared backend with `threads` submission
+    /// threads, so that many concurrently submitted batches execute in
+    /// parallel on the inner backend (which is `Sync`, so this is the
+    /// same concurrency a pool of blocking callers would impose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(inner: Arc<T>, threads: usize) -> BlockingOffload<T> {
+        assert!(threads > 0, "an offload needs at least one thread");
+        let (sender, receiver) = mpsc::channel::<OffloadJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("fix-offload-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the pop, not
+                        // the evaluation, so sibling workers stay busy.
+                        let job = {
+                            let rx = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                            rx.recv()
+                        };
+                        let Ok(job) = job else {
+                            return; // Adapter dropped and queue drained.
+                        };
+                        let skip = {
+                            let state = job.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+                            state.detached
+                        };
+                        if skip {
+                            continue; // Cancelled before execution began.
+                        }
+                        // A panic below would strand every later batch on
+                        // this worker; convert it to per-slot errors and
+                        // keep serving (mirrors the scheduler's treatment
+                        // of panicking codelets as guest faults).
+                        let results =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                inner.eval_many(&job.thunks)
+                            }))
+                            .unwrap_or_else(|_| {
+                                job.thunks
+                                    .iter()
+                                    .map(|_| {
+                                        Err(Error::Backend {
+                                            backend: "offload",
+                                            message: "backend panicked during eval_many".into(),
+                                        })
+                                    })
+                                    .collect()
+                            });
+                        job.slot.fill(results);
+                    })
+                    .expect("spawn offload worker")
+            })
+            .collect();
+        BlockingOffload {
+            sender: Some(sender),
+            workers,
+            inner,
+        }
+    }
+}
+
+impl<T: ?Sized> BlockingOffload<T> {
+    /// The wrapped backend.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for BlockingOffload<T> {
+    fn drop(&mut self) {
+        // Disconnect the channel; workers drain what was already
+        // submitted (outstanding tickets still resolve), then exit.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<T: Evaluator + Send + Sync + 'static> SubmitApi for BlockingOffload<T> {
+    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
+        let slot = Arc::new(OffloadSlot::default());
+        let job = OffloadJob {
+            thunks: handles.to_vec(),
+            slot: Arc::clone(&slot),
+        };
+        let sender = self.sender.as_ref().expect("offload is alive");
+        if sender.send(job).is_err() {
+            // Unreachable while `self` is alive (we hold the receiver's
+            // workers), but fail soft rather than hanging a waiter.
+            return BatchTicket::ready(
+                handles
+                    .iter()
+                    .map(|_| {
+                        Err(Error::Backend {
+                            backend: "offload",
+                            message: "submission pool is shut down".into(),
+                        })
+                    })
+                    .collect(),
+            );
+        }
+        BatchTicket::from_pending(Arc::new(OffloadPending { slot }), handles.len())
+    }
+}
+
+impl<T: Evaluator + Send + Sync + 'static> Evaluator for BlockingOffload<T> {
+    fn eval(&self, handle: Handle) -> Result<Handle> {
+        // A single lazy evaluation gains nothing from a thread handoff.
+        self.inner.eval(handle)
+    }
+
+    fn eval_strict(&self, handle: Handle) -> Result<Handle> {
+        self.inner.eval_strict(handle)
+    }
+
+    fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
+        // Blocking is the special case of submission: one batch, waited
+        // on immediately (and still executed by the pool, so concurrent
+        // blocking callers parallelize exactly like submitted ones).
+        self.submit_many(handles).wait()
+    }
+
+    fn footprint(&self, thunk: Handle) -> Result<Footprint> {
+        self.inner.footprint(thunk)
+    }
+
+    fn procedures_run(&self) -> u64 {
+        self.inner.procedures_run()
+    }
+}
+
+impl<T: ObjectApi + ?Sized> ObjectApi for BlockingOffload<T> {
+    fn put_blob(&self, blob: Blob) -> Handle {
+        self.inner.put_blob(blob)
+    }
+    fn put_tree(&self, tree: Tree) -> Handle {
+        self.inner.put_tree(tree)
+    }
+    fn get_blob(&self, handle: Handle) -> Result<Blob> {
+        self.inner.get_blob(handle)
+    }
+    fn get_tree(&self, handle: Handle) -> Result<Tree> {
+        self.inner.get_tree(handle)
+    }
+    fn contains(&self, handle: Handle) -> bool {
+        self.inner.contains(handle)
+    }
+    fn put(&self, node: Node) -> Handle {
+        self.inner.put(node)
+    }
+}
+
+impl<T: InvocationApi + ?Sized> InvocationApi for BlockingOffload<T> {
+    fn register_native(&self, name: &str, f: NativeFn) -> Handle {
+        self.inner.register_native(name, f)
+    }
+    fn install_module(&self, module_bytes: Vec<u8>) -> Result<Handle> {
+        self.inner.install_module(module_bytes)
+    }
+    fn apply(&self, limits: ResourceLimits, procedure: Handle, args: &[Handle]) -> Result<Handle> {
+        self.inner.apply(limits, procedure, args)
+    }
+    fn strict_apply(
+        &self,
+        limits: ResourceLimits,
+        procedure: Handle,
+        args: &[Handle],
+    ) -> Result<Handle> {
+        self.inner.strict_apply(limits, procedure, args)
+    }
+    fn select(&self, target: Handle, index: u64) -> Result<Handle> {
+        self.inner.select(target, index)
+    }
+    fn select_range(&self, target: Handle, begin: u64, end: u64) -> Result<Handle> {
+        self.inner.select_range(target, begin, end)
+    }
+}

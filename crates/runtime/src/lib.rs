@@ -25,6 +25,7 @@ pub mod recompute;
 pub mod registry;
 pub mod runtime;
 pub mod scheduler;
+mod submit;
 
 pub use cps::{StepCtx, StepFn, StepOutcome};
 pub use engine::{Engine, Job, Step};

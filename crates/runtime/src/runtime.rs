@@ -8,6 +8,7 @@
 use crate::engine::{Engine, Job};
 use crate::registry::{NativeFn, ProgramRegistry};
 use crate::scheduler::{Scheduler, WorkerPool};
+use fix_core::api::{BatchTicket, Ticket};
 use fix_core::data::{Blob, Node, Tree};
 use fix_core::error::Result;
 use fix_core::handle::Handle;
@@ -240,30 +241,52 @@ impl Runtime {
 
     /// Evaluates a batch of independent requests (results positional).
     ///
-    /// Equivalent to mapping [`eval`](Runtime::eval) over `handles`, but
-    /// the whole batch enters the scheduler under **one** lock
-    /// acquisition and one wakeup broadcast instead of a submit/notify
-    /// round per request — the batched dispatch path measured by the
-    /// `api_eval_many` bench. Shared sub-computations are deduplicated
-    /// across the batch exactly as they are within one evaluation.
+    /// Blocking is the special case of submission: this is exactly
+    /// [`submit_many`](Runtime::submit_many) followed by an immediate
+    /// [`BatchTicket::wait`]. The whole batch enters the scheduler (and
+    /// registers its completion watchers) under **one** lock acquisition
+    /// and one wakeup broadcast — the batched dispatch path measured by
+    /// the `api_eval_many` bench. Shared sub-computations are
+    /// deduplicated across the batch exactly as they are within one
+    /// evaluation.
     pub fn eval_many(&self, handles: &[Handle]) -> Vec<Result<Handle>> {
-        // Values evaluate to themselves without touching the scheduler.
-        let jobs: Vec<Job> = handles
-            .iter()
-            .filter(|h| !h.is_value())
-            .map(|&h| Job::Eval(h))
-            .collect();
-        let mut batched = self.scheduler.run_inline_many(&jobs).into_iter();
-        handles
-            .iter()
-            .map(|&h| {
-                if h.is_value() {
-                    Ok(h)
-                } else {
-                    batched.next().expect("one result per submitted job")
-                }
-            })
-            .collect()
+        self.submit_many(handles).wait()
+    }
+
+    // ------------------------------------------------------------------
+    // Submission (the native SubmitApi backend).
+    // ------------------------------------------------------------------
+
+    /// Begins evaluating a batch, returning a ticket for the positional
+    /// results — the native implementation of
+    /// [`SubmitApi::submit_many`](fix_core::api::SubmitApi::submit_many).
+    ///
+    /// Submission takes the scheduler's job-map lock once, registers a
+    /// completion watcher per request, and returns immediately; the
+    /// scheduler's completion notifications fill the ticket as jobs
+    /// finish. No caller thread is parked per batch: with a worker pool
+    /// the batch executes behind the caller's back, and on a pool-less
+    /// runtime waiting on *any* ticket drives the shared queue (so
+    /// overlapped batches still all make progress). Dropping the ticket
+    /// unresolved detaches it — the watchers are withdrawn on the spot
+    /// (see [`submission_watchers`](Runtime::submission_watchers)) and
+    /// the jobs remain ordinary shared scheduler state.
+    pub fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
+        crate::submit::submit_many(&self.scheduler, handles)
+    }
+
+    /// Begins evaluating one handle (a batch of one); see
+    /// [`submit_many`](Runtime::submit_many).
+    pub fn submit(&self, handle: Handle) -> Ticket {
+        fix_core::api::SubmitApi::submit(self, handle)
+    }
+
+    /// Completion watchers currently registered for in-flight submitted
+    /// batches. Resolved and dropped tickets both deregister eagerly, so
+    /// a quiescent runtime always reports zero — the invariant the
+    /// ticket-leak tests pin down.
+    pub fn submission_watchers(&self) -> usize {
+        self.scheduler.watcher_count()
     }
 
     /// Procedures actually executed so far (memoization cache misses).
@@ -399,5 +422,11 @@ impl fix_core::api::Evaluator for Runtime {
 
     fn procedures_run(&self) -> u64 {
         Runtime::procedures_run(self)
+    }
+}
+
+impl fix_core::api::SubmitApi for Runtime {
+    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
+        Runtime::submit_many(self, handles)
     }
 }

@@ -15,14 +15,23 @@
 //! * **pooled** ([`WorkerPool`]) — N worker threads drain the queue
 //!   concurrently; independent sub-computations (e.g. the branches of a
 //!   parallel map) run in parallel.
+//!
+//! Batches can also be **watched** instead of driven: `submit_watched`
+//! enqueues a set of roots under one lock acquisition and registers a
+//! `BatchState` that the completion path fills in as each root
+//! finishes — no caller thread parked, no per-job polling. This is the
+//! mechanism behind the One Fix API's submission tickets
+//! (`fix_core::api::SubmitApi`); `wait_batch` turns the calling thread
+//! into an inline driver until the watched batch is done.
 
 use crate::engine::{Engine, Job, Step};
 use fix_core::error::{Error, Result};
 use fix_core::handle::Handle;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Debug, Clone)]
 enum JobState {
@@ -60,6 +69,76 @@ struct Shared {
     /// mutation happens under the mutex, so a driver that checks this
     /// while deciding to park cannot miss the release wakeup.
     inline_executing: usize,
+    /// Completion watchers: job → the watched batches (and the slot
+    /// within each) that want its result. Registered by
+    /// [`Scheduler::submit_watched`] under the same lock acquisition as
+    /// the submission, drained by [`Scheduler::complete`] the moment the
+    /// job finishes — so batch completion costs O(1) per job instead of
+    /// a polling pass per executed step. A watcher exists only while its
+    /// job is unfinished; detaching a batch removes its watchers
+    /// eagerly, so a dropped ticket leaks nothing.
+    watchers: HashMap<Job, Vec<(Arc<BatchState>, usize)>>,
+}
+
+/// The completion state of one watched batch: positional result slots
+/// filled by the scheduler's completion path. Shared between the
+/// scheduler (which fills) and a submission ticket (which waits).
+///
+/// Slots are only ever filled while holding the scheduler mutex, so the
+/// `done` flag is ordered with the condvar the same way every other
+/// stall-predicate mutation is — a waiter that checks `is_done` under
+/// the lock before parking cannot miss the completing wakeup.
+pub(crate) struct BatchState {
+    /// The watched roots, slot-aligned (duplicates allowed: each slot
+    /// resolves independently).
+    jobs: Vec<Job>,
+    /// Positional results; `None` while in flight.
+    slots: Mutex<Vec<Option<Result<Handle>>>>,
+    /// Unfilled slot count; reaches zero exactly once.
+    remaining: AtomicUsize,
+    /// Set (under the scheduler lock) when the last slot fills.
+    done: AtomicBool,
+}
+
+impl BatchState {
+    fn new(jobs: Vec<Job>) -> BatchState {
+        let n = jobs.len();
+        BatchState {
+            jobs,
+            slots: Mutex::new(vec![None; n]),
+            remaining: AtomicUsize::new(n),
+            done: AtomicBool::new(n == 0),
+        }
+    }
+
+    /// True once every slot has a result.
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Clones out the positional results. Call only after
+    /// [`is_done`](Self::is_done) returns true.
+    pub(crate) fn results(&self) -> Vec<Result<Handle>> {
+        debug_assert!(self.is_done(), "results() before the batch completed");
+        self.slots
+            .lock()
+            .iter()
+            .map(|s| s.clone().expect("completed batch slot is filled"))
+            .collect()
+    }
+
+    /// Fills one slot (idempotent per slot). Callers hold the scheduler
+    /// mutex, which is what serializes `remaining`/`done` against
+    /// waiters' park decisions.
+    fn fill(&self, pos: usize, result: Result<Handle>) {
+        let mut slots = self.slots.lock();
+        if slots[pos].is_none() {
+            slots[pos] = Some(result);
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.done.store(true, Ordering::Release);
+            }
+        }
+    }
 }
 
 /// The shared scheduler for one node.
@@ -105,17 +184,171 @@ impl Scheduler {
         }
     }
 
+    /// Submits every job in `roots` and registers a completion watcher
+    /// for each, all under **one** lock acquisition, returning
+    /// immediately — no caller thread is parked. Roots that already
+    /// finished fill their slots on the spot; the rest fill as the
+    /// completion path reaches them. This is the scheduler half of the
+    /// One Fix API's `submit_many`.
+    pub(crate) fn submit_watched(&self, roots: &[Job]) -> Arc<BatchState> {
+        let state = Arc::new(BatchState::new(roots.to_vec()));
+        {
+            let mut shared = self.shared.lock();
+            for (pos, &job) in roots.iter().enumerate() {
+                match shared.jobs.get(&job).and_then(|e| e.state.clone()) {
+                    Some(JobState::Done(h)) => state.fill(pos, Ok(h)),
+                    Some(JobState::Failed(e)) => state.fill(pos, Err(e)),
+                    _ => {
+                        self.submit_locked(&mut shared, job);
+                        shared
+                            .watchers
+                            .entry(job)
+                            .or_default()
+                            .push((Arc::clone(&state), pos));
+                    }
+                }
+            }
+        }
+        self.cv.notify_all();
+        state
+    }
+
+    /// Drives the queue on the calling thread until the watched batch
+    /// completes; cooperates with pool workers and other inline drivers
+    /// exactly like [`run_inline`](Scheduler::run_inline). On a genuine
+    /// stall the batch's unfinished slots are failed (and its watchers
+    /// deregistered) instead of parking forever.
+    pub(crate) fn wait_batch(&self, state: &Arc<BatchState>) {
+        loop {
+            if state.is_done() {
+                return;
+            }
+            let claim = {
+                let mut shared = self.shared.lock();
+                loop {
+                    if state.is_done() {
+                        return;
+                    }
+                    if let Some(claim) = self.pop_claimed(&mut shared) {
+                        break claim;
+                    }
+                    if self.drained_and_stalled(&shared) {
+                        self.fail_stalled_locked(&mut shared, state);
+                        return;
+                    }
+                    self.cv.wait(&mut shared);
+                }
+            };
+            claim.execute();
+        }
+    }
+
+    /// Bounded progress toward a watched batch: steps one queued job
+    /// inline if there is one, otherwise parks for at most `timeout`
+    /// awaiting someone else's progress (or fails the batch on a genuine
+    /// stall). The building block of `wait_any`-style multiplexing.
+    pub(crate) fn advance_batch(&self, state: &Arc<BatchState>, timeout: Duration) {
+        if state.is_done() {
+            return;
+        }
+        let claim = {
+            let mut shared = self.shared.lock();
+            if state.is_done() {
+                return;
+            }
+            match self.pop_claimed(&mut shared) {
+                Some(claim) => claim,
+                None => {
+                    if self.drained_and_stalled(&shared) {
+                        self.fail_stalled_locked(&mut shared, state);
+                    } else {
+                        self.cv.wait_for(&mut shared, timeout);
+                    }
+                    return;
+                }
+            }
+        };
+        claim.execute();
+    }
+
+    /// Withdraws a watched batch's completion watchers (the ticket was
+    /// dropped unresolved). The jobs themselves stay submitted — they
+    /// are shared, deduplicated state that other requests may depend on
+    /// — but nothing batch-specific survives, so a dropped ticket can
+    /// never accumulate scheduler memory.
+    pub(crate) fn detach_batch(&self, state: &Arc<BatchState>) {
+        let mut shared = self.shared.lock();
+        self.deregister_locked(&mut shared, state);
+    }
+
+    /// Removes every watcher of `state` from the watcher map.
+    fn deregister_locked(&self, shared: &mut Shared, state: &Arc<BatchState>) {
+        for job in &state.jobs {
+            if let std::collections::hash_map::Entry::Occupied(mut entry) =
+                shared.watchers.entry(*job)
+            {
+                entry.get_mut().retain(|(s, _)| !Arc::ptr_eq(s, state));
+                if entry.get().is_empty() {
+                    entry.remove();
+                }
+            }
+        }
+    }
+
+    /// Fails a watched batch's unfinished slots with the stall error
+    /// (mirroring what [`run_inline`](Scheduler::run_inline) reports)
+    /// and deregisters its watchers, so the waiter returns instead of
+    /// parking on a graph that can never progress.
+    fn fail_stalled_locked(&self, shared: &mut Shared, state: &Arc<BatchState>) {
+        self.deregister_locked(shared, state);
+        let unfilled: Vec<usize> = {
+            let slots = state.slots.lock();
+            (0..slots.len()).filter(|&i| slots[i].is_none()).collect()
+        };
+        for pos in unfilled {
+            state.fill(
+                pos,
+                Err(Error::Trap(format!(
+                    "evaluation stalled: no runnable jobs for {}",
+                    state.jobs[pos]
+                ))),
+            );
+        }
+    }
+
+    /// Registered completion watchers across all watched batches
+    /// (diagnostic; the leak test pins this to zero after tickets are
+    /// resolved or dropped).
+    pub fn watcher_count(&self) -> usize {
+        self.shared.lock().watchers.values().map(Vec::len).sum()
+    }
+
     /// Discards all job state and any queued work.
     ///
     /// Job completion records double as a memo consistent with the
     /// engine's relation cache, so the two must be cleared together
     /// (see [`Runtime::clear_memoization`](crate::Runtime::clear_memoization)).
     /// Must only be called while no evaluation is in flight; queued jobs
-    /// are dropped and their waiters never woken.
+    /// are dropped and their waiters never woken. Watched batches still
+    /// in flight are failed loudly rather than silently forgotten, so a
+    /// leaked ticket wait cannot hang.
     pub fn reset(&self) {
         let mut shared = self.shared.lock();
         shared.jobs.clear();
         shared.queue.clear();
+        let watchers = std::mem::take(&mut shared.watchers);
+        for (job, entries) in watchers {
+            for (state, pos) in entries {
+                state.fill(
+                    pos,
+                    Err(Error::Trap(format!(
+                        "scheduler reset while {job} was in flight"
+                    ))),
+                );
+            }
+        }
+        drop(shared);
+        self.cv.notify_all();
     }
 
     /// Drops one finished job record, so a later submission re-steps it
@@ -204,10 +437,11 @@ impl Scheduler {
     ///
     /// If worker threads are also draining the queue, this cooperates with
     /// them; when the queue is momentarily empty it waits for progress.
-    /// Kept allocation-free separately from the batched
-    /// [`run_inline_many`](Scheduler::run_inline_many) — this is the
-    /// Fig. 7a microsecond path — with the subtle parts (executor claims,
-    /// the stall predicate) shared between the two loops.
+    /// Kept allocation-free separately from the watched-batch path
+    /// (`submit_watched` + `wait_batch`, which backs `Runtime::eval_many`
+    /// and the submission tickets) — this is the Fig. 7a microsecond
+    /// path — with the subtle parts (executor claims, the stall
+    /// predicate) shared between the two loops.
     pub fn run_inline(&self, root: Job) -> Result<Handle> {
         self.submit(root);
         loop {
@@ -238,72 +472,6 @@ impl Scheduler {
             };
             claim.execute();
         }
-    }
-
-    /// Drives the queue on the calling thread until every job in `roots`
-    /// completes; results are positional.
-    ///
-    /// The batched counterpart of [`run_inline`](Scheduler::run_inline)
-    /// behind `Runtime::eval_many`: the whole batch is submitted under
-    /// **one** lock acquisition and one wakeup broadcast, instead of a
-    /// lock/notify round per root, and the calling thread then drains the
-    /// queue once for all of them. With a worker pool attached, the
-    /// batch's independent subgraphs run concurrently from the start.
-    pub fn run_inline_many(&self, roots: &[Job]) -> Vec<Result<Handle>> {
-        {
-            let mut shared = self.shared.lock();
-            for &job in roots {
-                self.submit_locked(&mut shared, job);
-            }
-        }
-        self.cv.notify_all();
-
-        let mut results: Vec<Option<Result<Handle>>> = vec![None; roots.len()];
-        // Positions still unfinished, so each drain pass only re-polls
-        // jobs that haven't completed yet (roots may contain duplicates;
-        // every position gets its answer).
-        let mut open: Vec<usize> = (0..roots.len()).collect();
-        while !open.is_empty() {
-            let claim = {
-                let mut shared = self.shared.lock();
-                loop {
-                    open.retain(|&i| {
-                        match shared.jobs.get(&roots[i]).and_then(|e| e.state.as_ref()) {
-                            Some(JobState::Done(h)) => {
-                                results[i] = Some(Ok(*h));
-                                false
-                            }
-                            Some(JobState::Failed(e)) => {
-                                results[i] = Some(Err(e.clone()));
-                                false
-                            }
-                            _ => true,
-                        }
-                    });
-                    if open.is_empty() {
-                        return results.into_iter().map(|r| r.expect("filled")).collect();
-                    }
-                    if let Some(claim) = self.pop_claimed(&mut shared) {
-                        break claim;
-                    }
-                    // Queue is empty but roots remain: jobs are running on
-                    // pool workers or another inline driver, or the graph
-                    // is genuinely stalled.
-                    if self.drained_and_stalled(&shared) {
-                        for &i in &open {
-                            results[i] = Some(Err(Error::Trap(format!(
-                                "evaluation stalled: no runnable jobs for {}",
-                                roots[i]
-                            ))));
-                        }
-                        return results.into_iter().map(|r| r.expect("filled")).collect();
-                    }
-                    self.cv.wait(&mut shared);
-                }
-            };
-            claim.execute();
-        }
-        results.into_iter().map(|r| r.expect("filled")).collect()
     }
 
     fn active_workers(&self) -> usize {
@@ -425,7 +593,9 @@ impl Scheduler {
         self.cv.notify_all();
     }
 
-    /// Marks a job finished and wakes its (transitive) waiters.
+    /// Marks a job finished and wakes its (transitive) waiters, filling
+    /// the slots of any watched batches as it goes (the completion
+    /// notification hook behind submission tickets).
     fn complete(&self, shared: &mut Shared, job: Job, result: Result<Handle>) {
         // Worklist of (job, result) so failure propagation is iterative.
         let mut worklist: Vec<(Job, Result<Handle>)> = vec![(job, result)];
@@ -435,6 +605,11 @@ impl Scheduler {
                 Ok(h) => JobState::Done(*h),
                 Err(e) => JobState::Failed(e.clone()),
             });
+            if let Some(watchers) = shared.watchers.remove(&job) {
+                for (state, pos) in watchers {
+                    state.fill(pos, result.clone());
+                }
+            }
             let waiters = std::mem::take(&mut entry.waiters);
             for waiter in waiters {
                 match &result {

@@ -1,0 +1,104 @@
+//! Native submission tickets over the scheduler.
+//!
+//! `Runtime` implements `fix_core::api::SubmitApi` directly: a
+//! submitted batch becomes a watched scheduler batch
+//! ([`Scheduler::submit_watched`]) whose completion slots are filled by
+//! the scheduler's own completion notifications — one job-map lock
+//! acquisition at submission, no caller thread parked, no polling. The
+//! [`RuntimePending`] here is the glue between that watched batch and
+//! the backend-agnostic ticket machinery in `fix_core`.
+//!
+//! Value handles never touch the scheduler (they evaluate to
+//! themselves), so the pending batch carries a slot plan mapping each
+//! requested position either to its value or to a watched job slot.
+
+use crate::engine::Job;
+use crate::scheduler::{BatchState, Scheduler};
+use fix_core::api::{BatchTicket, PendingBatch};
+use fix_core::error::Result;
+use fix_core::handle::Handle;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where each requested position gets its answer.
+enum Slot {
+    /// A value handle: evaluates to itself, scheduler never involved.
+    Value(Handle),
+    /// Slot `i` of the watched scheduler batch.
+    Job(usize),
+}
+
+/// One in-flight submitted batch on the single-node runtime.
+pub(crate) struct RuntimePending {
+    scheduler: Arc<Scheduler>,
+    state: Arc<BatchState>,
+    plan: Vec<Slot>,
+}
+
+impl RuntimePending {
+    /// Assembles positional results from the (completed) watched batch.
+    fn assemble(&self) -> Vec<Result<Handle>> {
+        let results = self.state.results();
+        self.plan
+            .iter()
+            .map(|slot| match slot {
+                Slot::Value(h) => Ok(*h),
+                Slot::Job(i) => results[*i].clone(),
+            })
+            .collect()
+    }
+}
+
+impl PendingBatch for RuntimePending {
+    fn try_take(&self) -> Option<Vec<Result<Handle>>> {
+        self.state.is_done().then(|| self.assemble())
+    }
+
+    fn wait(&self) -> Vec<Result<Handle>> {
+        // The waiting thread turns into an inline driver: it executes
+        // queued jobs (its own batch's and anyone else's) until the
+        // watchers report this batch done.
+        self.scheduler.wait_batch(&self.state);
+        self.assemble()
+    }
+
+    fn advance(&self, timeout: Duration) {
+        self.scheduler.advance_batch(&self.state, timeout);
+    }
+
+    fn detach(&self) {
+        self.scheduler.detach_batch(&self.state);
+    }
+}
+
+/// Builds the ticket for a batch of handles: values resolve eagerly,
+/// everything else becomes one watched scheduler batch submitted under
+/// a single lock acquisition.
+pub(crate) fn submit_many(scheduler: &Arc<Scheduler>, handles: &[Handle]) -> BatchTicket {
+    let mut jobs = Vec::new();
+    let plan: Vec<Slot> = handles
+        .iter()
+        .map(|&h| {
+            if h.is_value() {
+                Slot::Value(h)
+            } else {
+                let i = jobs.len();
+                jobs.push(Job::Eval(h));
+                Slot::Job(i)
+            }
+        })
+        .collect();
+    if jobs.is_empty() {
+        // All values: the ticket is born resolved.
+        return BatchTicket::ready(handles.iter().map(|&h| Ok(h)).collect());
+    }
+    let state = scheduler.submit_watched(&jobs);
+    BatchTicket::from_pending(
+        Arc::new(RuntimePending {
+            scheduler: Arc::clone(scheduler),
+            state,
+            plan,
+        }),
+        handles.len(),
+    )
+}

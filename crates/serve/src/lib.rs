@@ -5,9 +5,12 @@
 //! (Nexus, SNF) evaluates exactly that regime: open-loop arrivals,
 //! per-tenant queues, tail latency under load. This crate closes that
 //! gap. It is deliberately *not* a new execution engine — it is a layer
-//! over [`fix_core::api::ConcurrentApi`], so the same serving run drives
-//! `fixpoint::Runtime`, `fix_cluster::ClusterClient`, or
-//! `fix_baselines::BaselineEvaluator` unchanged.
+//! over the One Fix API's submission surface
+//! ([`fix_core::api::SubmitApi`]), so the same serving run drives
+//! `fixpoint::Runtime` natively, or `fix_cluster::ClusterClient` /
+//! `fix_baselines::BaselineEvaluator` through the
+//! [`BlockingOffload`](fix_core::api::BlockingOffload) adapter,
+//! unchanged.
 //!
 //! Four pieces:
 //!
@@ -25,12 +28,16 @@
 //! [`serve`] ties them together: a discrete-event simulation schedules
 //! the admitted traffic onto `N` virtual drivers in virtual time (the
 //! reproducible half), and a pool of `N` real threads then executes the
-//! exact same batches through [`Evaluator::eval_many`] (the real half).
-//! See [`server`] for why the split makes the latency tables
-//! bit-identical across runs while every result still comes from a
-//! real evaluation.
+//! exact same batches through the submission-first
+//! [`SubmitApi`] (the real half), each driver keeping a configurable
+//! window of batches in flight — submit batch *k+1* while *k* executes.
+//! See [`server`] for why the clock/execution split makes the latency
+//! tables bit-identical across runs while every result still comes
+//! from a real evaluation. Backends without native submission (the
+//! cluster client, the baselines) join through
+//! [`BlockingOffload`](fix_core::api::BlockingOffload).
 //!
-//! [`Evaluator::eval_many`]: fix_core::api::Evaluator::eval_many
+//! [`SubmitApi`]: fix_core::api::SubmitApi
 //!
 //! # Example
 //!
@@ -44,6 +51,7 @@
 //!     batch: 8,
 //!     queue_capacity: 32,
 //!     batch_overhead_us: 5,
+//!     inflight: 2,
 //!     tenants: vec![
 //!         TenantSpec::uniform_mix(
 //!             "interactive",

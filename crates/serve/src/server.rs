@@ -1,6 +1,6 @@
 //! The serving engine: open-loop admission simulation + a real driver
-//! pool executing the admitted traffic through
-//! [`Evaluator::eval_many`](fix_core::api::Evaluator::eval_many).
+//! pool executing the admitted traffic through the submission-first
+//! [`SubmitApi`].
 //!
 //! A serve run has two synchronized halves:
 //!
@@ -13,26 +13,33 @@
 //!    queueing simulation, so two runs with the same seed print
 //!    identical tables (the property CI asserts).
 //! 2. **Real execution.** The exact batches the virtual drivers served
-//!    are then drained by `N` real OS threads sharing one backend,
-//!    each calling `eval_many` per batch — so the scheduler-lock
-//!    amortization that batching bought in PR 2 is exercised under
-//!    realistic multi-tenant traffic, and every result (and error) in
-//!    the report comes from a real evaluation.
+//!    are then drained by `N` real OS threads sharing one backend.
+//!    Each driver keeps up to [`ServeConfig::inflight`] batches in
+//!    flight through `submit_many` — submitting batch *k+1* while *k*
+//!    executes — and settles completions in order with
+//!    [`BatchTicket::wait`]. With `inflight: 1` this degenerates to the
+//!    old blocking `eval_many` loop; with a wider window, admission
+//!    overlaps execution (the decoupling the submission API exists
+//!    for). Every result (and error) in the report comes from a real
+//!    evaluation.
 //!
 //! Splitting the clock from the execution is what reconciles "real
 //! threads, real evaluations" with "bit-identical tables": thread
-//! interleaving can reorder *work*, but it cannot reorder the virtual
-//! timeline, and content-addressed evaluation makes the results
-//! order-independent.
+//! interleaving — and the in-flight window — can reorder *work*, but it
+//! cannot reorder the virtual timeline, and content-addressed
+//! evaluation makes the results order-independent. The wall-clock cost
+//! of the execution phase is reported separately
+//! ([`ServeReport::execution_wall`]) and deliberately kept out of the
+//! deterministic tables.
 
 use crate::loadgen::{merge_timelines, tenant_seed, Arrival, Micros};
 use crate::queue::{QueuedRequest, TenantQueues};
 use crate::telemetry::LatencyHistogram;
 use crate::tenant::{draw_kind, RequestFactory, TenantSpec};
-use fix_core::api::ConcurrentApi;
+use fix_core::api::{BatchTicket, InvocationApi, SubmitApi};
 use fix_core::error::Result;
 use fix_core::handle::Handle;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 /// Configuration of one serve run.
 #[derive(Debug, Clone)]
@@ -52,6 +59,14 @@ pub struct ServeConfig {
     /// Fixed per-batch dispatch overhead, in virtual µs (the one
     /// scheduler-lock round the batch amortizes).
     pub batch_overhead_us: Micros,
+    /// In-flight submission window per driver thread in the real
+    /// execution phase: how many batches a driver keeps submitted
+    /// before it must wait for the oldest. `1` is the blocking driver
+    /// pool (submit, wait, repeat); larger windows pipeline — batch
+    /// *k+1* is submitted while *k* executes. Affects only wall-clock
+    /// execution ([`ServeReport::execution_wall`]); the virtual-time
+    /// tables are identical for every window.
+    pub inflight: usize,
     /// The tenants.
     pub tenants: Vec<TenantSpec>,
 }
@@ -71,6 +86,9 @@ impl ServeConfig {
         }
         if self.duration_us == 0 {
             return Err("duration must be positive".into());
+        }
+        if self.inflight == 0 {
+            return Err("in-flight window must hold at least one batch".into());
         }
         if self.tenants.is_empty() {
             return Err("at least one tenant is required".into());
@@ -128,6 +146,13 @@ pub struct ServeReport {
     pub makespan_us: Micros,
     /// Requests that completed (ok + errors, real evaluations).
     pub completed: u64,
+    /// Wall-clock duration of the real execution phase (the driver
+    /// threads draining their plans through `submit_many`/`wait`).
+    /// Machine-dependent by nature, so it is *not* part of the
+    /// deterministic [`Display`](std::fmt::Display) table — it exists
+    /// for the pipelined-vs-blocking throughput comparison the
+    /// `serve_throughput` bench reports.
+    pub execution_wall: std::time::Duration,
 }
 
 impl ServeReport {
@@ -138,6 +163,17 @@ impl ServeReport {
             return 0.0;
         }
         self.completed as f64 * 1e6 / self.makespan_us as f64
+    }
+
+    /// Real-execution throughput in requests/second of wall-clock time
+    /// (see [`execution_wall`](Self::execution_wall)); this is the
+    /// number the in-flight window moves.
+    pub fn wall_rps(&self) -> f64 {
+        let secs = self.execution_wall.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
     }
 
     /// Union latency across all tenants (equivalently: across all
@@ -219,7 +255,13 @@ struct PlannedBatch {
 
 /// Runs the full serve pipeline against `rt`: generate traffic, admit
 /// and schedule it in virtual time, then execute the planned batches on
-/// a real driver-thread pool through `eval_many`.
+/// a real driver-thread pool through the submission API (each driver
+/// keeps up to [`ServeConfig::inflight`] batches in flight).
+///
+/// The backend must implement [`SubmitApi`]: `fixpoint::Runtime` does
+/// natively, and any plain blocking backend (the cluster client, the
+/// baselines) is lifted with
+/// [`BlockingOffload`](fix_core::api::BlockingOffload).
 ///
 /// # Examples
 ///
@@ -233,6 +275,7 @@ struct PlannedBatch {
 ///     batch: 8,
 ///     queue_capacity: 64,
 ///     batch_overhead_us: 5,
+///     inflight: 2,
 ///     tenants: vec![TenantSpec::uniform_mix(
 ///         "t0",
 ///         1,
@@ -245,7 +288,10 @@ struct PlannedBatch {
 /// assert_eq!(report.completed, 100);
 /// assert_eq!(report.total_dropped(), 0);
 /// ```
-pub fn serve<A: ConcurrentApi>(rt: &A, cfg: &ServeConfig) -> Result<ServeReport> {
+pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
+    rt: &A,
+    cfg: &ServeConfig,
+) -> Result<ServeReport> {
     cfg.validate().map_err(|message| fix_core::Error::Backend {
         backend: "serve",
         message,
@@ -386,24 +432,44 @@ pub fn serve<A: ConcurrentApi>(rt: &A, cfg: &ServeConfig) -> Result<ServeReport>
     }
 
     // ------------------------------------------------------------------
-    // Real execution: one OS thread per driver, `eval_many` per batch.
+    // Real execution: one OS thread per driver, a window of up to
+    // `cfg.inflight` submitted batches each. Submission returns
+    // immediately, so batch k+1 enters the backend while batch k is
+    // still executing; completions settle oldest-first.
     // ------------------------------------------------------------------
+    let exec_start = std::time::Instant::now();
     let outcomes: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = plans
             .iter()
             .map(|plan| {
                 let n_tenants = cfg.tenants.len();
+                let inflight = cfg.inflight;
                 scope.spawn(move || {
                     let mut ok = vec![0u64; n_tenants];
                     let mut errors = vec![0u64; n_tenants];
-                    for batch in plan {
-                        let thunks: Vec<Handle> = batch.requests.iter().map(|r| r.thunk).collect();
-                        for (r, req) in rt.eval_many(&thunks).iter().zip(&batch.requests) {
+                    let settle = |batch: &PlannedBatch,
+                                  results: Vec<Result<Handle>>,
+                                  ok: &mut [u64],
+                                  errors: &mut [u64]| {
+                        for (r, req) in results.iter().zip(&batch.requests) {
                             match r {
                                 Ok(_) => ok[req.tenant] += 1,
                                 Err(_) => errors[req.tenant] += 1,
                             }
                         }
+                    };
+                    let mut window: VecDeque<(&PlannedBatch, BatchTicket)> =
+                        VecDeque::with_capacity(inflight);
+                    for batch in plan {
+                        while window.len() >= inflight {
+                            let (done, ticket) = window.pop_front().expect("window is non-empty");
+                            settle(done, ticket.wait(), &mut ok, &mut errors);
+                        }
+                        let thunks: Vec<Handle> = batch.requests.iter().map(|r| r.thunk).collect();
+                        window.push_back((batch, rt.submit_many(&thunks)));
+                    }
+                    while let Some((done, ticket)) = window.pop_front() {
+                        settle(done, ticket.wait(), &mut ok, &mut errors);
                     }
                     (ok, errors)
                 })
@@ -414,6 +480,7 @@ pub fn serve<A: ConcurrentApi>(rt: &A, cfg: &ServeConfig) -> Result<ServeReport>
             .map(|h| h.join().expect("driver thread must not panic"))
             .collect()
     });
+    let execution_wall = exec_start.elapsed();
 
     let mut ok = vec![0u64; cfg.tenants.len()];
     let mut errors = vec![0u64; cfg.tenants.len()];
@@ -444,6 +511,7 @@ pub fn serve<A: ConcurrentApi>(rt: &A, cfg: &ServeConfig) -> Result<ServeReport>
         drivers,
         makespan_us: makespan,
         completed,
+        execution_wall,
     })
 }
 
@@ -462,6 +530,7 @@ mod tests {
             batch: 16,
             queue_capacity: 32,
             batch_overhead_us: 5,
+            inflight: 2,
             tenants: vec![
                 TenantSpec {
                     name: "poisson".into(),
@@ -531,6 +600,7 @@ mod tests {
             batch: 4,
             queue_capacity: 8,
             batch_overhead_us: 10,
+            inflight: 1,
             tenants: vec![TenantSpec::uniform_mix(
                 "flood",
                 1,
@@ -561,17 +631,50 @@ mod tests {
         let mut cfg = two_tenant_cfg(1);
         cfg.tenants[0].mix.clear();
         assert!(serve(&rt, &cfg).is_err());
+        let mut cfg = two_tenant_cfg(1);
+        cfg.inflight = 0;
+        assert!(serve(&rt, &cfg).is_err());
+    }
+
+    /// The in-flight window changes only wall-clock execution, never
+    /// the deterministic tables or the per-tenant accounting.
+    #[test]
+    fn pipelined_execution_matches_blocking() {
+        let blocking = ServeConfig {
+            inflight: 1,
+            ..two_tenant_cfg(21)
+        };
+        let pipelined = ServeConfig {
+            inflight: 4,
+            ..two_tenant_cfg(21)
+        };
+        let a = serve(&Runtime::builder().build(), &blocking).unwrap();
+        let b = serve(&Runtime::builder().build(), &pipelined).unwrap();
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "the window must not perturb the virtual tables"
+        );
+        assert!(a.execution_wall > std::time::Duration::ZERO);
+        assert!(b.execution_wall > std::time::Duration::ZERO);
+        assert!(b.wall_rps() > 0.0);
     }
 
     #[test]
     fn runs_identically_on_the_cluster_backend() {
+        use fix_core::api::BlockingOffload;
+        use std::sync::Arc;
         let cfg = ServeConfig {
             duration_us: 30_000,
             ..two_tenant_cfg(9)
         };
         let rt_report = serve(&Runtime::builder().build(), &cfg).unwrap();
-        let cc = fix_cluster::ClusterClient::builder().build().unwrap();
-        let cc_report = serve(&cc, &cfg).unwrap();
+        // A plain blocking backend joins the submission-first driver
+        // pool through the offload adapter (threads = drivers keeps the
+        // backend as parallel as the old direct eval_many calls).
+        let cc = Arc::new(fix_cluster::ClusterClient::builder().build().unwrap());
+        let off = BlockingOffload::with_threads(Arc::clone(&cc), cfg.drivers);
+        let cc_report = serve(&off, &cfg).unwrap();
         // The virtual-time telemetry is backend-independent; so are the
         // (content-addressed) evaluation outcomes.
         assert_eq!(rt_report.to_string(), cc_report.to_string());

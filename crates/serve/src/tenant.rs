@@ -48,25 +48,28 @@ pub enum RequestKind {
 
 impl RequestKind {
     /// Modeled service time of a *cold* (not yet memoized) request, in
-    /// µs of virtual time. Like `ClusterClient`'s flat
-    /// `task_compute_us`, these are calibration constants, not
-    /// measurements: they anchor the virtual clock that makes latency
-    /// tables reproducible. Derived from the paper's Fig. 7a scale
-    /// (native invocation ≈ 2.9 µs, VM startup tens of µs) and the
-    /// relative heft of each workload.
+    /// µs of virtual time, read from the workspace-wide calibration
+    /// table ([`fix_core::calibration::SERVICE_COSTS`]) — the same
+    /// table `ClusterClient` charges its flat per-task compute cost
+    /// from, so the serving clock and the cluster clock share one
+    /// source of truth. Calibration constants, not measurements: they
+    /// anchor the virtual clock that makes latency tables reproducible.
     pub fn cold_service_us(&self) -> Micros {
+        let c = fix_core::calibration::SERVICE_COSTS;
         match self {
-            RequestKind::Add => 30,
-            RequestKind::Fib { max_n } => 120 + 40 * max_n,
-            RequestKind::Wordcount { shard_bytes } => 80 + (*shard_bytes as Micros) / 256,
-            RequestKind::SebsHtml { .. } => 600,
+            RequestKind::Add => c.native_cold_us,
+            RequestKind::Fib { max_n } => c.vm_start_us + c.vm_step_us * max_n,
+            RequestKind::Wordcount { shard_bytes } => {
+                c.wordcount_base_us + (*shard_bytes as Micros) / c.wordcount_bytes_per_us
+            }
+            RequestKind::SebsHtml { .. } => c.sebs_html_cold_us,
         }
     }
 
     /// Modeled service time of a warm (memoized) repeat, in µs: the
     /// Fig. 7a warm-memoized path, independent of the procedure.
     pub fn warm_service_us(&self) -> Micros {
-        3
+        fix_core::calibration::SERVICE_COSTS.warm_hit_us
     }
 
     /// Short label for tables.

@@ -1,7 +1,9 @@
 //! The serving layer end to end: fixed-seed multi-tenant open-loop
-//! traffic served through the `fix-serve` driver pool, against two
-//! backends of the One Fix API — the single-node runtime and the
-//! netsim-backed cluster client — plus a comparator run under the
+//! traffic served through the `fix-serve` driver pool — pipelined, two
+//! batches in flight per driver via the submission API — against two
+//! backends of the One Fix API: the single-node runtime (which submits
+//! natively) and the netsim-backed cluster client (lifted onto
+//! `SubmitApi` by `BlockingOffload`), plus a comparator run under the
 //! OpenWhisk baseline profile.
 //!
 //! Three tenants share four drivers: an `interactive` tenant (Poisson
@@ -18,6 +20,7 @@ use fix::prelude::*;
 use fix::serve::{serve, ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
 use fix_baselines::{profiles, BaselineEvaluator, CostModel};
 use fix_netsim::NodeId;
+use std::sync::Arc;
 
 fn config(scale: u32) -> ServeConfig {
     ServeConfig {
@@ -27,6 +30,7 @@ fn config(scale: u32) -> ServeConfig {
         batch: 32,
         queue_capacity: 64,
         batch_overhead_us: 5,
+        inflight: 2,
         tenants: vec![
             TenantSpec {
                 name: "interactive".into(),
@@ -73,9 +77,12 @@ fn main() {
     println!("{on_runtime}");
 
     // --- Backend 2: the distributed engine over netsim ---------------
-    let cc = ClusterClient::builder().build().expect("cluster client");
-    let on_cluster = serve(&cc, &cfg).expect("serve on ClusterClient");
-    println!("-- fix_cluster::ClusterClient --");
+    // A plain blocking backend joins the submission-first driver pool
+    // through BlockingOffload (one submission thread per driver).
+    let cc = Arc::new(ClusterClient::builder().build().expect("cluster client"));
+    let cc_offload = BlockingOffload::with_threads(Arc::clone(&cc), cfg.drivers);
+    let on_cluster = serve(&cc_offload, &cfg).expect("serve on ClusterClient");
+    println!("-- fix_cluster::ClusterClient (via BlockingOffload) --");
     println!("{on_cluster}");
     println!(
         "   (cluster backend additionally recorded {} simulated runs, {} µs total)\n",
@@ -91,8 +98,9 @@ fn main() {
         ))
         .build()
         .expect("baseline evaluator");
-    let on_baseline = serve(&rb, &cfg).expect("serve on BaselineEvaluator");
-    println!("-- fix_baselines::BaselineEvaluator (OpenWhisk profile) --");
+    let rb_offload = BlockingOffload::with_threads(Arc::new(rb), cfg.drivers);
+    let on_baseline = serve(&rb_offload, &cfg).expect("serve on BaselineEvaluator");
+    println!("-- fix_baselines::BaselineEvaluator (OpenWhisk profile, via BlockingOffload) --");
     println!("{on_baseline}");
 
     // --- The guarantees the serving layer makes ----------------------

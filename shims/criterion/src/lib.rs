@@ -1,13 +1,14 @@
 //! Offline stand-in for `criterion`: the `criterion_group!` /
-//! `criterion_main!` harness surface with a simple measured-median
-//! timer instead of criterion's statistical machinery.
+//! `criterion_main!` harness surface with a simple sampled timer
+//! instead of criterion's statistical machinery.
 //!
 //! The registry is unreachable in this build environment, so the real
 //! crate cannot be fetched. Bench binaries compile and run: each
 //! `bench_function` is warmed up, then timed over a handful of batches,
-//! and the per-iteration median is printed. Good enough to spot
-//! order-of-magnitude regressions by hand; swap in real criterion when
-//! a registry is available.
+//! and the per-iteration min/median/max are printed — the spread is
+//! what makes pipelining wins (and noise-floor regressions) visible,
+//! where a bare median could hide them. Swap in real criterion when a
+//! registry is available.
 
 #![forbid(unsafe_code)]
 
@@ -15,14 +16,24 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// The per-iteration timing spread of one benchmark: the fastest,
+/// median, and slowest sampled batch.
+#[derive(Clone, Copy, Debug, Default)]
+struct Spread {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+}
+
 /// Measurement context handed to each benchmark closure.
 pub struct Bencher {
-    /// Median per-iteration time of the last `iter` call.
-    last: Option<Duration>,
+    /// Timing spread of the last `iter` call.
+    last: Option<Spread>,
 }
 
 impl Bencher {
-    /// Times `f`, storing a median per-iteration duration.
+    /// Times `f`, storing the min/median/max per-iteration durations
+    /// over the sampled batches.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up, and calibration of the batch size to ~2 ms.
         let start = Instant::now();
@@ -43,7 +54,11 @@ impl Bencher {
             samples.push(t0.elapsed() / batch as u32);
         }
         samples.sort();
-        self.last = Some(samples[samples.len() / 2]);
+        self.last = Some(Spread {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            max: samples[samples.len() - 1],
+        });
     }
 }
 
@@ -74,17 +89,29 @@ impl BenchmarkGroup<'_> {
         let id = id.as_ref();
         let mut b = Bencher { last: None };
         f(&mut b);
-        let median = b.last.unwrap_or_default();
+        let spread = b.last.unwrap_or_default();
+        let (min, median, max) = (spread.min, spread.median, spread.max);
+        // Median leads (comparable to the old single-number output);
+        // the min..max spread makes wins and regressions visible.
         match self.throughput {
             Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
                 let gibps = n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
-                println!("{}/{id}: {median:?}/iter ({gibps:.2} GiB/s)", self.name);
+                println!(
+                    "{}/{id}: {median:?}/iter [min {min:?}, max {max:?}] ({gibps:.2} GiB/s)",
+                    self.name
+                );
             }
             Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
                 let eps = n as f64 / median.as_secs_f64();
-                println!("{}/{id}: {median:?}/iter ({eps:.0} elem/s)", self.name);
+                println!(
+                    "{}/{id}: {median:?}/iter [min {min:?}, max {max:?}] ({eps:.0} elem/s)",
+                    self.name
+                );
             }
-            _ => println!("{}/{id}: {median:?}/iter", self.name),
+            _ => println!(
+                "{}/{id}: {median:?}/iter [min {min:?}, max {max:?}]",
+                self.name
+            ),
         }
         self
     }

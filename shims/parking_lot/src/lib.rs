@@ -157,6 +157,22 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the
+    /// guard's lock while waiting.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wakes one waiting thread.
     ///
     /// The real crate returns whether a thread was woken; `std` cannot
@@ -176,10 +192,31 @@ impl Condvar {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed
+/// (as opposed to a notification).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let res = c.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
 
     #[test]
     fn mutex_and_condvar_round_trip() {

@@ -64,13 +64,17 @@ pub use flatware;
 ///
 /// Includes the One Fix API traits ([`Evaluator`](fix_core::api::Evaluator),
 /// [`InvocationApi`](fix_core::api::InvocationApi),
-/// [`ObjectApi`](fix_core::api::ObjectApi)) so generic workloads and the
-/// backends that run them (`Runtime`, `ClusterClient`) are one import
-/// away.
+/// [`ObjectApi`](fix_core::api::ObjectApi), and the submission-first
+/// [`SubmitApi`](fix_core::api::SubmitApi) with its
+/// [`Ticket`](fix_core::api::Ticket)/[`BatchTicket`](fix_core::api::BatchTicket)
+/// machinery and the [`BlockingOffload`](fix_core::api::BlockingOffload)
+/// adapter) so generic workloads and the backends that run them
+/// (`Runtime`, `ClusterClient`) are one import away.
 pub mod prelude {
     pub use fix_cluster::ClusterClient;
     pub use fix_core::api::{
-        ConcurrentApi, Evaluator, HostApi, InvocationApi, NativeCtx, NativeFn, ObjectApi,
+        BatchTicket, BlockingOffload, ConcurrentApi, Evaluator, HostApi, InvocationApi, NativeCtx,
+        NativeFn, ObjectApi, SubmitApi, Ticket,
     };
     pub use fix_core::data::{Blob, Node, Tree};
     pub use fix_core::handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};

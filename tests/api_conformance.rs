@@ -47,6 +47,42 @@ where
 trait BackendUnderTest: ObjectApi + InvocationApi + Evaluator {}
 impl<T: ObjectApi + InvocationApi + Evaluator> BackendUnderTest for T {}
 
+/// The submission-capable face: every backend that implements the full
+/// One Fix API *including* `SubmitApi` — natively (`Runtime`, with and
+/// without a worker pool) or through the `BlockingOffload` adapter
+/// (which is how the plain blocking backends stay conformant).
+trait SubmittingBackend: BackendUnderTest + SubmitApi {}
+impl<T: BackendUnderTest + SubmitApi> SubmittingBackend for T {}
+
+/// Runs `check` on every submission-capable backend and asserts the
+/// returned handles are identical across them.
+fn on_every_submitting_backend<F>(check: F)
+where
+    F: Fn(&dyn SubmittingBackend) -> Vec<Handle>,
+{
+    let inline = Runtime::builder().build();
+    let pooled = Runtime::builder().workers(2).build();
+    let off_rt = BlockingOffload::new(Runtime::builder().build());
+    let off_cc = BlockingOffload::new(ClusterClient::builder().build().expect("cluster client"));
+    let backends: Vec<(&str, &dyn SubmittingBackend)> = vec![
+        ("Runtime", &inline),
+        ("Runtime(workers=2)", &pooled),
+        ("BlockingOffload<Runtime>", &off_rt),
+        ("BlockingOffload<ClusterClient>", &off_cc),
+    ];
+    let mut results: Vec<(&str, Vec<Handle>)> = Vec::new();
+    for (name, backend) in backends {
+        results.push((name, check(backend)));
+    }
+    let (first_name, first) = &results[0];
+    for (name, handles) in &results[1..] {
+        assert_eq!(
+            first, handles,
+            "backend '{name}' disagrees with '{first_name}'"
+        );
+    }
+}
+
 fn register_add(rt: &dyn BackendUnderTest) -> Handle {
     rt.register_native(
         "conf/add",
@@ -369,6 +405,261 @@ fn wordcount_workload_agrees() {
         assert!(total > 0);
         vec![rt.put_blob(Blob::from_u64(total))]
     });
+}
+
+// ----------------------------------------------------------------------
+// Submission-first conformance (SubmitApi).
+// ----------------------------------------------------------------------
+
+/// `submit_many(h).wait()` must agree positionally with `eval_many(h)`
+/// (and thus with a loop of single `eval`s), including value handles
+/// that never touch a scheduler.
+#[test]
+fn submission_agrees_with_eval_many() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let mut batch: Vec<Handle> = (0..16u64)
+            .map(|i| {
+                rt.apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(i)),
+                        rt.put_blob(Blob::from_u64(200)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        batch.push(rt.put_blob(Blob::from_u64(9))); // A ready value slot.
+        let ticket = rt.submit_many(&batch);
+        assert_eq!(ticket.len(), batch.len());
+        let submitted: Vec<Handle> = rt
+            .wait_batch(ticket)
+            .into_iter()
+            .map(|r| r.expect("batch member succeeds"))
+            .collect();
+        let blocked: Vec<Handle> = rt
+            .eval_many(&batch)
+            .into_iter()
+            .map(|r| r.expect("batch member succeeds"))
+            .collect();
+        assert_eq!(submitted, blocked, "submission must agree with blocking");
+        for (i, h) in submitted[..16].iter().enumerate() {
+            assert_eq!(rt.get_u64(*h).unwrap(), i as u64 + 200);
+        }
+        assert_eq!(rt.get_u64(submitted[16]).unwrap(), 9);
+        submitted
+    });
+}
+
+/// A submitted batch holding every outcome class — ok, guest trap, and
+/// a not-found dangling reference — resolves positionally, with no
+/// cross-contamination between slots.
+#[test]
+fn submission_mixed_outcomes_stay_positional() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let ok = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(20)),
+                    rt.put_blob(Blob::from_u64(22)),
+                ],
+            )
+            .unwrap();
+        let boom = rt.register_native(
+            "conf/submit-boom",
+            Arc::new(|_ctx| -> Result<Handle> { Err(Error::Trap("submitted".into())) }),
+        );
+        let trap = rt.apply(limits(), boom, &[]).unwrap();
+        let missing = Tree::from_handles(vec![rt.put_blob(Blob::from_u64(3))]).handle();
+        let not_found = rt.select(missing, 0).unwrap();
+        let tail_ok = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(4)),
+                    rt.put_blob(Blob::from_u64(5)),
+                ],
+            )
+            .unwrap();
+
+        let results = rt.wait_batch(rt.submit_many(&[ok, trap, not_found, tail_ok]));
+        assert_eq!(results.len(), 4);
+        let first = *results[0].as_ref().expect("slot 0 succeeds");
+        assert_eq!(rt.get_u64(first).unwrap(), 42);
+        assert!(
+            matches!(&results[1], Err(Error::Trap(m)) if m == "submitted"),
+            "slot 1 must trap: {:?}",
+            results[1]
+        );
+        assert!(
+            matches!(results[2], Err(Error::NotFound(h)) if h == missing),
+            "slot 2 must be not-found: {:?}",
+            results[2]
+        );
+        let last = *results[3].as_ref().expect("slot 3 succeeds");
+        assert_eq!(rt.get_u64(last).unwrap(), 9);
+        vec![first, last]
+    });
+}
+
+/// Dropping a ticket mid-flight must neither hang the backend nor leak:
+/// later requests (including re-submissions of the *same* thunks) run
+/// to completion as if the dropped ticket never existed.
+#[test]
+fn dropped_ticket_neither_hangs_nor_leaks() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let batch: Vec<Handle> = (0..8u64)
+            .map(|i| {
+                rt.apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(i)),
+                        rt.put_blob(Blob::from_u64(50)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        drop(rt.submit_many(&batch)); // Abandoned mid-flight.
+        drop(rt.submit(batch[0])); // Single tickets detach too.
+
+        // The backend still serves unrelated work...
+        let other = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(1)),
+                    rt.put_blob(Blob::from_u64(1)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(rt.get_u64(rt.eval(other).unwrap()).unwrap(), 2);
+
+        // ...and re-submitting the abandoned thunks resolves them fully.
+        let results: Vec<Handle> = rt
+            .wait_batch(rt.submit_many(&batch))
+            .into_iter()
+            .map(|r| r.expect("resubmitted member succeeds"))
+            .collect();
+        for (i, h) in results.iter().enumerate() {
+            assert_eq!(rt.get_u64(*h).unwrap(), i as u64 + 50);
+        }
+        results
+    });
+}
+
+/// `wait_any` resolves a set of overlapped batches completely, in
+/// whatever order they finish, and then reports exhaustion.
+#[test]
+fn wait_any_drains_overlapped_batches() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let mint = |base: u64| -> Vec<Handle> {
+            (0..4u64)
+                .map(|i| {
+                    rt.apply(
+                        limits(),
+                        add,
+                        &[
+                            rt.put_blob(Blob::from_u64(base + i)),
+                            rt.put_blob(Blob::from_u64(7)),
+                        ],
+                    )
+                    .unwrap()
+                })
+                .collect()
+        };
+        let bases = [0u64, 1000, 2000];
+        let mut tickets: Vec<BatchTicket> =
+            bases.iter().map(|&b| rt.submit_many(&mint(b))).collect();
+        let mut resolved: Vec<Option<Vec<Handle>>> = vec![None; bases.len()];
+        while let Some(i) = rt.wait_any(&mut tickets) {
+            let results = tickets[i]
+                .take_results()
+                .expect("wait_any returned a completed, unclaimed ticket");
+            assert!(resolved[i].is_none(), "each batch resolves exactly once");
+            resolved[i] = Some(
+                results
+                    .into_iter()
+                    .map(|r| r.expect("batch member succeeds"))
+                    .collect(),
+            );
+        }
+        let mut out = Vec::new();
+        for (slot, base) in resolved.iter().zip(bases) {
+            let handles = slot.as_ref().expect("every batch resolved");
+            for (i, h) in handles.iter().enumerate() {
+                assert_eq!(rt.get_u64(*h).unwrap(), base + i as u64 + 7);
+            }
+            out.extend_from_slice(handles);
+        }
+        out
+    });
+}
+
+/// Runtime-specific: detaching is eager — the scheduler's watcher table
+/// empties the moment a ticket resolves or drops, so long-lived nodes
+/// cannot accumulate per-ticket bookkeeping.
+#[test]
+fn runtime_tickets_leave_no_watchers_behind() {
+    let rt = Runtime::builder().build();
+    let add = register_add(&rt);
+    let batch: Vec<Handle> = (0..6u64)
+        .map(|i| {
+            rt.apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(i)),
+                    rt.put_blob(Blob::from_u64(1)),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Nothing drives a pool-less runtime between submit and wait, so
+    // the watchers are observably registered...
+    let ticket = rt.submit_many(&batch);
+    assert_eq!(rt.submission_watchers(), batch.len());
+    // ...and fully drained once the ticket resolves.
+    for r in rt.wait_batch(ticket) {
+        r.expect("batch member succeeds");
+    }
+    assert_eq!(rt.submission_watchers(), 0);
+
+    // A dropped ticket deregisters eagerly, even though its jobs are
+    // still queued (nothing has driven them yet).
+    let fresh: Vec<Handle> = (100..104u64)
+        .map(|i| {
+            rt.apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(i)),
+                    rt.put_blob(Blob::from_u64(1)),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    let abandoned = rt.submit_many(&fresh);
+    assert_eq!(rt.submission_watchers(), fresh.len());
+    drop(abandoned);
+    assert_eq!(rt.submission_watchers(), 0, "dropped tickets must not leak");
+
+    // The abandoned jobs are ordinary shared state: the next evaluation
+    // drains them and they resolve normally.
+    assert_eq!(rt.get_u64(rt.eval(fresh[0]).unwrap()).unwrap(), 101);
 }
 
 /// ClusterClient-specific conformance: the simulated substrate must not

@@ -1,0 +1,205 @@
+//! Concurrency stress for submission-first evaluation: N producer
+//! threads submitting batches while M waiter threads resolve them over
+//! one shared `Runtime`, with no worker pool — every scrap of progress
+//! comes from waiters driving the scheduler through `wait`/`wait_any`.
+//!
+//! What this pins down:
+//!
+//! * **no lost wakeups** — the test completing at all means every
+//!   ticket resolved even though submissions, completions, and waits
+//!   interleave freely across seven threads;
+//! * **accounting closure** — every submitted request is resolved
+//!   exactly once, with the right value, and the runtime executed
+//!   exactly one procedure per distinct request;
+//! * **no leaked bookkeeping** — the scheduler's watcher table is empty
+//!   once the books close.
+
+use fix::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, TryRecvError};
+use std::sync::{Arc, Mutex};
+
+const PRODUCERS: usize = 4;
+const WAITERS: usize = 3;
+const BATCHES_PER_PRODUCER: usize = 30;
+const BATCH: u64 = 8;
+
+fn limits() -> ResourceLimits {
+    ResourceLimits::default_limits()
+}
+
+#[test]
+fn producers_and_waiters_share_one_runtime() {
+    let rt = Arc::new(Runtime::builder().build());
+    let add = rt.register_native(
+        "stress/add",
+        Arc::new(|ctx| {
+            let a = ctx.arg_blob(0)?.as_u64().unwrap();
+            let b = ctx.arg_blob(1)?.as_u64().unwrap();
+            ctx.host
+                .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+        }),
+    );
+
+    // Producers ship (expected results, ticket) pairs; waiters resolve.
+    let (tx, rx) = mpsc::channel::<(Vec<u64>, BatchTicket)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let verified = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            let rt = Arc::clone(&rt);
+            scope.spawn(move || {
+                for k in 0..BATCHES_PER_PRODUCER {
+                    // Globally unique first argument per request, so
+                    // every thunk is distinct and runs exactly once.
+                    let base = (p as u64) * 1_000_000 + (k as u64) * BATCH;
+                    let thunks: Vec<Handle> = (0..BATCH)
+                        .map(|j| {
+                            rt.apply(
+                                limits(),
+                                add,
+                                &[
+                                    rt.put_blob(Blob::from_u64(base + j)),
+                                    rt.put_blob(Blob::from_u64(17)),
+                                ],
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    let expected: Vec<u64> = (0..BATCH).map(|j| base + j + 17).collect();
+                    // Submission must not block: the producer never
+                    // drives the scheduler itself.
+                    tx.send((expected, rt.submit_many(&thunks)))
+                        .expect("waiters outlive producers");
+                }
+            });
+        }
+        drop(tx); // Waiters observe disconnect once producers finish.
+
+        for w in 0..WAITERS {
+            let rx = Arc::clone(&rx);
+            let rt = Arc::clone(&rt);
+            let verified = &verified;
+            scope.spawn(move || {
+                // Each waiter multiplexes a small window of tickets;
+                // odd waiters resolve sequentially with plain wait() to
+                // mix both resolution styles against one scheduler.
+                let use_wait_any = w % 2 == 0;
+                let mut expected: Vec<Vec<u64>> = Vec::new();
+                let mut tickets: Vec<BatchTicket> = Vec::new();
+                loop {
+                    // Refill the window without blocking.
+                    while tickets.len() < 4 {
+                        match rx.lock().unwrap().try_recv() {
+                            Ok((exp, ticket)) => {
+                                expected.push(exp);
+                                tickets.push(ticket);
+                            }
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    if tickets.is_empty() {
+                        // Nothing in hand: block for more or finish.
+                        match rx.lock().unwrap().recv() {
+                            Ok((exp, ticket)) => {
+                                expected.push(exp);
+                                tickets.push(ticket);
+                            }
+                            Err(_) => return, // Drained and disconnected.
+                        }
+                    }
+                    let (exp, results) = if use_wait_any {
+                        let i = rt
+                            .wait_any(&mut tickets)
+                            .expect("unclaimed tickets are pending");
+                        let results = tickets[i]
+                            .take_results()
+                            .expect("wait_any returns a completed, unclaimed ticket");
+                        tickets.swap_remove(i);
+                        (expected.swap_remove(i), results)
+                    } else {
+                        let ticket = tickets.pop().expect("window is non-empty");
+                        (expected.pop().expect("paired"), ticket.wait())
+                    };
+                    assert_eq!(results.len(), exp.len());
+                    for (r, want) in results.iter().zip(&exp) {
+                        let h = *r.as_ref().expect("stress request succeeds");
+                        assert_eq!(rt.get_u64(h).unwrap(), *want);
+                    }
+                    verified.fetch_add(exp.len() as u64, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+
+    let total = (PRODUCERS * BATCHES_PER_PRODUCER) as u64 * BATCH;
+    assert_eq!(
+        verified.load(Ordering::SeqCst),
+        total,
+        "every submitted request must be resolved exactly once"
+    );
+    assert_eq!(
+        rt.procedures_run(),
+        total,
+        "every distinct request ran exactly once (accounting closure)"
+    );
+    assert_eq!(
+        rt.submission_watchers(),
+        0,
+        "resolved tickets must leave no watchers behind"
+    );
+}
+
+/// The same books must close when a real worker pool races the waiters
+/// for queue items (completions can now happen between a waiter's poll
+/// and its park — the lost-wakeup window this test exists to slam).
+#[test]
+fn stress_survives_a_worker_pool() {
+    let rt = Arc::new(Runtime::builder().workers(2).build());
+    let add = rt.register_native(
+        "stress/pool-add",
+        Arc::new(|ctx| {
+            let a = ctx.arg_blob(0)?.as_u64().unwrap();
+            let b = ctx.arg_blob(1)?.as_u64().unwrap();
+            ctx.host
+                .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+        }),
+    );
+    let resolved = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for p in 0..3u64 {
+            let rt = Arc::clone(&rt);
+            let resolved = &resolved;
+            scope.spawn(move || {
+                let mut tickets: Vec<BatchTicket> = (0..20u64)
+                    .map(|k| {
+                        let thunks: Vec<Handle> = (0..BATCH)
+                            .map(|j| {
+                                rt.apply(
+                                    limits(),
+                                    add,
+                                    &[
+                                        rt.put_blob(Blob::from_u64(p * 10_000 + k * BATCH + j)),
+                                        rt.put_blob(Blob::from_u64(1)),
+                                    ],
+                                )
+                                .unwrap()
+                            })
+                            .collect();
+                        rt.submit_many(&thunks)
+                    })
+                    .collect();
+                while let Some(i) = rt.wait_any(&mut tickets) {
+                    for r in tickets[i].take_results().expect("completed") {
+                        r.expect("pool stress request succeeds");
+                        resolved.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(resolved.load(Ordering::SeqCst), 3 * 20 * BATCH);
+    assert_eq!(rt.submission_watchers(), 0);
+}
