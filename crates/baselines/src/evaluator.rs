@@ -280,4 +280,43 @@ mod tests {
             "ray (blocking) {t_ray} µs should exceed fix {t_fix} µs"
         );
     }
+
+    /// The request-scoped submission path over a baseline profile:
+    /// `BlockingOffload` lifts the evaluator onto `SubmitApi`, and the
+    /// options — strict mode, priorities, deadlines — behave exactly as
+    /// on every other backend (the cross-backend agreement itself is
+    /// pinned by tests/api_conformance.rs).
+    #[test]
+    fn offloaded_submission_honors_request_options() {
+        use fix_core::api::{BlockingOffload, Priority, SubmitApi, SubmitOptions};
+
+        let rb = BaselineEvaluator::builder()
+            .profile(profiles::openwhisk(
+                &(0..4).map(NodeId).collect::<Vec<_>>(),
+                &CostModel::default(),
+            ))
+            .build()
+            .unwrap();
+        let off = BlockingOffload::new(rb);
+        let t1 = add_thunk(off.inner(), 40, 2);
+        let t2 = add_thunk(off.inner(), 1, 2);
+
+        // Strict, latency-class submission agrees with eval_strict.
+        let opts = SubmitOptions::strict().with_priority(Priority::Latency);
+        let results = off.wait_batch(off.submit_with(&[t1, t2], opts));
+        assert_eq!(*results[0].as_ref().unwrap(), off.eval_strict(t1).unwrap());
+        assert_eq!(off.get_u64(*results[1].as_ref().unwrap()).unwrap(), 3);
+
+        // A deadline the virtual clock has passed expires the batch
+        // before the (costly) baseline simulation ever runs.
+        off.advance_virtual_clock(10);
+        let expired = off.wait_batch(off.submit_with(
+            &[add_thunk(off.inner(), 5, 5)],
+            SubmitOptions::default().with_deadline(3),
+        ));
+        assert!(matches!(
+            expired[0],
+            Err(fix_core::Error::DeadlineExceeded { deadline_us: 3 })
+        ));
+    }
 }

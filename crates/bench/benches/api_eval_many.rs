@@ -8,6 +8,7 @@
 //! cost, so it bounds the benefit batching can ever deliver.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fix_core::api::{SubmitApi, SubmitOptions};
 use fix_core::data::Blob;
 use fix_core::handle::Handle;
 use fix_core::limits::ResourceLimits;
@@ -51,7 +52,7 @@ fn bench_batched_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("api_eval_many");
     for n in [16u64, 256] {
         let (rt, thunks) = warm_batch(n);
-        group.bench_function(&format!("single_eval_loop/{n}"), |b| {
+        group.bench_function(format!("single_eval_loop/{n}"), |b| {
             b.iter(|| {
                 for &t in &thunks {
                     black_box(rt.eval(t).unwrap());
@@ -59,9 +60,31 @@ fn bench_batched_dispatch(c: &mut Criterion) {
             })
         });
         let (rt, thunks) = warm_batch(n);
-        group.bench_function(&format!("eval_many_batched/{n}"), |b| {
+        group.bench_function(format!("eval_many_batched/{n}"), |b| {
             b.iter(|| {
                 for r in rt.eval_many(black_box(&thunks)) {
+                    black_box(r.unwrap());
+                }
+            })
+        });
+        // Strict submission: the eval→force chain watched as one batch.
+        // Warm both stages first so the rows isolate dispatch overhead
+        // (each strict slot watches two memoized jobs instead of one).
+        let (rt, thunks) = warm_batch(n);
+        for r in rt.wait_batch(rt.submit_with(&thunks, SubmitOptions::strict())) {
+            r.expect("strict warmup");
+        }
+        group.bench_function(format!("strict_eval_loop/{n}"), |b| {
+            b.iter(|| {
+                for &t in &thunks {
+                    black_box(rt.eval_strict(t).unwrap());
+                }
+            })
+        });
+        group.bench_function(format!("strict_submit_batched/{n}"), |b| {
+            b.iter(|| {
+                for r in rt.wait_batch(rt.submit_with(black_box(&thunks), SubmitOptions::strict()))
+                {
                     black_box(r.unwrap());
                 }
             })

@@ -18,7 +18,7 @@
 //! may only move wall-clock throughput, never results.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fix_serve::{serve, ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
+use fix_serve::{serve, ArrivalProcess, RequestKind, ServeConfig, SloClass, TenantSpec};
 use fixpoint::Runtime;
 use std::hint::black_box;
 
@@ -47,6 +47,17 @@ fn warm_config(inflight: usize) -> ServeConfig {
             ),
         ],
     }
+}
+
+/// The same traffic with SLO classes attached: the add tenant rides the
+/// latency tier (50 ms deadline), the fib tenant the batch tier — so
+/// the measured path is the two-level dispatcher plus `submit_with` at
+/// per-batch priorities, not plain DRR.
+fn slo_config(inflight: usize) -> ServeConfig {
+    let mut cfg = warm_config(inflight);
+    cfg.tenants[0].slo = SloClass::latency(50_000);
+    cfg.tenants[1].slo = SloClass::batch();
+    cfg
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
@@ -90,12 +101,28 @@ fn bench_serve_throughput(c: &mut Criterion) {
         );
     }
 
+    // The SLO mix: same arrivals, two-level dispatch, per-batch
+    // priorities through submit_with. Its virtual tables differ from
+    // the DRR rows (dispatch order changes), so it gets its own warm-up
+    // and its own determinism pin.
+    let slo = slo_config(4);
+    let slo_warm = serve(&rt, &slo).expect("SLO warm-up serve run");
+    let slo_n = slo_warm.completed;
+    assert_eq!(
+        slo_warm.to_string(),
+        serve(&rt, &slo).expect("SLO repeat").to_string(),
+        "SLO dispatch must stay deterministic under the bench loop"
+    );
+
     let mut group = c.benchmark_group("serve_throughput");
-    group.bench_function(&format!("blocking_window1/{n}_reqs"), |b| {
+    group.bench_function(format!("blocking_window1/{n}_reqs"), |b| {
         b.iter(|| black_box(serve(&rt, black_box(&blocking)).expect("serve")))
     });
-    group.bench_function(&format!("pipelined_window4/{n}_reqs"), |b| {
+    group.bench_function(format!("pipelined_window4/{n}_reqs"), |b| {
         b.iter(|| black_box(serve(&rt, black_box(&pipelined)).expect("serve")))
+    });
+    group.bench_function(format!("slo_two_class_window4/{slo_n}_reqs"), |b| {
+        b.iter(|| black_box(serve(&rt, black_box(&slo)).expect("serve")))
     });
     group.finish();
 }

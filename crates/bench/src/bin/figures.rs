@@ -2,8 +2,12 @@
 //! evaluation section.
 //!
 //! ```text
-//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|summary|all] [--quick]
+//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|calibrate|summary|all] [--quick]
 //! ```
+//!
+//! `calibrate` audits the shared `fix_core::calibration::SERVICE_COSTS`
+//! table against measured warm/cold procedure paths on the real
+//! runtime (wall-clock, so the one table that is *not* deterministic).
 //!
 //! `--quick` runs everything at reduced scale (CI-friendly); without it,
 //! the cluster simulations use the paper's full parameters (984 × 100 MiB
@@ -87,6 +91,13 @@ fn main() {
     if which == "all" || which == "serve" {
         let scale = if quick { 1 } else { 5 };
         println!("{}", fix_bench::serve_report::table_text(scale));
+    }
+    // Measured calibration: wall-clock audit of the virtual-clock
+    // constants (not part of `all`, which prints only deterministic
+    // tables — run it explicitly).
+    if which == "calibrate" {
+        let samples = if quick { 5 } else { 15 };
+        println!("{}", fix_bench::calibrate::run(samples));
     }
     // Extension experiments (paper §6 future work, implemented here).
     if which == "all" || which == "extgc" {

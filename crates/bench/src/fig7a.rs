@@ -140,7 +140,7 @@ pub fn run(iters: u64, process_iters: u64) -> Fig7a {
     std::hint::black_box(sink);
 
     let (rt, native, vm) = add_runtime();
-    let warm_iters = iters.min(20_000).max(1);
+    let warm_iters = iters.clamp(1, 20_000);
     let ns = time_per_iter(warm_iters, |i| {
         fixpoint_add_once(&rt, native, i);
     });

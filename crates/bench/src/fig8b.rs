@@ -1,10 +1,10 @@
 //! Fig. 8b: counting a 3-character string over 984 × 100 MiB Wikipedia
 //! shards on a 10-node, 320-vCPU cluster.
 //!
-//! Compares Fixpoint against its own ablations (no locality; no locality
-//! + internal I/O with the paper's 128-thread oversubscription), the two
-//! Ray styles, Pheromone (map phase only, as in the paper), and
-//! OpenWhisk + MinIO + K8s.
+//! Compares Fixpoint against its own ablations (no locality; no
+//! locality + internal I/O with the paper's 128-thread
+//! oversubscription), the two Ray styles, Pheromone (map phase only,
+//! as in the paper), and OpenWhisk + MinIO + K8s.
 
 use fix_baselines::{profiles, run_baseline, CostModel};
 use fix_cluster::{run_fix, Binding, ClusterSetup, FixConfig, Placement, RunReport};

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod comparators;
 pub mod ext_billing;
 pub mod ext_density;

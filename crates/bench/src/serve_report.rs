@@ -8,7 +8,9 @@
 //! per-tenant drop counts. Deterministic by construction: the virtual
 //! clock, not the wall clock, produces every number.
 
-use fix_serve::{serve, ArrivalProcess, RequestKind, ServeConfig, ServeReport, TenantSpec};
+use fix_serve::{
+    serve, ArrivalProcess, RequestKind, ServeConfig, ServeReport, SloClass, TenantSpec,
+};
 use fixpoint::Runtime;
 
 /// The fixed-seed serving configuration behind the table. `scale`
@@ -28,6 +30,7 @@ pub fn config(scale: u32) -> ServeConfig {
                 weight: 4,
                 arrivals: ArrivalProcess::Poisson { rate_rps: 4000.0 },
                 mix: vec![(RequestKind::Add, 3), (RequestKind::Fib { max_n: 10 }, 1)],
+                slo: SloClass::default(),
             },
             TenantSpec::uniform_mix(
                 "analytics",

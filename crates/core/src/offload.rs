@@ -5,30 +5,42 @@
 //! its scheduler. Every other backend — the netsim-backed cluster client,
 //! the baseline cost models, any future engine — is a plain blocking
 //! [`Evaluator`]. This adapter lifts such a backend onto the submission
-//! API with a small pool of submission threads: `submit_many` hands the
-//! batch to a thread and returns a ticket immediately; the thread runs
-//! the backend's ordinary `eval_many` and fills the ticket's completion
-//! slot. One conformant surface, every backend.
+//! API with a small pool of submission threads: `submit_with` hands the
+//! batch (and its [`SubmitOptions`]) to the pool and returns a ticket
+//! immediately; a thread runs the backend's ordinary `eval_many` (or a
+//! strict loop, for [`Mode::Strict`] batches) and fills the ticket's
+//! completion slot. One conformant surface, every backend.
 //!
-//! Cancel-on-drop: a dropped ticket marks its slot detached. A batch
-//! the threads have not yet started is then skipped entirely — the
-//! closest a blocking backend can get to cancellation — while a batch
-//! already executing simply completes into the abandoned slot.
+//! Request-scoped semantics are honored before dispatch, the only point
+//! a blocking backend can honor them:
+//!
+//! * **priority** — the pool holds one queue per [`Priority`] tier and
+//!   dispatches the highest non-empty tier first;
+//! * **deadlines** — a batch whose [`SubmitOptions::deadline_us`] the
+//!   adapter's virtual clock has passed is expired (every slot fails
+//!   with [`Error::DeadlineExceeded`]) instead of executed;
+//! * **cancellation** — a cancelled (or dropped) ticket fails its
+//!   unresolved slots with [`Error::Cancelled`] on the spot and the
+//!   pool skips the batch entirely if it has not started; a batch
+//!   already executing completes into the discarded slot.
 
-use crate::api::{Evaluator, InvocationApi, NativeFn, ObjectApi, SubmitApi};
+use crate::api::SubmitOptions;
+use crate::api::{Evaluator, InvocationApi, Mode, NativeFn, ObjectApi, Priority, SubmitApi};
 use crate::data::{Blob, Node, Tree};
 use crate::error::{Error, Result};
 use crate::handle::Handle;
 use crate::limits::ResourceLimits;
 use crate::semantics::Footprint;
 use crate::ticket::{BatchTicket, PendingBatch};
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// One submitted batch in flight between a ticket and the worker pool.
 struct OffloadJob {
     thunks: Vec<Handle>,
+    options: SubmitOptions,
     slot: Arc<OffloadSlot>,
 }
 
@@ -38,8 +50,8 @@ struct SlotState {
     results: Option<Vec<Result<Handle>>>,
     /// Set when `results` has been written (stays true after a take).
     produced: bool,
-    /// Set when the ticket was dropped unresolved.
-    detached: bool,
+    /// Set when the ticket was cancelled or dropped unresolved.
+    cancelled: bool,
 }
 
 /// The completion slot shared between one ticket and the worker that
@@ -51,10 +63,14 @@ struct OffloadSlot {
 }
 
 impl OffloadSlot {
+    /// Fills the slot unless something (a cancellation) already did:
+    /// results are produced exactly once, first writer wins.
     fn fill(&self, results: Vec<Result<Handle>>) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.results = Some(results);
-        state.produced = true;
+        if !state.produced {
+            state.results = Some(results);
+            state.produced = true;
+        }
         drop(state);
         self.cv.notify_all();
     }
@@ -63,6 +79,8 @@ impl OffloadSlot {
 /// The ticket side of an offloaded batch.
 struct OffloadPending {
     slot: Arc<OffloadSlot>,
+    /// Slot count, so cancellation can mint the `Cancelled` results.
+    len: usize,
 }
 
 impl PendingBatch for OffloadPending {
@@ -95,9 +113,52 @@ impl PendingBatch for OffloadPending {
         }
     }
 
-    fn detach(&self) {
+    fn cancel(&self) {
         let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.detached = true;
+        state.cancelled = true;
+        if !state.produced {
+            // Withdraw-before-dispatch: the pool will skip the batch,
+            // and the slots resolve as cancelled right now.
+            state.results = Some((0..self.len).map(|_| Err(Error::Cancelled)).collect());
+            state.produced = true;
+        }
+        drop(state);
+        self.slot.cv.notify_all();
+    }
+}
+
+/// The submission pool shared by the adapter handle and its workers:
+/// one FIFO queue per priority tier, drained highest tier first.
+struct Pool {
+    tiers: Mutex<PoolQueues>,
+    cv: Condvar,
+    /// The adapter's virtual clock (µs), the timeline batch deadlines
+    /// are measured on. Never advanced by wall time.
+    clock: AtomicU64,
+}
+
+#[derive(Default)]
+struct PoolQueues {
+    queues: [VecDeque<OffloadJob>; Priority::TIERS],
+    /// Cleared when the adapter is dropped; workers drain what was
+    /// already submitted, then exit.
+    open: bool,
+}
+
+impl Pool {
+    /// Pops the next batch, highest tier first; blocks while the pool
+    /// is open and empty, returns `None` once closed and drained.
+    fn next_job(&self) -> Option<OffloadJob> {
+        let mut tiers = self.tiers.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = tiers.queues.iter_mut().find_map(VecDeque::pop_front) {
+                return Some(job);
+            }
+            if !tiers.open {
+                return None;
+            }
+            tiers = self.cv.wait(tiers).unwrap_or_else(|e| e.into_inner());
+        }
     }
 }
 
@@ -109,7 +170,11 @@ impl PendingBatch for OffloadPending {
 /// is routed through the pool — so code written against
 /// [`SubmitApi`] + [`InvocationApi`] runs unchanged over
 /// `BlockingOffload<ClusterClient>`, `BlockingOffload<BaselineEvaluator>`,
-/// or the natively-submitting `fixpoint::Runtime`.
+/// or the natively-submitting `fixpoint::Runtime`. That includes the
+/// request-scoped options path: strict batches, priority tiers,
+/// deadlines, and cancellation all behave as the [`SubmitApi`] contract
+/// specifies (see the module docs for how each maps onto a blocking
+/// backend).
 ///
 /// Dropping the adapter drains all submitted batches (their tickets
 /// still resolve) and joins the threads.
@@ -118,6 +183,7 @@ impl PendingBatch for OffloadPending {
 ///
 /// ```
 /// use fix_core::api::{BlockingOffload, Evaluator, InvocationApi, ObjectApi, SubmitApi};
+/// use fix_core::api::SubmitOptions;
 /// use fix_core::data::Blob;
 /// use fix_core::limits::ResourceLimits;
 /// use std::sync::Arc;
@@ -136,9 +202,17 @@ impl PendingBatch for OffloadPending {
 /// ).unwrap();
 /// let ticket = cc.submit(thunk);          // returns immediately
 /// assert_eq!(cc.get_u64(ticket.wait().unwrap()).unwrap(), 42);
+///
+/// // Strict submission deep-forces, exactly like eval_strict:
+/// let strict = cc.submit_with(
+///     &[cc.apply(ResourceLimits::default_limits(), add,
+///                &[cc.put_blob(Blob::from_u64(1)), cc.put_blob(Blob::from_u64(2))]).unwrap()],
+///     SubmitOptions::strict(),
+/// );
+/// assert_eq!(cc.get_u64(*strict.wait()[0].as_ref().unwrap()).unwrap(), 3);
 /// ```
 pub struct BlockingOffload<T: ?Sized> {
-    sender: Option<mpsc::Sender<OffloadJob>>,
+    pool: Arc<Pool>,
     workers: Vec<std::thread::JoinHandle<()>>,
     inner: Arc<T>,
 }
@@ -164,61 +238,82 @@ impl<T: Evaluator + Send + Sync + 'static> BlockingOffload<T> {
     /// Panics if `threads` is zero.
     pub fn with_threads(inner: Arc<T>, threads: usize) -> BlockingOffload<T> {
         assert!(threads > 0, "an offload needs at least one thread");
-        let (sender, receiver) = mpsc::channel::<OffloadJob>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let pool = Arc::new(Pool {
+            tiers: Mutex::new(PoolQueues {
+                queues: Default::default(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            clock: AtomicU64::new(0),
+        });
         let workers = (0..threads)
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                let receiver = Arc::clone(&receiver);
+                let pool = Arc::clone(&pool);
                 std::thread::Builder::new()
                     .name(format!("fix-offload-{i}"))
-                    .spawn(move || loop {
-                        // Hold the receiver lock only for the pop, not
-                        // the evaluation, so sibling workers stay busy.
-                        let job = {
-                            let rx = receiver.lock().unwrap_or_else(|e| e.into_inner());
-                            rx.recv()
-                        };
-                        let Ok(job) = job else {
-                            return; // Adapter dropped and queue drained.
-                        };
-                        let skip = {
-                            let state = job.slot.state.lock().unwrap_or_else(|e| e.into_inner());
-                            state.detached
-                        };
-                        if skip {
-                            continue; // Cancelled before execution began.
+                    .spawn(move || {
+                        while let Some(job) = pool.next_job() {
+                            serve_one(&*inner, &pool, job);
                         }
-                        // A panic below would strand every later batch on
-                        // this worker; convert it to per-slot errors and
-                        // keep serving (mirrors the scheduler's treatment
-                        // of panicking codelets as guest faults).
-                        let results =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                inner.eval_many(&job.thunks)
-                            }))
-                            .unwrap_or_else(|_| {
-                                job.thunks
-                                    .iter()
-                                    .map(|_| {
-                                        Err(Error::Backend {
-                                            backend: "offload",
-                                            message: "backend panicked during eval_many".into(),
-                                        })
-                                    })
-                                    .collect()
-                            });
-                        job.slot.fill(results);
                     })
                     .expect("spawn offload worker")
             })
             .collect();
         BlockingOffload {
-            sender: Some(sender),
+            pool,
             workers,
             inner,
         }
     }
+}
+
+/// Executes (or expires, or skips) one dequeued batch on the inner
+/// backend, filling its completion slot.
+fn serve_one<T: Evaluator + ?Sized>(inner: &T, pool: &Pool, job: OffloadJob) {
+    {
+        let state = job.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.cancelled || state.produced {
+            return; // Cancelled before execution began.
+        }
+    }
+    // Expire-before-dispatch: the closest a blocking backend gets to
+    // the scheduler's lazy dequeue expiry.
+    if let Some(deadline) = job.options.deadline_us {
+        if pool.clock.load(Ordering::Relaxed) > deadline {
+            job.slot.fill(
+                job.thunks
+                    .iter()
+                    .map(|_| {
+                        Err(Error::DeadlineExceeded {
+                            deadline_us: deadline,
+                        })
+                    })
+                    .collect(),
+            );
+            return;
+        }
+    }
+    // A panic below would strand every later batch on this worker;
+    // convert it to per-slot errors and keep serving (mirrors the
+    // scheduler's treatment of panicking codelets as guest faults).
+    let results =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.options.mode {
+            Mode::Whnf => inner.eval_many(&job.thunks),
+            Mode::Strict => job.thunks.iter().map(|&h| inner.eval_strict(h)).collect(),
+        }))
+        .unwrap_or_else(|_| {
+            job.thunks
+                .iter()
+                .map(|_| {
+                    Err(Error::Backend {
+                        backend: "offload",
+                        message: "backend panicked during batch evaluation".into(),
+                    })
+                })
+                .collect()
+        });
+    job.slot.fill(results);
 }
 
 impl<T: ?Sized> BlockingOffload<T> {
@@ -230,9 +325,13 @@ impl<T: ?Sized> BlockingOffload<T> {
 
 impl<T: ?Sized> Drop for BlockingOffload<T> {
     fn drop(&mut self) {
-        // Disconnect the channel; workers drain what was already
-        // submitted (outstanding tickets still resolve), then exit.
-        self.sender.take();
+        // Close the pool; workers drain what was already submitted
+        // (outstanding tickets still resolve), then exit.
+        {
+            let mut tiers = self.pool.tiers.lock().unwrap_or_else(|e| e.into_inner());
+            tiers.open = false;
+        }
+        self.pool.cv.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -240,29 +339,60 @@ impl<T: ?Sized> Drop for BlockingOffload<T> {
 }
 
 impl<T: Evaluator + Send + Sync + 'static> SubmitApi for BlockingOffload<T> {
-    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
+    fn submit_with(&self, handles: &[Handle], options: SubmitOptions) -> BatchTicket {
+        // Dead on arrival: a batch submitted after its deadline passed
+        // fails whole, uniformly with every other backend.
+        if let Some(deadline_us) = options.deadline_us {
+            if self.pool.clock.load(Ordering::Relaxed) > deadline_us {
+                return BatchTicket::ready(
+                    handles
+                        .iter()
+                        .map(|_| Err(Error::DeadlineExceeded { deadline_us }))
+                        .collect(),
+                );
+            }
+        }
         let slot = Arc::new(OffloadSlot::default());
         let job = OffloadJob {
             thunks: handles.to_vec(),
+            options,
             slot: Arc::clone(&slot),
         };
-        let sender = self.sender.as_ref().expect("offload is alive");
-        if sender.send(job).is_err() {
-            // Unreachable while `self` is alive (we hold the receiver's
-            // workers), but fail soft rather than hanging a waiter.
-            return BatchTicket::ready(
-                handles
-                    .iter()
-                    .map(|_| {
-                        Err(Error::Backend {
-                            backend: "offload",
-                            message: "submission pool is shut down".into(),
+        {
+            let mut tiers = self.pool.tiers.lock().unwrap_or_else(|e| e.into_inner());
+            if !tiers.open {
+                // Unreachable while `self` is alive (we close the pool
+                // only in Drop), but fail soft rather than hang.
+                return BatchTicket::ready(
+                    handles
+                        .iter()
+                        .map(|_| {
+                            Err(Error::Backend {
+                                backend: "offload",
+                                message: "submission pool is shut down".into(),
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                );
+            }
+            tiers.queues[options.priority.tier()].push_back(job);
         }
-        BatchTicket::from_pending(Arc::new(OffloadPending { slot }), handles.len())
+        self.pool.cv.notify_one();
+        BatchTicket::from_pending(
+            Arc::new(OffloadPending {
+                slot,
+                len: handles.len(),
+            }),
+            handles.len(),
+        )
+    }
+
+    fn virtual_now(&self) -> u64 {
+        self.pool.clock.load(Ordering::Relaxed)
+    }
+
+    fn advance_virtual_clock(&self, us: u64) {
+        self.pool.clock.fetch_add(us, Ordering::Relaxed);
     }
 }
 

@@ -13,13 +13,23 @@
 //! hooks its scheduler's completion notifications; the
 //! [`BlockingOffload`](crate::api::BlockingOffload) adapter parks a
 //! submission thread), while the ticket state machine — pending →
-//! resolved → taken — and the cancel-on-drop contract live here, shared
+//! resolved → taken — and the cancellation contract live here, shared
 //! by every backend.
 //!
-//! Dropping an unresolved ticket *detaches* it: the backend is told the
-//! results will never be claimed, and it must neither hang other work
-//! nor leak per-batch bookkeeping (the conformance suite holds backends
-//! to this).
+//! [`BatchTicket::cancel`] is *true cancellation*, not mere
+//! deregistration: the backend fails the batch's unresolved slots with
+//! [`Error::Cancelled`](crate::error::Error::Cancelled), releases its
+//! per-batch bookkeeping (watchers, pool entries), and **withdraws
+//! still-queued work that no other live request shares** — a cancelled
+//! batch whose jobs were never dispatched runs zero procedures. Work
+//! another request also watches, work something else depends on, and
+//! work already executing are left to complete normally. Dropping an
+//! unresolved ticket is cancel's implicit form: same withdrawal, with
+//! the `Cancelled` results simply never claimed. Either way the backend
+//! must neither hang concurrent work nor leak (the conformance suite
+//! holds backends to this, and the runtime exposes
+//! `submission_watchers()` / `queued_jobs()` so the leak checks are
+//! pinned, not assumed).
 
 use crate::error::Result;
 use crate::handle::Handle;
@@ -54,11 +64,15 @@ pub trait PendingBatch: Send + Sync {
     /// completion, or timeout — never indefinitely.
     fn advance(&self, timeout: Duration);
 
-    /// The ticket was dropped unresolved: the results will never be
-    /// claimed. The batch must release any per-batch bookkeeping it
-    /// holds in the backend (watchers, queue entries it can still
-    /// withdraw) without disturbing other in-flight work.
-    fn detach(&self);
+    /// The ticket was cancelled (explicitly, or implicitly by being
+    /// dropped unresolved): the results will never be claimed. The
+    /// batch must fail its unresolved slots with
+    /// [`Error::Cancelled`](crate::error::Error::Cancelled), release
+    /// every piece of per-batch bookkeeping it holds in the backend,
+    /// and withdraw still-queued work that no other live request
+    /// shares — all without disturbing other in-flight work or hanging
+    /// a concurrent waiter.
+    fn cancel(&self);
 }
 
 enum TicketState {
@@ -77,9 +91,11 @@ enum TicketState {
 /// Results are positional: slot `i` answers `handles[i]` of the
 /// submission, exactly as
 /// [`Evaluator::eval_many`](crate::api::Evaluator::eval_many) would.
-/// Dropping the ticket before claiming the results detaches the batch —
-/// in-flight evaluation is abandoned to the backend, which must neither
-/// hang nor leak (see [`PendingBatch::detach`]).
+/// [`cancel`](Self::cancel) revokes the request: still-queued work no
+/// other live request shares is withdrawn and unresolved slots fail
+/// with [`Error::Cancelled`](crate::error::Error::Cancelled). Dropping
+/// the ticket unresolved is cancel's implicit form (see
+/// [`PendingBatch::cancel`]).
 pub struct BatchTicket {
     state: TicketState,
     len: usize,
@@ -162,6 +178,26 @@ impl BatchTicket {
         }
     }
 
+    /// Cancels the request, consuming the ticket: the backend fails
+    /// every unresolved slot with
+    /// [`Error::Cancelled`](crate::error::Error::Cancelled), releases
+    /// the batch's bookkeeping, and withdraws still-queued work that no
+    /// other live request shares (shared, depended-on, or
+    /// already-executing work completes normally). Results the batch
+    /// had already produced are discarded.
+    ///
+    /// Dropping an unresolved ticket performs the same cancellation
+    /// implicitly; the explicit form exists so callers can revoke work
+    /// at a point of their choosing (a disconnecting client, a missed
+    /// SLO) and have the accounting say so.
+    pub fn cancel(mut self) {
+        if let TicketState::Pending(pending) =
+            std::mem::replace(&mut self.state, TicketState::Taken)
+        {
+            pending.cancel();
+        }
+    }
+
     /// Bounded progress for multiplexed waiting (see
     /// [`wait_any`](Self::wait_any)).
     fn advance(&mut self, timeout: Duration) {
@@ -218,8 +254,10 @@ impl BatchTicket {
 
 impl Drop for BatchTicket {
     fn drop(&mut self) {
+        // Implicit cancellation: an unresolved dropped ticket revokes
+        // its request exactly as `cancel` would.
         if let TicketState::Pending(pending) = &self.state {
-            pending.detach();
+            pending.cancel();
         }
     }
 }
@@ -273,6 +311,12 @@ impl Ticket {
             .take_results()
             .map(|mut results| results.pop().expect("a Ticket holds exactly one slot"))
     }
+
+    /// Cancels the request, consuming the ticket; see
+    /// [`BatchTicket::cancel`].
+    pub fn cancel(self) {
+        self.batch.cancel()
+    }
 }
 
 #[cfg(test)]
@@ -285,7 +329,7 @@ mod tests {
     /// A hand-cranked PendingBatch: completes when `finish` is called.
     struct ManualBatch {
         results: Mutex<Option<Vec<Result<Handle>>>>,
-        detached: AtomicBool,
+        cancelled: AtomicBool,
         advances: AtomicUsize,
     }
 
@@ -293,7 +337,7 @@ mod tests {
         fn new() -> Arc<ManualBatch> {
             Arc::new(ManualBatch {
                 results: Mutex::new(None),
-                detached: AtomicBool::new(false),
+                cancelled: AtomicBool::new(false),
                 advances: AtomicUsize::new(0),
             })
         }
@@ -319,8 +363,8 @@ mod tests {
             self.advances.fetch_add(1, Ordering::SeqCst);
             std::thread::yield_now();
         }
-        fn detach(&self) {
-            self.detached.store(true, Ordering::SeqCst);
+        fn cancel(&self) {
+            self.cancelled.store(true, Ordering::SeqCst);
         }
     }
 
@@ -347,27 +391,35 @@ mod tests {
         assert!(t.poll());
         assert_eq!(t.wait()[0].as_ref().unwrap(), &h(7));
         assert!(
-            !batch.detached.load(Ordering::SeqCst),
-            "a waited ticket never detaches"
+            !batch.cancelled.load(Ordering::SeqCst),
+            "a waited ticket is never cancelled"
         );
     }
 
     #[test]
-    fn dropping_an_unresolved_ticket_detaches() {
+    fn dropping_an_unresolved_ticket_cancels() {
         let batch = ManualBatch::new();
         let t = BatchTicket::from_pending(Arc::clone(&batch) as Arc<dyn PendingBatch>, 1);
         drop(t);
-        assert!(batch.detached.load(Ordering::SeqCst));
+        assert!(batch.cancelled.load(Ordering::SeqCst));
     }
 
     #[test]
-    fn dropping_a_resolved_ticket_does_not_detach() {
+    fn explicit_cancel_reaches_the_backend_once() {
+        let batch = ManualBatch::new();
+        let t = BatchTicket::from_pending(Arc::clone(&batch) as Arc<dyn PendingBatch>, 1);
+        t.cancel(); // Consumes the ticket; Drop must not cancel again.
+        assert!(batch.cancelled.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn dropping_a_resolved_ticket_does_not_cancel() {
         let batch = ManualBatch::new();
         batch.finish(vec![Ok(h(1))]);
         let mut t = BatchTicket::from_pending(Arc::clone(&batch) as Arc<dyn PendingBatch>, 1);
         assert!(t.poll());
         drop(t);
-        assert!(!batch.detached.load(Ordering::SeqCst));
+        assert!(!batch.cancelled.load(Ordering::SeqCst));
     }
 
     #[test]
@@ -410,7 +462,7 @@ mod tests {
         fn advance(&self, _timeout: Duration) {
             *self.results.lock().unwrap() = Some(vec![Ok(h(5))]);
         }
-        fn detach(&self) {}
+        fn cancel(&self) {}
     }
 
     /// Regression: `wait_any` must rotate which pending ticket it

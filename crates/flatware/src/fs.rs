@@ -418,9 +418,8 @@ mod proptests {
                     // same path; directories it created may have
                     // invalidated an earlier file's prefix? No: adds
                     // fail instead of replacing files with directories.
-                    oracle.retain(|p, _| {
-                        !(p == &path) // Will be reinserted below.
-                    });
+                    // (The entry is reinserted just below.)
+                    oracle.retain(|p, _| p != &path);
                     oracle.insert(path, contents.clone());
                 }
             }

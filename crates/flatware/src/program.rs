@@ -123,13 +123,13 @@ impl<'a, 'b> PosixWorld<'a, 'b> {
     }
 }
 
+/// The entry point of a Flatware POSIX-style program: argv in, exit
+/// status out, the world reachable through [`PosixWorld`].
+pub type ProgramMain = Arc<dyn Fn(&[String], &mut PosixWorld<'_, '_>) -> Result<u8> + Send + Sync>;
+
 /// Registers a POSIX-style program as a native codelet under Flatware
 /// conventions, on any [`InvocationApi`] backend.
-pub fn register_posix_program<R: InvocationApi>(
-    rt: &R,
-    name: &str,
-    main: Arc<dyn Fn(&[String], &mut PosixWorld<'_, '_>) -> Result<u8> + Send + Sync>,
-) -> Handle {
+pub fn register_posix_program<R: InvocationApi>(rt: &R, name: &str, main: ProgramMain) -> Handle {
     rt.register_native(
         name,
         Arc::new(move |ctx| {

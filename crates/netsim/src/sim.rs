@@ -13,9 +13,12 @@ pub const MS: Time = 1_000;
 /// One second in microseconds.
 pub const SEC: Time = 1_000_000;
 
+/// A deferred simulation action, run when its instant arrives.
+type EventFn = Box<dyn FnOnce(&mut crate::Sim)>;
+
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Reverse<(Time, u64)>>,
-    events: std::collections::HashMap<u64, Box<dyn FnOnce(&mut crate::Sim)>>,
+    events: std::collections::HashMap<u64, EventFn>,
     next_seq: u64,
 }
 
@@ -28,14 +31,14 @@ impl EventQueue {
         }
     }
 
-    pub fn push(&mut self, at: Time, f: Box<dyn FnOnce(&mut crate::Sim)>) {
+    pub fn push(&mut self, at: Time, f: EventFn) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse((at, seq)));
         self.events.insert(seq, f);
     }
 
-    pub fn pop(&mut self) -> Option<(Time, Box<dyn FnOnce(&mut crate::Sim)>)> {
+    pub fn pop(&mut self) -> Option<(Time, EventFn)> {
         let Reverse((at, seq)) = self.heap.pop()?;
         let f = self.events.remove(&seq).expect("event body present");
         Some((at, f))

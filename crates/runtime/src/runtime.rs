@@ -257,22 +257,44 @@ impl Runtime {
     // Submission (the native SubmitApi backend).
     // ------------------------------------------------------------------
 
-    /// Begins evaluating a batch, returning a ticket for the positional
-    /// results — the native implementation of
-    /// [`SubmitApi::submit_many`](fix_core::api::SubmitApi::submit_many).
+    /// Begins evaluating a batch under request-scoped options —
+    /// deadline (virtual µs), [`Priority`](fix_core::api::Priority)
+    /// class, WHNF-vs-strict [`Mode`](fix_core::api::Mode) — returning
+    /// a ticket for the positional results; the native implementation
+    /// of [`SubmitApi::submit_with`](fix_core::api::SubmitApi::submit_with).
     ///
     /// Submission takes the scheduler's job-map lock once, registers a
-    /// completion watcher per request, and returns immediately; the
-    /// scheduler's completion notifications fill the ticket as jobs
+    /// completion watcher per request (a strict request watches its
+    /// whole eval→force chain as one slot), and returns immediately;
+    /// the scheduler's completion notifications fill the ticket as jobs
     /// finish. No caller thread is parked per batch: with a worker pool
     /// the batch executes behind the caller's back, and on a pool-less
     /// runtime waiting on *any* ticket drives the shared queue (so
-    /// overlapped batches still all make progress). Dropping the ticket
-    /// unresolved detaches it — the watchers are withdrawn on the spot
-    /// (see [`submission_watchers`](Runtime::submission_watchers)) and
-    /// the jobs remain ordinary shared scheduler state.
+    /// overlapped batches still all make progress).
+    ///
+    /// Cancelling the ticket — or dropping it unresolved, cancel's
+    /// implicit form — fails unresolved slots with
+    /// [`Error::Cancelled`](fix_core::Error::Cancelled), withdraws the
+    /// watchers on the spot (see
+    /// [`submission_watchers`](Runtime::submission_watchers)), and
+    /// withdraws still-queued jobs no other live request shares (see
+    /// [`queued_jobs`](Runtime::queued_jobs)); shared or already-running
+    /// jobs remain ordinary scheduler state. A batch whose deadline the
+    /// [virtual clock](Runtime::virtual_now) passes before dispatch
+    /// expires with [`Error::DeadlineExceeded`](fix_core::Error::DeadlineExceeded)
+    /// instead of executing.
+    pub fn submit_with(
+        &self,
+        handles: &[Handle],
+        options: fix_core::api::SubmitOptions,
+    ) -> BatchTicket {
+        crate::submit::submit_with(&self.scheduler, handles, options)
+    }
+
+    /// Begins evaluating a batch with default options (no deadline,
+    /// normal priority, WHNF); see [`submit_with`](Runtime::submit_with).
     pub fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
-        crate::submit::submit_many(&self.scheduler, handles)
+        self.submit_with(handles, fix_core::api::SubmitOptions::default())
     }
 
     /// Begins evaluating one handle (a batch of one); see
@@ -281,12 +303,34 @@ impl Runtime {
         fix_core::api::SubmitApi::submit(self, handle)
     }
 
+    /// The scheduler's virtual clock, in µs — the timeline submission
+    /// deadlines are measured on. Starts at zero and never moves with
+    /// wall time.
+    pub fn virtual_now(&self) -> u64 {
+        self.scheduler.virtual_now()
+    }
+
+    /// Advances the virtual clock by `us` µs; queued submissions whose
+    /// deadline the clock passes are expired lazily at dequeue.
+    pub fn advance_virtual_clock(&self, us: u64) {
+        self.scheduler.advance_clock(us)
+    }
+
     /// Completion watchers currently registered for in-flight submitted
-    /// batches. Resolved and dropped tickets both deregister eagerly, so
-    /// a quiescent runtime always reports zero — the invariant the
-    /// ticket-leak tests pin down.
+    /// batches. Resolved, cancelled, and dropped tickets all deregister
+    /// eagerly, so a quiescent runtime always reports zero — one half of
+    /// the invariant the ticket-leak tests pin down.
     pub fn submission_watchers(&self) -> usize {
         self.scheduler.watcher_count()
+    }
+
+    /// Jobs currently queued for (or undergoing) execution. Cancelling
+    /// a ticket withdraws the queued jobs no other live request shares,
+    /// so a quiescent runtime whose outstanding tickets were all
+    /// cancelled reports zero — the other half of the ticket-leak
+    /// invariant (no orphaned queued work).
+    pub fn queued_jobs(&self) -> usize {
+        self.scheduler.queued_jobs()
     }
 
     /// Procedures actually executed so far (memoization cache misses).
@@ -426,7 +470,19 @@ impl fix_core::api::Evaluator for Runtime {
 }
 
 impl fix_core::api::SubmitApi for Runtime {
-    fn submit_many(&self, handles: &[Handle]) -> BatchTicket {
-        Runtime::submit_many(self, handles)
+    fn submit_with(
+        &self,
+        handles: &[Handle],
+        options: fix_core::api::SubmitOptions,
+    ) -> BatchTicket {
+        Runtime::submit_with(self, handles, options)
+    }
+
+    fn virtual_now(&self) -> u64 {
+        Runtime::virtual_now(self)
+    }
+
+    fn advance_virtual_clock(&self, us: u64) {
+        Runtime::advance_virtual_clock(self, us)
     }
 }

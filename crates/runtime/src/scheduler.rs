@@ -16,26 +16,48 @@
 //!   concurrently; independent sub-computations (e.g. the branches of a
 //!   parallel map) run in parallel.
 //!
-//! Batches can also be **watched** instead of driven: `submit_watched`
+//! Batches can also be **watched** instead of driven: `submit_watched_with`
 //! enqueues a set of roots under one lock acquisition and registers a
 //! `BatchState` that the completion path fills in as each root
 //! finishes — no caller thread parked, no per-job polling. This is the
 //! mechanism behind the One Fix API's submission tickets
 //! (`fix_core::api::SubmitApi`); `wait_batch` turns the calling thread
 //! into an inline driver until the watched batch is done.
+//!
+//! Watched submissions are *request scoped* (`fix_core::api::SubmitOptions`):
+//!
+//! * **priority** — the run queue is tiered by `Priority`; dispatch
+//!   always drains the highest non-empty tier first. A job's tier is
+//!   fixed at its first enqueue (a deduplicated job shared across
+//!   tiers runs at the tier that queued it).
+//! * **deadlines** — a watched batch may carry an absolute deadline on
+//!   the scheduler's virtual clock; queued work whose deadline has
+//!   passed is expired *lazily at dequeue*: the expired slots fail with
+//!   `Error::DeadlineExceeded`, and the job itself is skipped when no
+//!   live request still wants it — dead work is withdrawn, not executed.
+//! * **cancellation** — `cancel_batch` fails a batch's unresolved slots
+//!   with `Error::Cancelled` and withdraws still-queued jobs no other
+//!   live request shares, via the per-job interest refcount the job map
+//!   keeps (watched slots + pinned fire-and-forget submissions +
+//!   dependency waiters all count as interest).
+//! * **strict mode** — a strict slot watches the whole eval→force job
+//!   chain: when its `Eval` completes, the watcher *chains* onto the
+//!   `Force` of the produced value instead of filling, so the slot
+//!   resolves exactly when a blocking `eval_strict` would return.
 
 use crate::engine::{Engine, Job, Step};
+use fix_core::api::Priority;
 use fix_core::error::{Error, Result};
 use fix_core::handle::Handle;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 #[derive(Debug, Clone)]
 enum JobState {
-    /// In the queue (or about to be).
+    /// In the queue (or about to be, or currently being stepped).
     Queued,
     /// Parked until `pending` dependencies complete.
     Waiting { pending: usize },
@@ -47,6 +69,8 @@ enum JobState {
 
 #[derive(Debug, Default)]
 struct JobEntry {
+    /// `None` means "no live request wants this job" — either it was
+    /// never submitted, or it was withdrawn after a cancellation.
     state: Option<JobState>,
     waiters: Vec<Job>,
     /// Consecutive requeues where every reported dependency was already
@@ -55,29 +79,73 @@ struct JobEntry {
     /// engine's relation cache disagree, and the job is failed loudly
     /// instead of spinning forever.
     respins: u32,
+    /// Queue tokens currently floating in the tier queues for this job.
+    /// Withdrawal cannot cheaply delete from the middle of a `VecDeque`,
+    /// so a withdrawn job leaves its token behind and dequeue skips it;
+    /// the count bounds how long the entry must outlive its work.
+    tokens: u32,
+    /// True while exactly one of the floating tokens is *live*: popping
+    /// any token while this is set claims the job for execution and
+    /// clears it, so even with stale duplicates in the queues a job is
+    /// stepped by at most one thread at a time. A `Queued` entry with
+    /// `enqueued == false` is popped-and-executing, which is what lets
+    /// withdrawal distinguish "still in the queue" (revocable) from
+    /// "mid-step" (must complete).
+    enqueued: bool,
+    /// Live requests whose *current stage* is this job: one per watched
+    /// ticket slot (see `Shared::watchers`). Dependency waiters are
+    /// tracked in `waiters`, fire-and-forget submissions in `pinned`;
+    /// a queued job with no interest from any of the three is withdrawn
+    /// on cancellation instead of executed.
+    interest: usize,
+    /// Set by fire-and-forget [`Scheduler::submit`] (and inline-driven
+    /// roots): the job must never be withdrawn.
+    pinned: bool,
+    /// The tier whose queue a (re)enqueue of this job joins. Fixed at
+    /// first submission; a later higher-priority submission promotes
+    /// future enqueues but does not reposition a token already queued.
+    priority: Priority,
 }
 
 /// Requeue bound before a job is declared stuck (see [`JobEntry::respins`]).
 const MAX_RESPINS: u32 = 10_000;
 
+/// One watched-batch slot's stake in a job (see `Shared::watchers`).
+struct Watcher {
+    state: Arc<BatchState>,
+    pos: usize,
+    /// Strict slot, eval stage: on success, chain onto the `Force` of
+    /// the produced value instead of filling the slot.
+    then_force: bool,
+}
+
 #[derive(Default)]
 struct Shared {
     jobs: HashMap<Job, JobEntry>,
-    queue: VecDeque<Job>,
+    /// Run queues, one per `Priority` tier; dispatch drains the highest
+    /// (lowest-index) non-empty tier first.
+    queues: [VecDeque<Job>; Priority::TIERS],
     /// Inline drivers currently stepping a popped job outside the lock.
     /// Living inside `Shared` makes the invariant structural: every
     /// mutation happens under the mutex, so a driver that checks this
     /// while deciding to park cannot miss the release wakeup.
     inline_executing: usize,
-    /// Completion watchers: job → the watched batches (and the slot
-    /// within each) that want its result. Registered by
-    /// [`Scheduler::submit_watched`] under the same lock acquisition as
-    /// the submission, drained by [`Scheduler::complete`] the moment the
+    /// Completion watchers: job → the watched batch slots that want its
+    /// result. Registered under the same lock acquisition as the
+    /// submission, drained by [`Scheduler::complete`] the moment the
     /// job finishes — so batch completion costs O(1) per job instead of
     /// a polling pass per executed step. A watcher exists only while its
-    /// job is unfinished; detaching a batch removes its watchers
+    /// job is unfinished; cancelling a batch removes its watchers
     /// eagerly, so a dropped ticket leaks nothing.
-    watchers: HashMap<Job, Vec<(Arc<BatchState>, usize)>>,
+    watchers: HashMap<Job, Vec<Watcher>>,
+}
+
+/// One slot of a watched batch: the job currently answering it (the
+/// `Force` stage of a strict slot replaces the `Eval` stage here when
+/// the chain advances) and the result, once produced.
+struct BatchSlot {
+    job: Job,
+    result: Option<Result<Handle>>,
 }
 
 /// The completion state of one watched batch: positional result slots
@@ -89,25 +157,34 @@ struct Shared {
 /// stall-predicate mutation is — a waiter that checks `is_done` under
 /// the lock before parking cannot miss the completing wakeup.
 pub(crate) struct BatchState {
-    /// The watched roots, slot-aligned (duplicates allowed: each slot
-    /// resolves independently).
-    jobs: Vec<Job>,
-    /// Positional results; `None` while in flight.
-    slots: Mutex<Vec<Option<Result<Handle>>>>,
+    /// Positional slots; a slot's `job` tracks the current stage of its
+    /// eval→force chain so cancellation can find (and deregister from)
+    /// exactly the jobs still answering unresolved slots.
+    slots: Mutex<Vec<BatchSlot>>,
     /// Unfilled slot count; reaches zero exactly once.
     remaining: AtomicUsize,
     /// Set (under the scheduler lock) when the last slot fills.
     done: AtomicBool,
+    /// Absolute expiry on the scheduler's virtual clock, in µs.
+    deadline_us: Option<u64>,
+    /// The batch's scheduling class (inherited by its jobs' enqueues).
+    priority: Priority,
 }
 
 impl BatchState {
-    fn new(jobs: Vec<Job>) -> BatchState {
-        let n = jobs.len();
+    fn new(roots: &[(Job, bool)], deadline_us: Option<u64>, priority: Priority) -> BatchState {
+        let n = roots.len();
         BatchState {
-            jobs,
-            slots: Mutex::new(vec![None; n]),
+            slots: Mutex::new(
+                roots
+                    .iter()
+                    .map(|&(job, _)| BatchSlot { job, result: None })
+                    .collect(),
+            ),
             remaining: AtomicUsize::new(n),
             done: AtomicBool::new(n == 0),
+            deadline_us,
+            priority,
         }
     }
 
@@ -123,7 +200,7 @@ impl BatchState {
         self.slots
             .lock()
             .iter()
-            .map(|s| s.clone().expect("completed batch slot is filled"))
+            .map(|s| s.result.clone().expect("completed batch slot is filled"))
             .collect()
     }
 
@@ -132,12 +209,29 @@ impl BatchState {
     /// waiters' park decisions.
     fn fill(&self, pos: usize, result: Result<Handle>) {
         let mut slots = self.slots.lock();
-        if slots[pos].is_none() {
-            slots[pos] = Some(result);
+        if slots[pos].result.is_none() {
+            slots[pos].result = Some(result);
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 self.done.store(true, Ordering::Release);
             }
         }
+    }
+
+    /// Records the job currently answering slot `pos` (the chain stage).
+    /// Called under the scheduler mutex.
+    fn set_slot_job(&self, pos: usize, job: Job) {
+        self.slots.lock()[pos].job = job;
+    }
+
+    /// The unresolved slots and the jobs currently answering them.
+    fn unresolved(&self) -> Vec<(usize, Job)> {
+        self.slots
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.result.is_none())
+            .map(|(i, s)| (i, s.job))
+            .collect()
     }
 }
 
@@ -149,6 +243,10 @@ pub struct Scheduler {
     shutdown: AtomicBool,
     /// Number of pool workers attached (used for stall detection).
     workers_running: std::sync::atomic::AtomicUsize,
+    /// The virtual clock (µs) submission deadlines are measured on.
+    /// Advanced only by the embedder, never by wall time, so expiry is
+    /// deterministic.
+    clock: AtomicU64,
 }
 
 impl Scheduler {
@@ -160,6 +258,7 @@ impl Scheduler {
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             workers_running: std::sync::atomic::AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -168,49 +267,146 @@ impl Scheduler {
         &self.engine
     }
 
-    /// Submits a job if it is not already known. Returns immediately.
+    /// The virtual clock, in µs.
+    pub fn virtual_now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the virtual clock by `us` µs. Queued jobs whose batch
+    /// deadlines the clock passes expire at their next dequeue.
+    pub fn advance_clock(&self, us: u64) {
+        self.clock.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Submits a job if it is not already known, pinning it: a
+    /// fire-and-forget submission has no ticket whose cancellation
+    /// could withdraw it. Returns immediately.
     pub fn submit(&self, job: Job) {
         let mut shared = self.shared.lock();
-        self.submit_locked(&mut shared, job);
+        self.enqueue_locked(&mut shared, job, Priority::Normal, true);
         drop(shared);
         self.cv.notify_all();
     }
 
-    fn submit_locked(&self, shared: &mut Shared, job: Job) {
-        let entry = shared.jobs.entry(job).or_default();
+    /// Core enqueue under the lock: creates/refreshes the entry and,
+    /// unless a live token already floats, pushes a fresh token into
+    /// the job's tier. A revived (previously withdrawn) job always gets
+    /// a fresh token at the *reviving* submission's tier — its stale
+    /// token keeps floating in the old tier and is skipped at dequeue
+    /// (though a stale token in a higher tier may still dispatch the
+    /// job earlier than the new tier would; never later).
+    fn enqueue_locked(&self, shared: &mut Shared, job: Job, priority: Priority, pinned: bool) {
+        let Shared { jobs, queues, .. } = shared;
+        let entry = jobs.entry(job).or_default();
+        if pinned {
+            entry.pinned = true;
+        }
         if entry.state.is_none() {
+            // Fresh (or previously withdrawn) job: it runs at the tier
+            // of the submission reviving it.
+            entry.priority = priority;
             entry.state = Some(JobState::Queued);
-            shared.queue.push_back(job);
+            if !entry.enqueued {
+                entry.enqueued = true;
+                entry.tokens += 1;
+                queues[entry.priority.tier()].push_back(job);
+            }
+        } else if priority < entry.priority {
+            // Promote future enqueues; a token already queued keeps its
+            // position (priority is applied at enqueue, not retrofitted).
+            entry.priority = priority;
         }
     }
 
-    /// Submits every job in `roots` and registers a completion watcher
-    /// for each, all under **one** lock acquisition, returning
-    /// immediately — no caller thread is parked. Roots that already
-    /// finished fill their slots on the spot; the rest fill as the
-    /// completion path reaches them. This is the scheduler half of the
-    /// One Fix API's `submit_many`.
-    pub(crate) fn submit_watched(&self, roots: &[Job]) -> Arc<BatchState> {
-        let state = Arc::new(BatchState::new(roots.to_vec()));
+    /// Requeues a job that already has an entry (dependency satisfied,
+    /// or a benign respin).
+    fn requeue_locked(shared: &mut Shared, job: Job) {
+        let Shared { jobs, queues, .. } = shared;
+        let entry = jobs.entry(job).or_default();
+        entry.state = Some(JobState::Queued);
+        if !entry.enqueued {
+            entry.enqueued = true;
+            entry.tokens += 1;
+            queues[entry.priority.tier()].push_back(job);
+        }
+    }
+
+    /// Submits every root and registers a completion watcher for each,
+    /// all under **one** lock acquisition, returning immediately — no
+    /// caller thread is parked. Roots that already finished fill their
+    /// slots on the spot; the rest fill as the completion path reaches
+    /// them. Each root is `(job, then_force)`: a strict slot submits
+    /// its `Eval` with `then_force`, and the watcher chains onto the
+    /// `Force` of the result when the eval completes. This is the
+    /// scheduler half of the One Fix API's `submit_with`.
+    pub(crate) fn submit_watched_with(
+        &self,
+        roots: &[(Job, bool)],
+        deadline_us: Option<u64>,
+        priority: Priority,
+    ) -> Arc<BatchState> {
+        let state = Arc::new(BatchState::new(roots, deadline_us, priority));
         {
             let mut shared = self.shared.lock();
-            for (pos, &job) in roots.iter().enumerate() {
-                match shared.jobs.get(&job).and_then(|e| e.state.clone()) {
-                    Some(JobState::Done(h)) => state.fill(pos, Ok(h)),
-                    Some(JobState::Failed(e)) => state.fill(pos, Err(e)),
-                    _ => {
-                        self.submit_locked(&mut shared, job);
-                        shared
-                            .watchers
-                            .entry(job)
-                            .or_default()
-                            .push((Arc::clone(&state), pos));
-                    }
-                }
+            for (pos, &(job, then_force)) in roots.iter().enumerate() {
+                self.watch_job_locked(&mut shared, &state, pos, job, then_force, false);
             }
         }
         self.cv.notify_all();
         state
+    }
+
+    /// Points slot `pos` of `state` at `job`: fills immediately if the
+    /// job already finished (chaining through `Force` for strict
+    /// slots), otherwise enqueues the job at the batch's tier and
+    /// registers the completion watcher, counting one unit of interest.
+    ///
+    /// `stage_moved` says whether `job` differs from the slot's
+    /// recorded stage job: false for the initial watch (the slot was
+    /// constructed pointing at its root job), true when a strict chain
+    /// advanced onto the `Force`. Recording the stage only matters for
+    /// slots that stay unresolved — cancellation looks the job up
+    /// through the slot — so fills skip it, keeping the warm
+    /// (already-memoized) submission path at one slots-lock per slot.
+    fn watch_job_locked(
+        &self,
+        shared: &mut Shared,
+        state: &Arc<BatchState>,
+        pos: usize,
+        job: Job,
+        then_force: bool,
+        stage_moved: bool,
+    ) {
+        match shared.jobs.get(&job).and_then(|e| e.state.clone()) {
+            Some(JobState::Done(h)) => {
+                if then_force {
+                    // The eval stage is already memoized: the slot's
+                    // fate rests on the force of its value.
+                    self.watch_job_locked(shared, state, pos, Job::Force(h), false, true);
+                } else {
+                    state.fill(pos, Ok(h));
+                }
+            }
+            Some(JobState::Failed(e)) => {
+                state.fill(pos, Err(e));
+            }
+            _ => {
+                self.enqueue_locked(shared, job, state.priority, false);
+                shared
+                    .jobs
+                    .get_mut(&job)
+                    .expect("enqueue_locked created the entry")
+                    .interest += 1;
+                shared.watchers.entry(job).or_default().push(Watcher {
+                    state: Arc::clone(state),
+                    pos,
+                    then_force,
+                });
+                if stage_moved {
+                    state.set_slot_job(pos, job);
+                }
+            }
+        }
     }
 
     /// Drives the queue on the calling thread until the watched batch
@@ -271,27 +467,79 @@ impl Scheduler {
         claim.execute();
     }
 
-    /// Withdraws a watched batch's completion watchers (the ticket was
-    /// dropped unresolved). The jobs themselves stay submitted — they
-    /// are shared, deduplicated state that other requests may depend on
-    /// — but nothing batch-specific survives, so a dropped ticket can
-    /// never accumulate scheduler memory.
-    pub(crate) fn detach_batch(&self, state: &Arc<BatchState>) {
+    /// Cancels a watched batch (the ticket was cancelled or dropped
+    /// unresolved): unresolved slots fail with [`Error::Cancelled`],
+    /// their watchers are deregistered, and still-queued jobs that no
+    /// other live request shares are withdrawn — they will be skipped
+    /// at dequeue instead of executed. Jobs that are shared, depended
+    /// on, pinned, or already executing stay ordinary scheduler state
+    /// and complete normally.
+    pub(crate) fn cancel_batch(&self, state: &Arc<BatchState>) {
         let mut shared = self.shared.lock();
-        self.deregister_locked(&mut shared, state);
+        for (pos, job) in state.unresolved() {
+            self.unwatch_locked(&mut shared, state, pos, job);
+            self.withdraw_if_orphan_locked(&mut shared, job);
+            state.fill(pos, Err(Error::Cancelled));
+        }
+        drop(shared);
+        // A concurrent waiter of another ticket may be parked on this
+        // batch's jobs; the withdrawal changed what is runnable.
+        self.cv.notify_all();
     }
 
-    /// Removes every watcher of `state` from the watcher map.
-    fn deregister_locked(&self, shared: &mut Shared, state: &Arc<BatchState>) {
-        for job in &state.jobs {
-            if let std::collections::hash_map::Entry::Occupied(mut entry) =
-                shared.watchers.entry(*job)
-            {
-                entry.get_mut().retain(|(s, _)| !Arc::ptr_eq(s, state));
-                if entry.get().is_empty() {
-                    entry.remove();
+    /// Removes slot `pos` of `state` from `job`'s watcher list and
+    /// releases the slot's unit of interest.
+    fn unwatch_locked(&self, shared: &mut Shared, state: &Arc<BatchState>, pos: usize, job: Job) {
+        if let std::collections::hash_map::Entry::Occupied(mut entry) = shared.watchers.entry(job) {
+            let before = entry.get().len();
+            entry
+                .get_mut()
+                .retain(|w| !(Arc::ptr_eq(&w.state, state) && w.pos == pos));
+            let removed = before - entry.get().len();
+            if entry.get().is_empty() {
+                entry.remove();
+            }
+            if removed > 0 {
+                if let Some(e) = shared.jobs.get_mut(&job) {
+                    e.interest = e.interest.saturating_sub(removed);
                 }
             }
+        }
+    }
+
+    /// Withdraws a job nothing live wants: *genuinely in the queue*
+    /// (live token unclaimed — a popped, mid-step job must complete,
+    /// or a later submission of the same job could run it twice
+    /// concurrently), zero watcher interest, no dependency waiters,
+    /// not pinned. The entry's state returns to `None`; its now-stale
+    /// token is skipped at dequeue, which also drops the entry once
+    /// the last token drains.
+    fn withdraw_if_orphan_locked(&self, shared: &mut Shared, job: Job) {
+        let Some(entry) = shared.jobs.get_mut(&job) else {
+            return;
+        };
+        if entry.interest == 0
+            && !entry.pinned
+            && entry.waiters.is_empty()
+            && matches!(entry.state, Some(JobState::Queued))
+            && entry.enqueued
+        {
+            entry.state = None;
+            entry.enqueued = false;
+        }
+    }
+
+    /// Drops a job this thread just claimed at dequeue but will not
+    /// execute (nothing live wants it): the claim is already consumed,
+    /// so clearing the state is safe — no other thread can be stepping
+    /// it.
+    fn skip_unwanted_locked(&self, shared: &mut Shared, job: Job) {
+        let Some(entry) = shared.jobs.get_mut(&job) else {
+            return;
+        };
+        entry.state = None;
+        if entry.tokens == 0 {
+            shared.jobs.remove(&job);
         }
     }
 
@@ -300,17 +548,12 @@ impl Scheduler {
     /// and deregisters its watchers, so the waiter returns instead of
     /// parking on a graph that can never progress.
     fn fail_stalled_locked(&self, shared: &mut Shared, state: &Arc<BatchState>) {
-        self.deregister_locked(shared, state);
-        let unfilled: Vec<usize> = {
-            let slots = state.slots.lock();
-            (0..slots.len()).filter(|&i| slots[i].is_none()).collect()
-        };
-        for pos in unfilled {
+        for (pos, job) in state.unresolved() {
+            self.unwatch_locked(shared, state, pos, job);
             state.fill(
                 pos,
                 Err(Error::Trap(format!(
-                    "evaluation stalled: no runnable jobs for {}",
-                    state.jobs[pos]
+                    "evaluation stalled: no runnable jobs for {job}"
                 ))),
             );
         }
@@ -321,6 +564,19 @@ impl Scheduler {
     /// resolved or dropped).
     pub fn watcher_count(&self) -> usize {
         self.shared.lock().watchers.values().map(Vec::len).sum()
+    }
+
+    /// Jobs currently queued for (or undergoing) execution. Withdrawn
+    /// jobs do not count: after cancelling the only ticket that wanted
+    /// a batch, a quiescent scheduler reports zero — the "no orphaned
+    /// queued work" half of the ticket-leak pin.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared
+            .lock()
+            .jobs
+            .values()
+            .filter(|e| matches!(e.state, Some(JobState::Queued)))
+            .count()
     }
 
     /// Discards all job state and any queued work.
@@ -335,12 +591,14 @@ impl Scheduler {
     pub fn reset(&self) {
         let mut shared = self.shared.lock();
         shared.jobs.clear();
-        shared.queue.clear();
+        for queue in &mut shared.queues {
+            queue.clear();
+        }
         let watchers = std::mem::take(&mut shared.watchers);
         for (job, entries) in watchers {
-            for (state, pos) in entries {
-                state.fill(
-                    pos,
+            for w in entries {
+                w.state.fill(
+                    w.pos,
                     Err(Error::Trap(format!(
                         "scheduler reset while {job} was in flight"
                     ))),
@@ -365,7 +623,7 @@ impl Scheduler {
                 entry.state,
                 Some(JobState::Done(_)) | Some(JobState::Failed(_))
             );
-            if finished && entry.waiters.is_empty() {
+            if finished && entry.waiters.is_empty() && entry.tokens == 0 {
                 shared.jobs.remove(&job);
             }
         }
@@ -384,6 +642,7 @@ impl Scheduler {
                 entry.state,
                 Some(JobState::Done(_)) | Some(JobState::Failed(_))
             ) || !entry.waiters.is_empty()
+                || entry.tokens > 0
         });
         before - shared.jobs.len()
     }
@@ -399,7 +658,10 @@ impl Scheduler {
     }
 
     /// Blocks until the job completes (requires a running [`WorkerPool`]
-    /// or another thread driving the queue).
+    /// or another thread driving the queue). The job should have been
+    /// submitted with [`submit`](Scheduler::submit), which pins it —
+    /// an unpinned job could be withdrawn by a cancellation and never
+    /// complete.
     pub fn wait(&self, job: Job) -> Result<Handle> {
         let mut shared = self.shared.lock();
         loop {
@@ -418,6 +680,104 @@ impl Scheduler {
         self.active_workers() == 0 && shared.inline_executing == 0
     }
 
+    /// Pops the next runnable job, highest tier first, skipping stale
+    /// tokens (withdrawn or already-moved-on jobs) and lazily expiring
+    /// deadline-passed watcher slots — the "expire at dequeue" half of
+    /// request-scoped submission. Returns `None` when every tier is
+    /// drained of runnable work.
+    fn pop_runnable_locked(&self, shared: &mut Shared) -> Option<Job> {
+        loop {
+            let job = shared.queues.iter_mut().find_map(VecDeque::pop_front)?;
+            let Some(entry) = shared.jobs.get_mut(&job) else {
+                continue; // Withdrawn and fully dropped: stale token.
+            };
+            entry.tokens = entry.tokens.saturating_sub(1);
+            if !(matches!(entry.state, Some(JobState::Queued)) && entry.enqueued) {
+                // Stale token: the job was withdrawn, is already being
+                // stepped by someone who claimed the live token, or has
+                // moved on entirely.
+                if entry.state.is_none()
+                    && entry.tokens == 0
+                    && entry.interest == 0
+                    && !entry.pinned
+                    && entry.waiters.is_empty()
+                {
+                    shared.jobs.remove(&job);
+                }
+                continue;
+            }
+            // Claim the live token: from here the job counts as being
+            // stepped (never withdrawable), not as queued.
+            entry.enqueued = false;
+            let wanted = entry.interest > 0 || entry.pinned || !entry.waiters.is_empty();
+            if shared.watchers.is_empty() {
+                // Fast path for the no-watched-batches case (plain
+                // `eval` inline driving): nothing can expire, so skip
+                // the per-pop watcher lookup on the microsecond path.
+                if wanted {
+                    return Some(job);
+                }
+                self.skip_unwanted_locked(shared, job);
+                continue;
+            }
+            if self.expire_at_dequeue_locked(shared, job) {
+                continue; // Every interest expired: dead work, skipped.
+            }
+            return Some(job);
+        }
+    }
+
+    /// Expires deadline-passed watcher slots of `job` at its dequeue,
+    /// failing them with `DeadlineExceeded`. Returns true when the
+    /// expiry left the job wanted by nothing live — the job is then
+    /// withdrawn (dead work is skipped, not executed).
+    fn expire_at_dequeue_locked(&self, shared: &mut Shared, job: Job) -> bool {
+        let now = self.clock.load(Ordering::Relaxed);
+        let mut expired_any = false;
+        if let std::collections::hash_map::Entry::Occupied(mut watchers) =
+            shared.watchers.entry(job)
+        {
+            let before = watchers.get().len();
+            watchers.get_mut().retain(|w| match w.state.deadline_us {
+                Some(deadline) if now > deadline => {
+                    w.state.fill(
+                        w.pos,
+                        Err(Error::DeadlineExceeded {
+                            deadline_us: deadline,
+                        }),
+                    );
+                    false
+                }
+                _ => true,
+            });
+            let removed = before - watchers.get().len();
+            if watchers.get().is_empty() {
+                watchers.remove();
+            }
+            if removed > 0 {
+                expired_any = true;
+                if let Some(e) = shared.jobs.get_mut(&job) {
+                    e.interest = e.interest.saturating_sub(removed);
+                }
+            }
+        }
+        if expired_any {
+            // Waiters of the expired batches may be parked; their
+            // predicate (batch done) just changed.
+            self.cv.notify_all();
+        }
+        let Some(entry) = shared.jobs.get_mut(&job) else {
+            return true;
+        };
+        if entry.interest == 0 && !entry.pinned && entry.waiters.is_empty() {
+            // Nothing live wants this job, and the dequeue claim is
+            // ours: withdraw instead of executing dead work.
+            self.skip_unwanted_locked(shared, job);
+            return true;
+        }
+        false
+    }
+
     /// Pops the next queued job, claiming executor status under the lock
     /// so a concurrent inline driver that finds the queue empty sees the
     /// in-flight step instead of declaring a stall. The returned
@@ -425,7 +785,7 @@ impl Scheduler {
     /// out of a panicking codelet, so a panic degrades to the stall
     /// error, never a parked-forever driver.
     fn pop_claimed<'a>(&'a self, shared: &mut Shared) -> Option<InlineClaim<'a>> {
-        let job = shared.queue.pop_front()?;
+        let job = self.pop_runnable_locked(shared)?;
         shared.inline_executing += 1;
         Some(InlineClaim {
             scheduler: self,
@@ -438,10 +798,10 @@ impl Scheduler {
     /// If worker threads are also draining the queue, this cooperates with
     /// them; when the queue is momentarily empty it waits for progress.
     /// Kept allocation-free separately from the watched-batch path
-    /// (`submit_watched` + `wait_batch`, which backs `Runtime::eval_many`
-    /// and the submission tickets) — this is the Fig. 7a microsecond
-    /// path — with the subtle parts (executor claims, the stall
-    /// predicate) shared between the two loops.
+    /// (`submit_watched_with` + `wait_batch`, which backs
+    /// `Runtime::eval_many` and the submission tickets) — this is the
+    /// Fig. 7a microsecond path — with the subtle parts (executor
+    /// claims, the stall predicate) shared between the two loops.
     pub fn run_inline(&self, root: Job) -> Result<Handle> {
         self.submit(root);
         loop {
@@ -508,7 +868,10 @@ impl Scheduler {
 
     /// Pops and executes one job; returns false if the queue was empty.
     fn try_drive_one(&self) -> bool {
-        let job = self.shared.lock().queue.pop_front();
+        let job = {
+            let mut shared = self.shared.lock();
+            self.pop_runnable_locked(&mut shared)
+        };
         match job {
             Some(job) => {
                 self.execute(job);
@@ -541,6 +904,12 @@ impl Scheduler {
             Ok(Step::Done(h)) => self.complete(&mut shared, job, Ok(h)),
             Err(e) => self.complete(&mut shared, job, Err(e)),
             Ok(Step::Deps(deps)) => {
+                // Dependencies run at the tier of the job that needs them.
+                let tier = shared
+                    .jobs
+                    .get(&job)
+                    .map(|e| e.priority)
+                    .unwrap_or_default();
                 let mut pending = 0usize;
                 let mut failed: Option<Error> = None;
                 for dep in deps {
@@ -551,7 +920,7 @@ impl Scheduler {
                             break;
                         }
                         _ => {
-                            self.submit_locked(&mut shared, dep);
+                            self.enqueue_locked(&mut shared, dep, tier, false);
                             let entry = shared.jobs.entry(dep).or_default();
                             entry.waiters.push(job);
                             pending += 1;
@@ -579,8 +948,7 @@ impl Scheduler {
                             ))),
                         );
                     } else {
-                        entry.state = Some(JobState::Queued);
-                        shared.queue.push_back(job);
+                        Self::requeue_locked(&mut shared, job);
                     }
                 } else {
                     let entry = shared.jobs.entry(job).or_default();
@@ -595,7 +963,9 @@ impl Scheduler {
 
     /// Marks a job finished and wakes its (transitive) waiters, filling
     /// the slots of any watched batches as it goes (the completion
-    /// notification hook behind submission tickets).
+    /// notification hook behind submission tickets). A strict slot's
+    /// watcher does not fill on its eval stage — it chains onto the
+    /// `Force` of the produced value, re-registering on that job.
     fn complete(&self, shared: &mut Shared, job: Job, result: Result<Handle>) {
         // Worklist of (job, result) so failure propagation is iterative.
         let mut worklist: Vec<(Job, Result<Handle>)> = vec![(job, result)];
@@ -605,12 +975,29 @@ impl Scheduler {
                 Ok(h) => JobState::Done(*h),
                 Err(e) => JobState::Failed(e.clone()),
             });
+            let waiters = std::mem::take(&mut entry.waiters);
             if let Some(watchers) = shared.watchers.remove(&job) {
-                for (state, pos) in watchers {
-                    state.fill(pos, result.clone());
+                if let Some(e) = shared.jobs.get_mut(&job) {
+                    e.interest = e.interest.saturating_sub(watchers.len());
+                }
+                for w in watchers {
+                    match (&result, w.then_force) {
+                        (Ok(h), true) => {
+                            // Strict chain: the slot now rides the
+                            // deep-force of the evaluated value.
+                            self.watch_job_locked(
+                                shared,
+                                &w.state,
+                                w.pos,
+                                Job::Force(*h),
+                                false,
+                                true,
+                            );
+                        }
+                        _ => w.state.fill(w.pos, result.clone()),
+                    }
                 }
             }
-            let waiters = std::mem::take(&mut entry.waiters);
             for waiter in waiters {
                 match &result {
                     Ok(_) => {
@@ -618,8 +1005,7 @@ impl Scheduler {
                         if let Some(JobState::Waiting { pending }) = &mut w.state {
                             *pending -= 1;
                             if *pending == 0 {
-                                w.state = Some(JobState::Queued);
-                                shared.queue.push_back(waiter);
+                                Self::requeue_locked(shared, waiter);
                             }
                         }
                     }
@@ -726,7 +1112,7 @@ impl Scheduler {
                 if self.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if shared.queue.is_empty() {
+                if shared.queues.iter().all(VecDeque::is_empty) {
                     self.cv.wait(&mut shared);
                 }
             }

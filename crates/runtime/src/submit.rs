@@ -2,19 +2,25 @@
 //!
 //! `Runtime` implements `fix_core::api::SubmitApi` directly: a
 //! submitted batch becomes a watched scheduler batch
-//! ([`Scheduler::submit_watched`]) whose completion slots are filled by
-//! the scheduler's own completion notifications — one job-map lock
-//! acquisition at submission, no caller thread parked, no polling. The
-//! [`RuntimePending`] here is the glue between that watched batch and
-//! the backend-agnostic ticket machinery in `fix_core`.
+//! ([`Scheduler::submit_watched_with`]) whose completion slots are
+//! filled by the scheduler's own completion notifications — one job-map
+//! lock acquisition at submission, no caller thread parked, no polling.
+//! The [`RuntimePending`] here is the glue between that watched batch
+//! and the backend-agnostic ticket machinery in `fix_core`.
 //!
-//! Value handles never touch the scheduler (they evaluate to
-//! themselves), so the pending batch carries a slot plan mapping each
-//! requested position either to its value or to a watched job slot.
+//! The submission's `SubmitOptions` map onto the scheduler directly:
+//! the batch's priority picks the tier its jobs enqueue at, its
+//! deadline rides in the watched batch (expired lazily at dequeue), and
+//! [`Mode::Strict`](fix_core::api::Mode) turns each slot into a watched
+//! eval→force chain. Under WHNF, value handles never touch the
+//! scheduler (they evaluate to themselves), so the pending batch
+//! carries a slot plan mapping each requested position either to its
+//! value or to a watched job slot; under strict evaluation *every*
+//! handle is watched — even a value must be deep-forced.
 
 use crate::engine::Job;
 use crate::scheduler::{BatchState, Scheduler};
-use fix_core::api::{BatchTicket, PendingBatch};
+use fix_core::api::{BatchTicket, Mode, PendingBatch, SubmitOptions};
 use fix_core::error::Result;
 use fix_core::handle::Handle;
 use std::sync::Arc;
@@ -22,7 +28,8 @@ use std::time::Duration;
 
 /// Where each requested position gets its answer.
 enum Slot {
-    /// A value handle: evaluates to itself, scheduler never involved.
+    /// A value handle under WHNF: evaluates to itself, scheduler never
+    /// involved.
     Value(Handle),
     /// Slot `i` of the watched scheduler batch.
     Job(usize),
@@ -66,33 +73,60 @@ impl PendingBatch for RuntimePending {
         self.scheduler.advance_batch(&self.state, timeout);
     }
 
-    fn detach(&self) {
-        self.scheduler.detach_batch(&self.state);
+    fn cancel(&self) {
+        self.scheduler.cancel_batch(&self.state);
     }
 }
 
-/// Builds the ticket for a batch of handles: values resolve eagerly,
-/// everything else becomes one watched scheduler batch submitted under
-/// a single lock acquisition.
-pub(crate) fn submit_many(scheduler: &Arc<Scheduler>, handles: &[Handle]) -> BatchTicket {
-    let mut jobs = Vec::new();
+/// Builds the ticket for a batch of handles under request-scoped
+/// options: WHNF values resolve eagerly, everything else becomes one
+/// watched scheduler batch submitted under a single lock acquisition —
+/// strict slots as eval→force chains, at the batch's priority tier,
+/// carrying the batch's deadline.
+pub(crate) fn submit_with(
+    scheduler: &Arc<Scheduler>,
+    handles: &[Handle],
+    options: SubmitOptions,
+) -> BatchTicket {
+    // A batch submitted after its deadline already passed is dead on
+    // arrival — every backend fails it whole, uniformly, before any
+    // slot (even a memoized or value slot) resolves.
+    if let Some(deadline_us) = options.deadline_us {
+        if scheduler.virtual_now() > deadline_us {
+            return BatchTicket::ready(
+                handles
+                    .iter()
+                    .map(|_| Err(fix_core::Error::DeadlineExceeded { deadline_us }))
+                    .collect(),
+            );
+        }
+    }
+    let mut jobs: Vec<(Job, bool)> = Vec::new();
     let plan: Vec<Slot> = handles
         .iter()
-        .map(|&h| {
-            if h.is_value() {
-                Slot::Value(h)
-            } else {
-                let i = jobs.len();
-                jobs.push(Job::Eval(h));
-                Slot::Job(i)
+        .map(|&h| match options.mode {
+            Mode::Whnf if h.is_value() => Slot::Value(h),
+            Mode::Whnf => {
+                jobs.push((Job::Eval(h), false));
+                Slot::Job(jobs.len() - 1)
+            }
+            Mode::Strict => {
+                // A value still needs its deep force; a thunk is the
+                // full chain: eval, then force the produced value.
+                if h.is_value() {
+                    jobs.push((Job::Force(h), false));
+                } else {
+                    jobs.push((Job::Eval(h), true));
+                }
+                Slot::Job(jobs.len() - 1)
             }
         })
         .collect();
     if jobs.is_empty() {
-        // All values: the ticket is born resolved.
+        // All WHNF values: the ticket is born resolved.
         return BatchTicket::ready(handles.iter().map(|&h| Ok(h)).collect());
     }
-    let state = scheduler.submit_watched(&jobs);
+    let state = scheduler.submit_watched_with(&jobs, options.deadline_us, options.priority);
     BatchTicket::from_pending(
         Arc::new(RuntimePending {
             scheduler: Arc::clone(scheduler),

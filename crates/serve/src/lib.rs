@@ -19,8 +19,10 @@
 //! * [`tenant`] — per-tenant request mixes drawn from the repo's real
 //!   workloads (native `add`, FixVM `fib`, `count-string` shards, the
 //!   SeBS `dynamic-html` port), minted as ordinary Fix thunks;
-//! * [`queue`] — admission control: bounded per-tenant FIFO queues with
-//!   weighted-fair (deficit round robin) dispatch and per-tenant drop
+//! * [`queue`] — admission control and SLO dispatch: bounded per-tenant
+//!   FIFO queues with two-level scheduling — strict [`Priority`] tiers,
+//!   earliest-deadline-first within a tier, weighted-fair (deficit
+//!   round robin) among equals — plus per-tenant drop/expiry
 //!   accounting;
 //! * [`telemetry`] — mergeable fixed-bucket log-scale latency
 //!   histograms with deterministic p50/p90/p99/p999 extraction.
@@ -83,8 +85,9 @@ pub mod server;
 pub mod telemetry;
 pub mod tenant;
 
+pub use fix_core::api::Priority;
 pub use loadgen::{Arrival, ArrivalProcess, Micros};
-pub use queue::{QueuedRequest, TenantQueues};
+pub use queue::{Dispatch, QueuedRequest, TenantClass, TenantQueues};
 pub use server::{serve, DriverReport, ServeConfig, ServeReport, TenantReport};
 pub use telemetry::LatencyHistogram;
-pub use tenant::{RequestFactory, RequestKind, TenantSpec};
+pub use tenant::{RequestFactory, RequestKind, SloClass, TenantSpec};

@@ -77,7 +77,7 @@ impl ArrivalProcess {
                 let mut out = Vec::new();
                 let mut t = 0;
                 while t < duration_us {
-                    out.extend(std::iter::repeat(t).take(*burst as usize));
+                    out.extend(std::iter::repeat_n(t, *burst as usize));
                     t += period_us;
                 }
                 out

@@ -1,14 +1,32 @@
-//! Admission control and weighted-fair queueing.
+//! Admission control and two-level SLO dispatch.
 //!
 //! Each tenant gets a bounded FIFO queue; an arrival to a full queue is
 //! *shed* and charged to that tenant's drop counter (per-tenant
 //! isolation: one tenant's burst cannot grow another tenant's queue).
-//! Drivers drain the queues through a deficit-round-robin dispatcher
-//! whose quantum is the tenant's weight, so over any busy interval
-//! tenant `i` receives service proportional to `weight_i` — the classic
-//! weighted-fair discipline, at request granularity.
+//!
+//! Dispatch is two-level, driven by each tenant's
+//! [`SloClass`](crate::tenant::SloClass):
+//!
+//! 1. **Strict priority across tiers** — a batch is always assembled
+//!    from the highest [`Priority`] tier with backlogged requests;
+//!    lower tiers wait.
+//! 2. **EDF within a tier** — when any tenant of the serving tier
+//!    carries a deadline, requests are taken earliest-absolute-deadline
+//!    first (deadline-free tenants rank last). When no tenant of the
+//!    tier has a deadline, the two request streams are
+//!    indistinguishable to EDF and dispatch falls back to
+//!    **deficit round robin** weighted by the tenants' shares — the
+//!    classic weighted-fair discipline, and exactly the pre-SLO
+//!    behavior for the default (single-tier, no-deadline)
+//!    configuration.
+//!
+//! Expiry is part of dispatch: a queued request whose absolute deadline
+//! the virtual clock has passed is *expired* — returned separately from
+//! the batch so the caller can account it as `DeadlineExceeded` work
+//! the platform withdrew instead of served.
 
 use crate::loadgen::Micros;
+use fix_core::api::Priority;
 use fix_core::handle::Handle;
 use std::collections::VecDeque;
 
@@ -23,12 +41,42 @@ pub struct QueuedRequest {
     pub thunk: Handle,
     /// Modeled service time, µs.
     pub service_us: Micros,
+    /// Absolute expiry instant on the virtual clock, µs (`None`: never
+    /// expires). Within one tenant deadlines are monotone — FIFO
+    /// arrivals plus a constant relative deadline — which is what makes
+    /// expiry a pop-from-the-front scan.
+    pub deadline_us: Option<Micros>,
 }
 
-/// Per-tenant bounded FIFO queues with weighted-fair batch dispatch.
+/// The per-tenant dispatch parameters [`TenantQueues`] schedules by:
+/// the weighted-fair share plus the SLO tier and relative deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantClass {
+    /// Weighted-fair share within the tenant's tier.
+    pub weight: u32,
+    /// Strict-priority dispatch tier.
+    pub priority: Priority,
+    /// Relative deadline (µs from arrival) the tenant's requests carry.
+    pub deadline_us: Option<Micros>,
+}
+
+/// One assembled dispatch decision: the batch to serve (all from one
+/// priority tier) plus the requests that expired instead of serving.
+pub struct Dispatch {
+    /// The requests to serve, in dispatch order.
+    pub requests: Vec<QueuedRequest>,
+    /// Requests whose deadline passed while queued: withdrawn, not
+    /// served, to be accounted as expired.
+    pub expired: Vec<QueuedRequest>,
+    /// The tier the batch was assembled from (the whole batch shares
+    /// it, so the driver can submit it at that priority).
+    pub priority: Priority,
+}
+
+/// Per-tenant bounded FIFO queues with two-level SLO dispatch.
 pub struct TenantQueues {
     queues: Vec<VecDeque<QueuedRequest>>,
-    weights: Vec<u32>,
+    classes: Vec<TenantClass>,
     capacity: usize,
     deficits: Vec<u64>,
     /// Rotating round-robin start, so equal-weight tenants alternate
@@ -42,18 +90,18 @@ pub struct TenantQueues {
 }
 
 impl TenantQueues {
-    /// Creates queues for tenants with the given `weights`, each
-    /// bounded at `capacity` waiting requests.
-    pub fn new(weights: Vec<u32>, capacity: usize) -> TenantQueues {
+    /// Creates queues for tenants with the given dispatch `classes`,
+    /// each bounded at `capacity` waiting requests.
+    pub fn new(classes: Vec<TenantClass>, capacity: usize) -> TenantQueues {
         assert!(capacity > 0, "queue capacity must be positive");
         assert!(
-            weights.iter().all(|&w| w > 0),
+            classes.iter().all(|c| c.weight > 0),
             "tenant weights must be positive"
         );
-        let n = weights.len();
+        let n = classes.len();
         TenantQueues {
             queues: (0..n).map(|_| VecDeque::new()).collect(),
-            weights,
+            classes,
             capacity,
             deficits: vec![0; n],
             cursor: 0,
@@ -61,6 +109,22 @@ impl TenantQueues {
             offered: vec![0; n],
             dropped: vec![0; n],
         }
+    }
+
+    /// Creates single-tier queues from bare weights (normal priority,
+    /// no deadlines): the plain weighted-fair configuration.
+    pub fn weighted(weights: Vec<u32>, capacity: usize) -> TenantQueues {
+        Self::new(
+            weights
+                .into_iter()
+                .map(|weight| TenantClass {
+                    weight,
+                    priority: Priority::Normal,
+                    deadline_us: None,
+                })
+                .collect(),
+            capacity,
+        )
     }
 
     /// True when the tenant's queue is at capacity — the admission
@@ -106,25 +170,111 @@ impl TenantQueues {
         self.queues[tenant].len()
     }
 
-    /// Assembles the next dispatch batch of at most `max` requests by
-    /// deficit round robin: each pass over the tenants credits every
-    /// backlogged tenant `weight` units and drains up to its accumulated
-    /// deficit, so service converges to the weight ratios whenever
-    /// several tenants stay backlogged. An idle tenant's deficit resets
-    /// — weighted fairness shares *capacity*, it does not bank credit
-    /// for traffic never offered.
-    pub fn next_batch(&mut self, max: usize) -> Vec<QueuedRequest> {
+    /// Assembles the next dispatch of at most `max` requests at virtual
+    /// time `now`: expires deadline-passed work, then serves the
+    /// highest backlogged tier — EDF when the tier carries deadlines,
+    /// weighted deficit round robin when it does not (see the module
+    /// docs for the discipline).
+    pub fn next_dispatch(&mut self, max: usize, now: Micros) -> Dispatch {
+        let expired = self.expire(now);
+        let Some(tier) = self.serving_tier() else {
+            return Dispatch {
+                requests: Vec::new(),
+                expired,
+                priority: Priority::Normal,
+            };
+        };
+        let tier_has_deadlines = (0..self.queues.len()).any(|t| {
+            self.classes[t].priority == tier
+                && self.classes[t].deadline_us.is_some()
+                && !self.queues[t].is_empty()
+        });
+        let requests = if tier_has_deadlines {
+            self.next_batch_edf(max, tier)
+        } else {
+            self.next_batch_drr(max, tier)
+        };
+        Dispatch {
+            requests,
+            expired,
+            priority: tier,
+        }
+    }
+
+    /// Pops every request whose absolute deadline `now` has passed.
+    /// Deadlines are monotone within a tenant's FIFO queue, so this
+    /// only ever looks at queue fronts.
+    fn expire(&mut self, now: Micros) -> Vec<QueuedRequest> {
+        let mut expired = Vec::new();
+        for queue in &mut self.queues {
+            while let Some(front) = queue.front() {
+                match front.deadline_us {
+                    Some(deadline) if now > deadline => {
+                        expired.push(queue.pop_front().expect("front exists"));
+                        self.queued -= 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        expired
+    }
+
+    /// The highest (first-dispatched) tier with backlogged requests.
+    fn serving_tier(&self) -> Option<Priority> {
+        (0..self.queues.len())
+            .filter(|&t| !self.queues[t].is_empty())
+            .map(|t| self.classes[t].priority)
+            .min()
+    }
+
+    /// Earliest-deadline-first assembly across the tier's tenants:
+    /// repeatedly take the queue front with the smallest absolute
+    /// deadline (deadline-free tenants rank last; exact ties break by
+    /// rotation offset, so equal tenants alternate across batches).
+    fn next_batch_edf(&mut self, max: usize, tier: Priority) -> Vec<QueuedRequest> {
+        let n = self.queues.len();
+        let mut batch = Vec::new();
+        while batch.len() < max {
+            let pick = (0..n)
+                .filter(|&t| self.classes[t].priority == tier && !self.queues[t].is_empty())
+                .min_by_key(|&t| {
+                    let deadline = self.queues[t]
+                        .front()
+                        .and_then(|r| r.deadline_us)
+                        .unwrap_or(Micros::MAX);
+                    (deadline, (t + n - self.cursor % n) % n)
+                });
+            let Some(t) = pick else { break };
+            let req = self.queues[t].pop_front().expect("queue is non-empty");
+            self.queued -= 1;
+            batch.push(req);
+        }
+        self.cursor = (self.cursor + 1) % n.max(1);
+        batch
+    }
+
+    /// Deficit-round-robin assembly across the tier's tenants: each
+    /// pass credits every backlogged tenant `weight` units and drains
+    /// up to its accumulated deficit, so service converges to the
+    /// weight ratios whenever several tenants stay backlogged. An idle
+    /// tenant's deficit resets — weighted fairness shares *capacity*,
+    /// it does not bank credit for traffic never offered.
+    fn next_batch_drr(&mut self, max: usize, tier: Priority) -> Vec<QueuedRequest> {
         let n = self.queues.len();
         let mut batch = Vec::new();
         while batch.len() < max && self.queued > 0 {
             let mut progressed = false;
             for k in 0..n {
                 let t = (self.cursor + k) % n;
+                if self.classes[t].priority != tier {
+                    continue;
+                }
                 if self.queues[t].is_empty() {
                     self.deficits[t] = 0;
                     continue;
                 }
-                self.deficits[t] += self.weights[t] as u64;
+                self.deficits[t] += self.classes[t].weight as u64;
                 while self.deficits[t] > 0 && batch.len() < max {
                     match self.queues[t].pop_front() {
                         Some(req) => {
@@ -147,6 +297,13 @@ impl TenantQueues {
         self.cursor = (self.cursor + 1) % n.max(1);
         batch
     }
+
+    /// Assembles the next dispatch batch of at most `max` requests with
+    /// no deadline expiry — the plain weighted-fair entry point, kept
+    /// for single-tier callers and tests.
+    pub fn next_batch(&mut self, max: usize) -> Vec<QueuedRequest> {
+        self.next_dispatch(max, 0).requests
+    }
 }
 
 #[cfg(test)]
@@ -160,12 +317,20 @@ mod tests {
             tenant,
             thunk: Blob::from_u64(arrival).handle(),
             service_us: 10,
+            deadline_us: None,
+        }
+    }
+
+    fn deadlined(tenant: usize, arrival: Micros, deadline: Micros) -> QueuedRequest {
+        QueuedRequest {
+            deadline_us: Some(deadline),
+            ..req(tenant, arrival)
         }
     }
 
     #[test]
     fn bounded_queues_shed_and_account_per_tenant() {
-        let mut q = TenantQueues::new(vec![1, 1], 2);
+        let mut q = TenantQueues::weighted(vec![1, 1], 2);
         assert!(q.offer(req(0, 1)));
         assert!(q.offer(req(0, 2)));
         assert!(!q.offer(req(0, 3)), "third request exceeds capacity 2");
@@ -180,8 +345,8 @@ mod tests {
         // The cheap path (at_capacity + shed) and the full offer() path
         // must agree on counters, so callers can shed before building a
         // request without perturbing the telemetry.
-        let mut a = TenantQueues::new(vec![1], 2);
-        let mut b = TenantQueues::new(vec![1], 2);
+        let mut a = TenantQueues::weighted(vec![1], 2);
+        let mut b = TenantQueues::weighted(vec![1], 2);
         for i in 0..5 {
             a.offer(req(0, i));
             if b.at_capacity(0) {
@@ -197,7 +362,7 @@ mod tests {
 
     #[test]
     fn dispatch_is_fifo_within_a_tenant() {
-        let mut q = TenantQueues::new(vec![1], 10);
+        let mut q = TenantQueues::weighted(vec![1], 10);
         for i in 0..5 {
             q.offer(req(0, i));
         }
@@ -209,7 +374,7 @@ mod tests {
     #[test]
     fn service_follows_weights_under_backlog() {
         // Tenant 0 (weight 3) and tenant 1 (weight 1), both saturated.
-        let mut q = TenantQueues::new(vec![3, 1], 1000);
+        let mut q = TenantQueues::weighted(vec![3, 1], 1000);
         for i in 0..400 {
             q.offer(req(0, i));
             q.offer(req(1, i));
@@ -230,11 +395,128 @@ mod tests {
 
     #[test]
     fn batches_exhaust_a_lone_tenant() {
-        let mut q = TenantQueues::new(vec![2, 5], 100);
+        let mut q = TenantQueues::weighted(vec![2, 5], 100);
         for i in 0..7 {
             q.offer(req(1, i));
         }
         assert_eq!(q.next_batch(32).len(), 7, "no other tenant to wait for");
         assert!(q.next_batch(32).is_empty());
+    }
+
+    #[test]
+    fn higher_tiers_preempt_lower_ones() {
+        let mut q = TenantQueues::new(
+            vec![
+                TenantClass {
+                    weight: 1,
+                    priority: Priority::Batch,
+                    deadline_us: None,
+                },
+                TenantClass {
+                    weight: 1,
+                    priority: Priority::Latency,
+                    deadline_us: None,
+                },
+            ],
+            100,
+        );
+        for i in 0..4 {
+            q.offer(req(0, i));
+            q.offer(req(1, i));
+        }
+        let d = q.next_dispatch(4, 100);
+        assert_eq!(d.priority, Priority::Latency);
+        assert!(
+            d.requests.iter().all(|r| r.tenant == 1),
+            "the latency tier must be served before the batch tier"
+        );
+        let d = q.next_dispatch(4, 100);
+        assert_eq!(d.priority, Priority::Batch);
+        assert!(d.requests.iter().all(|r| r.tenant == 0));
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline_within_a_tier() {
+        let mut q = TenantQueues::new(
+            vec![
+                TenantClass {
+                    weight: 1,
+                    priority: Priority::Latency,
+                    deadline_us: Some(100),
+                },
+                TenantClass {
+                    weight: 1,
+                    priority: Priority::Latency,
+                    deadline_us: Some(10),
+                },
+            ],
+            100,
+        );
+        // Tenant 0 arrived first but has the laxer deadline.
+        q.offer(deadlined(0, 0, 100));
+        q.offer(deadlined(1, 5, 15));
+        q.offer(deadlined(0, 20, 120));
+        let order: Vec<usize> = q
+            .next_dispatch(3, 0)
+            .requests
+            .iter()
+            .map(|r| r.tenant)
+            .collect();
+        assert_eq!(order, vec![1, 0, 0], "earliest absolute deadline first");
+    }
+
+    #[test]
+    fn expired_requests_are_withdrawn_not_served() {
+        let mut q = TenantQueues::new(
+            vec![TenantClass {
+                weight: 1,
+                priority: Priority::Latency,
+                deadline_us: Some(10),
+            }],
+            100,
+        );
+        q.offer(deadlined(0, 0, 10));
+        q.offer(deadlined(0, 50, 60));
+        let d = q.next_dispatch(8, 30); // The first deadline has passed.
+        assert_eq!(d.expired.len(), 1);
+        assert_eq!(d.expired[0].arrival_us, 0);
+        assert_eq!(d.requests.len(), 1);
+        assert_eq!(d.requests[0].arrival_us, 50);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn default_classes_match_plain_weighted_queues() {
+        // A default-class config must dispatch exactly like the bare
+        // weighted constructor — the bit-identical-tables guarantee for
+        // configurations that never opt into SLOs.
+        let classes = vec![
+            TenantClass {
+                weight: 3,
+                priority: Priority::Normal,
+                deadline_us: None,
+            },
+            TenantClass {
+                weight: 1,
+                priority: Priority::Normal,
+                deadline_us: None,
+            },
+        ];
+        let mut a = TenantQueues::new(classes, 50);
+        let mut b = TenantQueues::weighted(vec![3, 1], 50);
+        for i in 0..40 {
+            a.offer(req(i as usize % 2, i));
+            b.offer(req(i as usize % 2, i));
+        }
+        for _ in 0..6 {
+            let da: Vec<Micros> = a
+                .next_dispatch(8, 1_000)
+                .requests
+                .iter()
+                .map(|r| r.arrival_us)
+                .collect();
+            let db: Vec<Micros> = b.next_batch(8).iter().map(|r| r.arrival_us).collect();
+            assert_eq!(da, db);
+        }
     }
 }

@@ -5,23 +5,31 @@
 //! A serve run has two synchronized halves:
 //!
 //! 1. **Virtual time.** Arrivals (from the load generator) flow through
-//!    admission and the weighted-fair queues into batches served by `N`
-//!    virtual drivers, under a deterministic per-request service model
+//!    admission and the two-level SLO dispatcher (strict
+//!    [`Priority`] tiers, EDF within a tier, deficit round robin among
+//!    equals — see [`TenantQueues`] for the discipline) into
+//!    batches served by `N` virtual drivers, under a deterministic
+//!    per-request service model
 //!    ([`RequestKind::cold_service_us`](crate::tenant::RequestKind::cold_service_us)).
-//!    This half produces the
-//!    latency/occupancy/drop telemetry — it is a discrete-event
-//!    queueing simulation, so two runs with the same seed print
-//!    identical tables (the property CI asserts).
+//!    Requests whose SLO deadline passes in the queue are *expired* at
+//!    dispatch — withdrawn and accounted, never executed. This half
+//!    produces the latency/occupancy/drop/expiry telemetry — it is a
+//!    discrete-event queueing simulation, so two runs with the same
+//!    seed print identical tables (the property CI asserts).
 //! 2. **Real execution.** The exact batches the virtual drivers served
 //!    are then drained by `N` real OS threads sharing one backend.
 //!    Each driver keeps up to [`ServeConfig::inflight`] batches in
-//!    flight through `submit_many` — submitting batch *k+1* while *k*
-//!    executes — and settles completions in order with
-//!    [`BatchTicket::wait`]. With `inflight: 1` this degenerates to the
-//!    old blocking `eval_many` loop; with a wider window, admission
-//!    overlaps execution (the decoupling the submission API exists
-//!    for). Every result (and error) in the report comes from a real
-//!    evaluation.
+//!    flight through [`SubmitApi::submit_with`] — submitting batch
+//!    *k+1* while *k* executes, each batch at the priority tier it was
+//!    dispatched from (expiry was already decided on the virtual clock,
+//!    so the real submissions carry no deadline) — and settles
+//!    completions in order with [`BatchTicket::wait`]. With
+//!    `inflight: 1` this degenerates to the old blocking `eval_many`
+//!    loop; with a wider window, admission overlaps execution (the
+//!    decoupling the submission API exists for). Every result (and
+//!    error) in the report comes from a real evaluation, with
+//!    `Cancelled`/`DeadlineExceeded` outcomes accounted as withdrawn
+//!    work rather than guest faults.
 //!
 //! Splitting the clock from the execution is what reconciles "real
 //! threads, real evaluations" with "bit-identical tables": thread
@@ -33,11 +41,11 @@
 //! deterministic tables.
 
 use crate::loadgen::{merge_timelines, tenant_seed, Arrival, Micros};
-use crate::queue::{QueuedRequest, TenantQueues};
+use crate::queue::{QueuedRequest, TenantClass, TenantQueues};
 use crate::telemetry::LatencyHistogram;
 use crate::tenant::{draw_kind, RequestFactory, TenantSpec};
-use fix_core::api::{BatchTicket, InvocationApi, SubmitApi};
-use fix_core::error::Result;
+use fix_core::api::{BatchTicket, InvocationApi, Priority, SubmitApi, SubmitOptions};
+use fix_core::error::{Error, Result};
 use fix_core::handle::Handle;
 use std::collections::{HashSet, VecDeque};
 
@@ -109,6 +117,8 @@ impl ServeConfig {
 pub struct TenantReport {
     /// Tenant name.
     pub name: String,
+    /// The tenant's SLO class label (priority tier) for the table.
+    pub class: &'static str,
     /// Arrivals generated for this tenant.
     pub offered: u64,
     /// Arrivals admitted past the bounded queue.
@@ -119,6 +129,14 @@ pub struct TenantReport {
     pub ok: u64,
     /// Requests whose real evaluation returned an error.
     pub errors: u64,
+    /// Admitted requests expired instead of served: their SLO deadline
+    /// passed while they queued, and dispatch withdrew them
+    /// (`Error::DeadlineExceeded`) rather than burning a driver on dead
+    /// work. Accounted separately from `dropped` (shed at admission).
+    pub expired: u64,
+    /// Admitted requests whose submission was cancelled mid-flight
+    /// (`Error::Cancelled`) — withdrawn work, not an evaluation error.
+    pub cancelled: u64,
     /// Virtual queueing + service latency of admitted requests.
     pub latency: LatencyHistogram,
 }
@@ -190,6 +208,16 @@ impl ServeReport {
     pub fn total_dropped(&self) -> u64 {
         self.tenants.iter().map(|t| t.dropped).sum()
     }
+
+    /// Total admitted requests expired (deadline passed in queue).
+    pub fn total_expired(&self) -> u64 {
+        self.tenants.iter().map(|t| t.expired).sum()
+    }
+
+    /// Total admitted requests cancelled mid-flight.
+    pub fn total_cancelled(&self) -> u64 {
+        self.tenants.iter().map(|t| t.cancelled).sum()
+    }
 }
 
 impl std::fmt::Display for ServeReport {
@@ -198,11 +226,13 @@ impl std::fmt::Display for ServeReport {
         let (p50, p90, p99, p999) = total.tail_summary();
         writeln!(
             f,
-            "served {} requests in {:.3} s virtual ({:.0} req/s), {} dropped",
+            "served {} requests in {:.3} s virtual ({:.0} req/s), {} dropped, {} expired, {} cancelled",
             self.completed,
             self.makespan_us as f64 / 1e6,
             self.throughput_rps(),
             self.total_dropped(),
+            self.total_expired(),
+            self.total_cancelled(),
         )?;
         writeln!(
             f,
@@ -211,20 +241,35 @@ impl std::fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
-            "{:<12} {:>8} {:>8} {:>7} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8}",
-            "tenant", "offered", "admitted", "dropped", "ok", "err", "p50", "p99", "p999", "mean"
+            "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>6} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8}",
+            "tenant",
+            "class",
+            "offered",
+            "admitted",
+            "dropped",
+            "ok",
+            "err",
+            "expired",
+            "cancl",
+            "p50",
+            "p99",
+            "p999",
+            "mean"
         )?;
         for t in &self.tenants {
             let (tp50, _, tp99, tp999) = t.latency.tail_summary();
             writeln!(
                 f,
-                "{:<12} {:>8} {:>8} {:>7} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8.0}",
+                "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>6} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8.0}",
                 t.name,
+                t.class,
                 t.offered,
                 t.admitted,
                 t.dropped,
                 t.ok,
                 t.errors,
+                t.expired,
+                t.cancelled,
                 tp50,
                 tp99,
                 tp999,
@@ -248,9 +293,41 @@ impl std::fmt::Display for ServeReport {
     }
 }
 
-/// A virtual driver's planned batch: the requests it served, in order.
+/// Per-tenant outcome counters one driver thread accumulates while
+/// settling its executed batches.
+struct Tally {
+    ok: Vec<u64>,
+    errors: Vec<u64>,
+    expired: Vec<u64>,
+    cancelled: Vec<u64>,
+}
+
+impl Tally {
+    fn new(n: usize) -> Tally {
+        Tally {
+            ok: vec![0; n],
+            errors: vec![0; n],
+            expired: vec![0; n],
+            cancelled: vec![0; n],
+        }
+    }
+
+    fn absorb(&mut self, other: &Tally) {
+        for t in 0..self.ok.len() {
+            self.ok[t] += other.ok[t];
+            self.errors[t] += other.errors[t];
+            self.expired[t] += other.expired[t];
+            self.cancelled[t] += other.cancelled[t];
+        }
+    }
+}
+
+/// A virtual driver's planned batch: the requests it served, in order,
+/// and the SLO tier the whole batch was assembled from (two-level
+/// dispatch never mixes tiers in one batch).
 struct PlannedBatch {
     requests: Vec<QueuedRequest>,
+    priority: Priority,
 }
 
 /// Runs the full serve pipeline against `rt`: generate traffic, admit
@@ -315,8 +392,16 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
     // ------------------------------------------------------------------
     // Virtual-time admission + dispatch simulation.
     // ------------------------------------------------------------------
-    let weights: Vec<u32> = cfg.tenants.iter().map(|t| t.weight).collect();
-    let mut queues = TenantQueues::new(weights, cfg.queue_capacity);
+    let classes: Vec<TenantClass> = cfg
+        .tenants
+        .iter()
+        .map(|t| TenantClass {
+            weight: t.weight,
+            priority: t.slo.priority,
+            deadline_us: t.slo.deadline_us,
+        })
+        .collect();
+    let mut queues = TenantQueues::new(classes, cfg.queue_capacity);
     let mut free: Vec<Micros> = vec![0; cfg.drivers];
     let mut plans: Vec<Vec<PlannedBatch>> = (0..cfg.drivers).map(|_| Vec::new()).collect();
     let mut drivers: Vec<DriverReport> = (0..cfg.drivers)
@@ -331,6 +416,7 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         .map(|_| LatencyHistogram::new())
         .collect();
     let mut admitted_per_tenant = vec![0u64; cfg.tenants.len()];
+    let mut expired_per_tenant = vec![0u64; cfg.tenants.len()];
     let mut seen: HashSet<Handle> = HashSet::new();
     let mut makespan: Micros = 0;
 
@@ -363,6 +449,7 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
             tenant: a.tenant,
             thunk,
             service_us,
+            deadline_us: spec.slo.deadline_us.map(|d| a.time_us + d),
         }) {
             admitted[a.tenant] += 1;
             seen.insert(thunk);
@@ -413,7 +500,18 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
             }
             continue;
         }
-        let batch = queues.next_batch(cfg.batch);
+        let dispatch = queues.next_dispatch(cfg.batch, now);
+        // Deadline-passed requests were withdrawn at dispatch: they
+        // consume no service and record no latency — dead work the
+        // platform refused to execute, accounted as expired.
+        for r in &dispatch.expired {
+            expired_per_tenant[r.tenant] += 1;
+        }
+        let batch = dispatch.requests;
+        if batch.is_empty() {
+            // Expiry emptied the backlog; re-check arrivals/idle state.
+            continue;
+        }
         let service: Micros =
             cfg.batch_overhead_us + batch.iter().map(|r| r.service_us).sum::<Micros>();
         let done = now + service;
@@ -428,7 +526,10 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         drivers[d].busy_us += service;
         free[d] = done;
         makespan = makespan.max(done);
-        plans[d].push(PlannedBatch { requests: batch });
+        plans[d].push(PlannedBatch {
+            requests: batch,
+            priority: dispatch.priority,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -438,40 +539,47 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
     // still executing; completions settle oldest-first.
     // ------------------------------------------------------------------
     let exec_start = std::time::Instant::now();
-    let outcomes: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
+    let outcomes: Vec<Tally> = std::thread::scope(|scope| {
         let handles: Vec<_> = plans
             .iter()
             .map(|plan| {
                 let n_tenants = cfg.tenants.len();
                 let inflight = cfg.inflight;
                 scope.spawn(move || {
-                    let mut ok = vec![0u64; n_tenants];
-                    let mut errors = vec![0u64; n_tenants];
-                    let settle = |batch: &PlannedBatch,
-                                  results: Vec<Result<Handle>>,
-                                  ok: &mut [u64],
-                                  errors: &mut [u64]| {
-                        for (r, req) in results.iter().zip(&batch.requests) {
-                            match r {
-                                Ok(_) => ok[req.tenant] += 1,
-                                Err(_) => errors[req.tenant] += 1,
+                    let mut tally = Tally::new(n_tenants);
+                    let settle =
+                        |batch: &PlannedBatch, results: Vec<Result<Handle>>, tally: &mut Tally| {
+                            for (r, req) in results.iter().zip(&batch.requests) {
+                                match r {
+                                    Ok(_) => tally.ok[req.tenant] += 1,
+                                    // Withdrawn work is accounted as
+                                    // withdrawn, not as a guest fault.
+                                    Err(Error::DeadlineExceeded { .. }) => {
+                                        tally.expired[req.tenant] += 1
+                                    }
+                                    Err(Error::Cancelled) => tally.cancelled[req.tenant] += 1,
+                                    Err(_) => tally.errors[req.tenant] += 1,
+                                }
                             }
-                        }
-                    };
+                        };
                     let mut window: VecDeque<(&PlannedBatch, BatchTicket)> =
                         VecDeque::with_capacity(inflight);
                     for batch in plan {
                         while window.len() >= inflight {
                             let (done, ticket) = window.pop_front().expect("window is non-empty");
-                            settle(done, ticket.wait(), &mut ok, &mut errors);
+                            settle(done, ticket.wait(), &mut tally);
                         }
                         let thunks: Vec<Handle> = batch.requests.iter().map(|r| r.thunk).collect();
-                        window.push_back((batch, rt.submit_many(&thunks)));
+                        // Expiry was already decided at (virtual) dispatch
+                        // time, so the real batch carries no deadline —
+                        // only the tier it was assembled from.
+                        let options = SubmitOptions::default().with_priority(batch.priority);
+                        window.push_back((batch, rt.submit_with(&thunks, options)));
                     }
                     while let Some((done, ticket)) = window.pop_front() {
-                        settle(done, ticket.wait(), &mut ok, &mut errors);
+                        settle(done, ticket.wait(), &mut tally);
                     }
-                    (ok, errors)
+                    tally
                 })
             })
             .collect();
@@ -482,14 +590,14 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
     });
     let execution_wall = exec_start.elapsed();
 
-    let mut ok = vec![0u64; cfg.tenants.len()];
-    let mut errors = vec![0u64; cfg.tenants.len()];
-    for (o, e) in outcomes {
-        for t in 0..cfg.tenants.len() {
-            ok[t] += o[t];
-            errors[t] += e[t];
-        }
+    let mut totals = Tally::new(cfg.tenants.len());
+    for tally in outcomes {
+        totals.absorb(&tally);
     }
+    let ok = totals.ok;
+    let errors = totals.errors;
+    let cancelled = totals.cancelled;
+    let expired_exec = totals.expired;
 
     let tenants: Vec<TenantReport> = cfg
         .tenants
@@ -497,11 +605,14 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         .enumerate()
         .map(|(i, t)| TenantReport {
             name: t.name.clone(),
+            class: t.slo.priority.label(),
             offered: queues.offered[i],
             admitted: admitted_per_tenant[i],
             dropped: queues.dropped[i],
             ok: ok[i],
             errors: errors[i],
+            expired: expired_per_tenant[i] + expired_exec[i],
+            cancelled: cancelled[i],
             latency: std::mem::take(&mut tenant_hists[i]),
         })
         .collect();
@@ -537,6 +648,7 @@ mod tests {
                     weight: 2,
                     arrivals: ArrivalProcess::Poisson { rate_rps: 3000.0 },
                     mix: vec![(RequestKind::Add, 3), (RequestKind::Fib { max_n: 8 }, 1)],
+                    slo: crate::tenant::SloClass::default(),
                 },
                 TenantSpec::uniform_mix(
                     "bursty",
@@ -678,6 +790,109 @@ mod tests {
         // The virtual-time telemetry is backend-independent; so are the
         // (content-addressed) evaluation outcomes.
         assert_eq!(rt_report.to_string(), cc_report.to_string());
-        assert!(cc.reports().len() > 0, "real cluster runs were recorded");
+        assert!(!cc.reports().is_empty(), "real cluster runs were recorded");
+    }
+
+    /// Two-level SLO dispatch: the latency tier preempts the batch
+    /// tier, deterministically, and the accounting identity extends to
+    /// the new expired/cancelled columns.
+    #[test]
+    fn slo_tiers_are_deterministic_and_ordered() {
+        use crate::tenant::SloClass;
+        let cfg = ServeConfig {
+            seed: 33,
+            duration_us: 120_000,
+            drivers: 2,
+            batch: 16,
+            queue_capacity: 128,
+            batch_overhead_us: 5,
+            inflight: 2,
+            tenants: vec![
+                TenantSpec::uniform_mix(
+                    "frontend",
+                    1,
+                    ArrivalProcess::Poisson { rate_rps: 2000.0 },
+                    RequestKind::Add,
+                )
+                .with_slo(SloClass::latency(50_000)),
+                TenantSpec::uniform_mix(
+                    "reports",
+                    1,
+                    ArrivalProcess::Bursts {
+                        period_us: 30_000,
+                        burst: 100,
+                    },
+                    RequestKind::Fib { max_n: 8 },
+                )
+                .with_slo(SloClass::batch()),
+            ],
+        };
+        let report = serve(&Runtime::builder().build(), &cfg).unwrap();
+        let again = serve(&Runtime::builder().build(), &cfg).unwrap();
+        assert_eq!(
+            report.to_string(),
+            again.to_string(),
+            "SLO dispatch must stay deterministic"
+        );
+        for t in &report.tenants {
+            assert_eq!(t.offered, t.admitted + t.dropped, "tenant {}", t.name);
+            assert_eq!(
+                t.admitted,
+                t.ok + t.errors + t.expired + t.cancelled,
+                "tenant {}",
+                t.name
+            );
+        }
+        let (_, _, frontend_p99, _) = report.tenants[0].latency.tail_summary();
+        let (_, _, reports_p99, _) = report.tenants[1].latency.tail_summary();
+        assert!(
+            frontend_p99 < reports_p99,
+            "the latency tier (p99 {frontend_p99}) must beat the batch tier (p99 {reports_p99})"
+        );
+    }
+
+    /// A tenant whose own backlog blows through its deadline sees the
+    /// overflow *expired* at dispatch — withdrawn and accounted, never
+    /// executed — not served late and not conflated with sheds.
+    #[test]
+    fn deadline_expiry_withdraws_queued_requests() {
+        use crate::tenant::SloClass;
+        let cfg = ServeConfig {
+            seed: 9,
+            duration_us: 60_000,
+            drivers: 1,
+            batch: 8,
+            queue_capacity: 256,
+            batch_overhead_us: 5,
+            inflight: 1,
+            // Every Add request is distinct (never warms), so a burst
+            // of 120 cold adds piles ~400 µs of backlog behind a
+            // 100 µs deadline: the tail must expire.
+            tenants: vec![TenantSpec::uniform_mix(
+                "spiky",
+                1,
+                ArrivalProcess::Bursts {
+                    period_us: 20_000,
+                    burst: 120,
+                },
+                RequestKind::Add,
+            )
+            .with_slo(SloClass::latency(100))],
+        };
+        let rt = Runtime::builder().build();
+        let report = serve(&rt, &cfg).unwrap();
+        let t = &report.tenants[0];
+        assert!(t.expired > 0, "the burst must overrun its deadline");
+        assert_eq!(t.admitted, t.ok + t.errors + t.expired + t.cancelled);
+        assert_eq!(t.errors, 0);
+        assert_eq!(
+            t.latency.count(),
+            t.ok,
+            "expired requests record no latency sample"
+        );
+        // Expired requests were withdrawn before execution: the only
+        // distinct procedures that ran are the served (cold) renders.
+        let again = serve(&Runtime::builder().build(), &cfg).unwrap();
+        assert_eq!(report.to_string(), again.to_string());
     }
 }

@@ -159,6 +159,19 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Fraction of samples whose bucket lies at or below `deadline_us`
+    /// — SLO attainment for a latency-class deadline, at bucket
+    /// resolution (≤12.5% value error, deterministic). Returns 1.0 for
+    /// an empty histogram: no traffic, no violations.
+    pub fn attainment(&self, deadline_us: u64) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let cutoff = bucket_of(deadline_us);
+        let within: u64 = self.counts[..=cutoff].iter().sum();
+        within as f64 / self.total as f64
+    }
+
     /// The standard serving quartet: (p50, p90, p99, p999).
     pub fn tail_summary(&self) -> (u64, u64, u64, u64) {
         (
@@ -249,6 +262,20 @@ mod tests {
         assert_eq!(merged.max(), single.max());
         assert_eq!(merged.tail_summary(), single.tail_summary());
         assert_eq!(merged.mean(), single.mean());
+    }
+
+    #[test]
+    fn attainment_counts_samples_within_the_deadline() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(3); // Width-1 buckets: exact.
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert!((h.attainment(3) - 0.9).abs() < 1e-9);
+        assert!((h.attainment(u64::MAX) - 1.0).abs() < 1e-9);
+        assert_eq!(LatencyHistogram::new().attainment(1), 1.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! running through Flatware.
 
 use crate::loadgen::{ArrivalProcess, Micros};
-use fix_core::api::InvocationApi;
+use fix_core::api::{InvocationApi, Priority};
 use fix_core::data::Blob;
 use fix_core::error::Result;
 use fix_core::handle::Handle;
@@ -83,18 +83,63 @@ impl RequestKind {
     }
 }
 
+/// A tenant's service-level objective class: which [`Priority`] tier
+/// its traffic dispatches at, and (optionally) how long a request may
+/// wait before it is *expired* rather than served.
+///
+/// The default class — [`Priority::Normal`], no deadline — reproduces
+/// plain weighted-fair serving exactly, which is what keeps the
+/// no-SLO serving tables bit-identical to their pre-SLO form within a
+/// run. With classes configured, dispatch is two-level: strict priority
+/// across tiers, earliest-deadline-first within a tier, and
+/// deficit-round-robin only among tenants the first two levels cannot
+/// tell apart (see [`TenantQueues`](crate::queue::TenantQueues)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SloClass {
+    /// The dispatch tier ([`Priority::Latency`] preempts
+    /// [`Priority::Normal`] preempts [`Priority::Batch`]).
+    pub priority: Priority,
+    /// Relative deadline, in virtual µs from arrival. A request still
+    /// queued when its deadline passes is expired with
+    /// `Error::DeadlineExceeded` accounting instead of served — the
+    /// platform withdraws dead work rather than burning drivers on it.
+    pub deadline_us: Option<Micros>,
+}
+
+impl SloClass {
+    /// A latency-tier class with a relative deadline.
+    pub fn latency(deadline_us: Micros) -> SloClass {
+        SloClass {
+            priority: Priority::Latency,
+            deadline_us: Some(deadline_us),
+        }
+    }
+
+    /// A batch-tier class: served only when other tiers are idle, never
+    /// expired.
+    pub fn batch() -> SloClass {
+        SloClass {
+            priority: Priority::Batch,
+            deadline_us: None,
+        }
+    }
+}
+
 /// One tenant of the serving layer.
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
     /// Display name (also the table row key).
     pub name: String,
-    /// Weighted-fair share of driver capacity relative to other tenants.
+    /// Weighted-fair share of driver capacity relative to tenants in
+    /// the same SLO tier (tiers themselves are strict-priority).
     pub weight: u32,
     /// The tenant's arrival process.
     pub arrivals: ArrivalProcess,
     /// Weighted request mix; kinds are drawn per-request with these
     /// relative weights (deterministically, from the tenant's seed).
     pub mix: Vec<(RequestKind, u32)>,
+    /// The tenant's SLO class (default: normal tier, no deadline).
+    pub slo: SloClass,
 }
 
 impl TenantSpec {
@@ -110,7 +155,14 @@ impl TenantSpec {
             weight,
             arrivals,
             mix: vec![(kind, 1)],
+            slo: SloClass::default(),
         }
+    }
+
+    /// Sets the tenant's SLO class.
+    pub fn with_slo(mut self, slo: SloClass) -> Self {
+        self.slo = slo;
+        self
     }
 }
 
@@ -270,6 +322,7 @@ mod tests {
                     (RequestKind::Wordcount { shard_bytes: 4096 }, 1),
                     (RequestKind::SebsHtml { users: 4 }, 1),
                 ],
+                slo: SloClass::default(),
             },
             TenantSpec::uniform_mix(
                 "adds",

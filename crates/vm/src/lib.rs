@@ -320,8 +320,10 @@ mod tests {
     fn fuel_exhaustion_traps() {
         let mut host = TestHost::default();
         let input = empty_input(&mut host);
-        let mut config = VmConfig::default();
-        config.fuel = 100;
+        let config = VmConfig {
+            fuel: 100,
+            ..VmConfig::default()
+        };
         let err = exec_err(
             r#"
             func apply args=0 locals=0
@@ -340,8 +342,10 @@ mod tests {
     fn memory_limit_enforced() {
         let mut host = TestHost::default();
         let input = empty_input(&mut host);
-        let mut config = VmConfig::default();
-        config.memory_limit = 128 * 1024;
+        let config = VmConfig {
+            memory_limit: 128 * 1024,
+            ..VmConfig::default()
+        };
         let err = exec_err(
             r#"
             func apply args=0 locals=0

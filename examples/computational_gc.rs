@@ -72,14 +72,14 @@ fn main() -> Result<()> {
     let limits = ResourceLimits::default_limits();
     let mut layer: Vec<Handle> = Vec::new();
     for &shard in &shards {
-        let t = rt.apply(limits.clone(), histogram, &[shard])?;
+        let t = rt.apply(limits, histogram, &[shard])?;
         layer.push(rt.eval(t)?);
     }
     while layer.len() > 1 {
         let mut next = Vec::new();
         for pair in layer.chunks(2) {
             if pair.len() == 2 {
-                let t = rt.apply(limits.clone(), merge, &[pair[0], pair[1]])?;
+                let t = rt.apply(limits, merge, &[pair[0], pair[1]])?;
                 next.push(rt.eval(t)?);
             } else {
                 next.push(pair[0]);

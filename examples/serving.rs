@@ -17,7 +17,7 @@
 //! Run with: `cargo run --release --example serving [--quick]`
 
 use fix::prelude::*;
-use fix::serve::{serve, ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
+use fix::serve::{serve, ArrivalProcess, RequestKind, ServeConfig, SloClass, TenantSpec};
 use fix_baselines::{profiles, BaselineEvaluator, CostModel};
 use fix_netsim::NodeId;
 use std::sync::Arc;
@@ -37,6 +37,7 @@ fn config(scale: u32) -> ServeConfig {
                 weight: 4,
                 arrivals: ArrivalProcess::Poisson { rate_rps: 3000.0 },
                 mix: vec![(RequestKind::Add, 3), (RequestKind::Fib { max_n: 10 }, 1)],
+                slo: SloClass::default(),
             },
             TenantSpec::uniform_mix(
                 "analytics",
@@ -129,5 +130,55 @@ fn main() {
         on_runtime.tenants[1].dropped > 0,
         "bursty tenant must overrun its bounded queue"
     );
-    println!("serving tables reproduced bit-for-bit across runs and backends ✓");
+    // 5. No SLO classes were configured, so nothing expired and nothing
+    //    was cancelled — the default-options path is exactly the old
+    //    weighted-fair serving.
+    assert_eq!(on_runtime.total_expired(), 0);
+    assert_eq!(on_runtime.total_cancelled(), 0);
+    println!("serving tables reproduced bit-for-bit across runs and backends ✓\n");
+
+    // --- The SLO configuration: two service classes, one backend ------
+    // The same traffic shape, now with intent attached: the interactive
+    // tenant is latency-class with a 25 ms deadline (expired, not
+    // served, when missed), and analytics is batch-class (served only
+    // when the latency tier is idle). Dispatch becomes two-level —
+    // strict priority tiers, EDF within a tier — and every batch is
+    // submitted through `submit_with` at its tier.
+    let slo_cfg = slo_config(&cfg);
+    let on_slo = serve(&Runtime::builder().build(), &slo_cfg).expect("serve SLO config");
+    println!("-- fixpoint::Runtime, two-class SLO config --");
+    println!("{on_slo}");
+
+    let slo_again = serve(&Runtime::builder().build(), &slo_cfg).expect("repeat SLO serve");
+    assert_eq!(
+        on_slo.to_string(),
+        slo_again.to_string(),
+        "SLO dispatch must be as deterministic as weighted-fair dispatch"
+    );
+    for t in &on_slo.tenants {
+        assert_eq!(t.offered, t.admitted + t.dropped);
+        assert_eq!(t.admitted, t.ok + t.errors + t.expired + t.cancelled);
+        assert_eq!(t.errors, 0);
+    }
+    let (_, _, interactive_p99, _) = on_slo.tenants[0].latency.tail_summary();
+    let (_, _, analytics_p99, _) = on_slo.tenants[1].latency.tail_summary();
+    assert!(
+        interactive_p99 < analytics_p99,
+        "the latency tier's p99 ({interactive_p99} µs) must sit below the batch tier's \
+         ({analytics_p99} µs)"
+    );
+    println!(
+        "SLO table reproduced bit-for-bit; latency-tier p99 {interactive_p99} µs < batch-tier \
+         p99 {analytics_p99} µs ✓"
+    );
+}
+
+/// The same tenants as `config`, re-classed: interactive is
+/// latency-tier with a deadline, analytics is batch-tier, webapp stays
+/// normal.
+fn slo_config(base: &ServeConfig) -> ServeConfig {
+    let mut cfg = base.clone();
+    cfg.tenants[0].slo = SloClass::latency(25_000);
+    cfg.tenants[1].slo = SloClass::batch();
+    cfg
 }

@@ -67,7 +67,9 @@ impl Bytes {
         }
     }
 
-    /// The bytes as a plain slice.
+    /// The bytes as a plain slice (named to match the real crate's
+    /// inherent method, which shadows the trait).
+    #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }

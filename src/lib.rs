@@ -24,8 +24,9 @@
 //! * [`workloads`] — every workload of the paper's
 //!   evaluation;
 //! * [`serve`] — the multi-tenant serving layer: open-loop load
-//!   generation, weighted-fair queueing, a batched driver pool, and
-//!   tail-latency telemetry over any One-Fix-API backend.
+//!   generation, per-tenant SLO classes (priority tiers, deadlines)
+//!   over two-level dispatch, a batched driver pool, and tail-latency
+//!   telemetry over any One-Fix-API backend.
 //!
 //! # Examples
 //!
@@ -73,8 +74,8 @@ pub use flatware;
 pub mod prelude {
     pub use fix_cluster::ClusterClient;
     pub use fix_core::api::{
-        BatchTicket, BlockingOffload, ConcurrentApi, Evaluator, HostApi, InvocationApi, NativeCtx,
-        NativeFn, ObjectApi, SubmitApi, Ticket,
+        BatchTicket, BlockingOffload, ConcurrentApi, Evaluator, HostApi, InvocationApi, Mode,
+        NativeCtx, NativeFn, ObjectApi, Priority, SubmitApi, SubmitOptions, Ticket,
     };
     pub use fix_core::data::{Blob, Node, Tree};
     pub use fix_core::handle::{DataType, EncodeStyle, Handle, Kind, ThunkKind};

@@ -64,11 +64,21 @@ where
     let pooled = Runtime::builder().workers(2).build();
     let off_rt = BlockingOffload::new(Runtime::builder().build());
     let off_cc = BlockingOffload::new(ClusterClient::builder().build().expect("cluster client"));
+    let off_bl = BlockingOffload::new(
+        fix_baselines::BaselineEvaluator::builder()
+            .profile(fix_baselines::profiles::openwhisk(
+                &(0..4).map(fix_netsim::NodeId).collect::<Vec<_>>(),
+                &fix_baselines::CostModel::default(),
+            ))
+            .build()
+            .expect("baseline evaluator"),
+    );
     let backends: Vec<(&str, &dyn SubmittingBackend)> = vec![
         ("Runtime", &inline),
         ("Runtime(workers=2)", &pooled),
         ("BlockingOffload<Runtime>", &off_rt),
         ("BlockingOffload<ClusterClient>", &off_cc),
+        ("BlockingOffload<BaselineEvaluator>", &off_bl),
     ];
     let mut results: Vec<(&str, Vec<Handle>)> = Vec::new();
     for (name, backend) in backends {
@@ -606,6 +616,441 @@ fn wait_any_drains_overlapped_batches() {
     });
 }
 
+/// Strict submitted batches must agree positionally with a loop of
+/// `eval_strict` — the whole eval→force chain watched as one slot, on
+/// every submitting backend (including value handles, whose nested
+/// thunks strictness must still force).
+#[test]
+fn strict_submission_agrees_with_eval_strict() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let inner = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(2)),
+                    rt.put_blob(Blob::from_u64(3)),
+                ],
+            )
+            .unwrap();
+        let wrap = rt.register_native(
+            "conf/strict-wrap",
+            Arc::new(move |ctx| ctx.host.create_tree(vec![inner])),
+        );
+        // A thunk whose WHNF still hides a nested thunk, a plain value
+        // tree holding a thunk, and an ordinary flat computation.
+        let nested = rt.apply(limits(), wrap, &[]).unwrap();
+        let value_tree = rt.put_tree(Tree::from_handles(vec![inner]));
+        let flat = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(40)),
+                    rt.put_blob(Blob::from_u64(2)),
+                ],
+            )
+            .unwrap();
+        let batch = [nested, value_tree, flat];
+
+        let submitted: Vec<Handle> = rt
+            .wait_batch(rt.submit_with(&batch, SubmitOptions::strict()))
+            .into_iter()
+            .map(|r| r.expect("strict batch member succeeds"))
+            .collect();
+        let strict_loop: Vec<Handle> = batch.iter().map(|&h| rt.eval_strict(h).unwrap()).collect();
+        assert_eq!(
+            submitted, strict_loop,
+            "strict submission must agree with eval_strict"
+        );
+        // Deep-forcing really happened: the nested entry is accessible.
+        let tree = rt.get_tree(submitted[0]).unwrap();
+        let entry = tree.get(0).unwrap();
+        assert!(entry.is_accessible(), "strict submission deep-forces");
+        assert_eq!(rt.get_u64(entry).unwrap(), 5);
+        submitted
+    });
+}
+
+/// Cancel before execution: a batch cancelled on a backend that has not
+/// started it runs nothing, and the same thunks resubmit cleanly.
+#[test]
+fn cancel_before_execution_withdraws_cleanly() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let batch: Vec<Handle> = (0..8u64)
+            .map(|i| {
+                rt.apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(i)),
+                        rt.put_blob(Blob::from_u64(70)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        rt.submit_many(&batch).cancel();
+
+        // The backend still serves unrelated work, and the cancelled
+        // thunks resubmit and resolve as if the cancel never happened.
+        let results: Vec<Handle> = rt
+            .wait_batch(rt.submit_many(&batch))
+            .into_iter()
+            .map(|r| r.expect("resubmitted member succeeds"))
+            .collect();
+        for (i, h) in results.iter().enumerate() {
+            assert_eq!(rt.get_u64(*h).unwrap(), i as u64 + 70);
+        }
+        results
+    });
+}
+
+/// Cancel while executing: cancelling mid-flight must hang nothing —
+/// a concurrent waiter on a *different* ticket sharing the backend
+/// still resolves, and the backend stays serviceable.
+#[test]
+fn cancel_while_executing_never_hangs_a_concurrent_waiter() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let mint = |base: u64, n: u64| -> Vec<Handle> {
+            (0..n)
+                .map(|i| {
+                    rt.apply(
+                        limits(),
+                        add,
+                        &[
+                            rt.put_blob(Blob::from_u64(base + i)),
+                            rt.put_blob(Blob::from_u64(5)),
+                        ],
+                    )
+                    .unwrap()
+                })
+                .collect()
+        };
+        let doomed = rt.submit_many(&mint(10_000, 32));
+        let survivor_batch = mint(20_000, 8);
+        let survivor = rt.submit_many(&survivor_batch);
+        doomed.cancel(); // Possibly before, possibly mid-execution.
+        let results: Vec<Handle> = rt
+            .wait_batch(survivor)
+            .into_iter()
+            .map(|r| r.expect("survivor member succeeds"))
+            .collect();
+        for (i, h) in results.iter().enumerate() {
+            assert_eq!(rt.get_u64(*h).unwrap(), 20_000 + i as u64 + 5);
+        }
+        results
+    });
+}
+
+/// Cancel after completion: a ticket whose batch already resolved can
+/// still be cancelled (the results are simply discarded), and the
+/// memoized results remain available to everyone else.
+#[test]
+fn cancel_after_completion_discards_results_only() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let batch: Vec<Handle> = (0..4u64)
+            .map(|i| {
+                rt.apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(i)),
+                        rt.put_blob(Blob::from_u64(30)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        // Resolve the batch fully (wait_any drives backends whose
+        // progress comes from the waiting thread), then cancel.
+        let mut tickets = vec![rt.submit_many(&batch)];
+        assert_eq!(rt.wait_any(&mut tickets), Some(0));
+        let ticket = tickets.pop().expect("one ticket");
+        ticket.cancel(); // After completion: a no-op beyond discarding.
+
+        // Everything is memoized; a fresh request is a pure cache hit.
+        let before = rt.procedures_run();
+        let results: Vec<Handle> = rt
+            .eval_many(&batch)
+            .into_iter()
+            .map(|r| r.expect("memoized member succeeds"))
+            .collect();
+        assert_eq!(rt.procedures_run(), before, "no re-execution");
+        results
+    });
+}
+
+/// Deadline-expiry batches: once the backend's virtual clock passes a
+/// batch's deadline, every still-queued slot fails with
+/// `DeadlineExceeded` instead of executing — on every backend.
+#[test]
+fn deadline_expired_batches_fail_without_executing() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let batch: Vec<Handle> = (0..6u64)
+            .map(|i| {
+                rt.apply(
+                    limits(),
+                    add,
+                    &[
+                        rt.put_blob(Blob::from_u64(i)),
+                        rt.put_blob(Blob::from_u64(90)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(rt.virtual_now(), 0, "clocks start at zero");
+        rt.advance_virtual_clock(10_000);
+        let before = rt.procedures_run();
+        let ticket = rt.submit_with(&batch, SubmitOptions::default().with_deadline(5_000));
+        let results = rt.wait_batch(ticket);
+        assert_eq!(results.len(), batch.len());
+        for r in &results {
+            assert!(
+                matches!(r, Err(Error::DeadlineExceeded { deadline_us: 5_000 })),
+                "expired slot must fail with DeadlineExceeded: {r:?}"
+            );
+        }
+        assert_eq!(rt.procedures_run(), before, "expired work must not execute");
+
+        // An unexpired deadline (and priority classes) leave semantics
+        // untouched: the same batch, submitted with headroom, resolves.
+        let opts = SubmitOptions::default()
+            .with_deadline(rt.virtual_now() + 1_000_000)
+            .with_priority(Priority::Latency);
+        let ok: Vec<Handle> = rt
+            .wait_batch(rt.submit_with(&batch, opts))
+            .into_iter()
+            .map(|r| r.expect("unexpired member succeeds"))
+            .collect();
+        for (i, h) in ok.iter().enumerate() {
+            assert_eq!(rt.get_u64(*h).unwrap(), i as u64 + 90);
+        }
+        ok
+    });
+}
+
+/// A batch submitted *after* its deadline already passed fails whole —
+/// uniformly on every backend, even for slots whose results are
+/// already memoized (no backend may answer a dead-on-arrival request).
+#[test]
+fn deadline_on_arrival_beats_memoization_uniformly() {
+    on_every_submitting_backend(|rt| {
+        let add = register_add(rt);
+        let thunk = rt
+            .apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(8)),
+                    rt.put_blob(Blob::from_u64(9)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(rt.get_u64(rt.eval(thunk).unwrap()).unwrap(), 17); // Memoized.
+        rt.advance_virtual_clock(100);
+        let results =
+            rt.wait_batch(rt.submit_with(&[thunk], SubmitOptions::default().with_deadline(50)));
+        assert!(
+            matches!(results[0], Err(Error::DeadlineExceeded { deadline_us: 50 })),
+            "a memoized slot must not resurrect a dead-on-arrival batch: {:?}",
+            results[0]
+        );
+        // The memo itself is untouched: an in-time request still hits it.
+        let ok = rt.wait_batch(
+            rt.submit_with(&[thunk], SubmitOptions::default().with_deadline(1_000_000)),
+        );
+        vec![*ok[0].as_ref().expect("in-time request resolves")]
+    });
+}
+
+/// Cancelling a ticket whose job is mid-step must leave the running
+/// execution alone: the job completes exactly once, and a concurrent
+/// resubmission rides the in-flight execution instead of starting a
+/// second one.
+#[test]
+fn cancel_during_execution_keeps_exactly_once_semantics() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{mpsc, Mutex};
+
+    let rt = Arc::new(Runtime::builder().workers(1).build());
+    let runs = Arc::new(AtomicU64::new(0));
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let started_tx = Mutex::new(started_tx);
+    let release_rx = Mutex::new(release_rx);
+    let slow = {
+        let runs = Arc::clone(&runs);
+        rt.register_native(
+            "conf/slow-block",
+            Arc::new(move |ctx| {
+                runs.fetch_add(1, Ordering::SeqCst);
+                let _ = started_tx.lock().unwrap().send(());
+                let _ = release_rx.lock().unwrap().recv();
+                ctx.host.create_blob(7u64.to_le_bytes().to_vec())
+            }),
+        )
+    };
+    let thunk = rt.apply(limits(), slow, &[]).unwrap();
+
+    let doomed = rt.submit_many(&[thunk]);
+    started_rx
+        .recv()
+        .expect("the worker began stepping the job");
+    doomed.cancel(); // Mid-step: must not withdraw the running job.
+    let survivor = rt.submit_many(&[thunk]);
+    // Unblock enough times for a (buggy) duplicate execution too.
+    release_tx.send(()).unwrap();
+    let _ = release_tx.send(());
+    let results = rt.wait_batch(survivor);
+    assert_eq!(rt.get_u64(*results[0].as_ref().unwrap()).unwrap(), 7);
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        1,
+        "the mid-step job must run exactly once despite the cancel"
+    );
+    assert_eq!(rt.submission_watchers(), 0);
+}
+
+/// Cancel-then-resubmit at a different priority: the revival gets a
+/// fresh queue token at the new tier while the stale token still
+/// floats, and the live-token claim keeps every job exactly-once.
+#[test]
+fn cancelled_then_resubmitted_batches_run_exactly_once() {
+    let rt = Runtime::builder().build();
+    let add = register_add(&rt);
+    let batch: Vec<Handle> = (0..8u64)
+        .map(|i| {
+            rt.apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(3_000 + i)),
+                    rt.put_blob(Blob::from_u64(4)),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    rt.submit_with(
+        &batch,
+        SubmitOptions::default().with_priority(Priority::Batch),
+    )
+    .cancel();
+    let results = rt.wait_batch(rt.submit_with(
+        &batch,
+        SubmitOptions::default().with_priority(Priority::Latency),
+    ));
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            rt.get_u64(*r.as_ref().unwrap()).unwrap(),
+            3_000 + i as u64 + 4
+        );
+    }
+    assert_eq!(
+        rt.procedures_run(),
+        batch.len() as u64,
+        "duplicate queue tokens must not duplicate executions"
+    );
+    assert_eq!(rt.submission_watchers(), 0);
+    assert_eq!(rt.queued_jobs(), 0);
+}
+
+/// The *lazy* expiry path: a batch submitted in time whose deadline
+/// passes while it sits queued is expired at dequeue — watcher slots
+/// fail, the waiter wakes, and the withdrawn jobs leave nothing behind.
+/// (Distinct from dead-on-arrival submission, which never enqueues.)
+#[test]
+fn deadline_passing_while_queued_expires_at_dequeue() {
+    // Pool-less runtime: nothing drives the queue between submit and
+    // wait, so the batch is deterministically still queued when the
+    // clock passes its deadline.
+    let rt = Runtime::builder().build();
+    let add = register_add(&rt);
+    let batch: Vec<Handle> = (0..4u64)
+        .map(|i| {
+            rt.apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(7_000 + i)),
+                    rt.put_blob(Blob::from_u64(1)),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    let before = rt.procedures_run();
+    let ticket = rt.submit_with(&batch, SubmitOptions::default().with_deadline(500));
+    assert_eq!(rt.queued_jobs(), batch.len(), "submitted in time: queued");
+    rt.advance_virtual_clock(1_000); // Deadline passes while queued.
+    for r in rt.wait_batch(ticket) {
+        assert!(
+            matches!(r, Err(Error::DeadlineExceeded { deadline_us: 500 })),
+            "queued-past-deadline slot must expire at dequeue: {r:?}"
+        );
+    }
+    assert_eq!(rt.procedures_run(), before, "expired work never executes");
+    assert_eq!(rt.submission_watchers(), 0);
+    assert_eq!(rt.queued_jobs(), 0, "expired jobs are withdrawn");
+}
+
+/// The same lazy expiry on the offload pool: a deadlined batch stuck
+/// behind a busy worker expires before dispatch once the clock passes.
+#[test]
+fn offload_expires_batches_queued_past_their_deadline() {
+    use std::sync::{mpsc, Mutex};
+
+    let off = BlockingOffload::new(Runtime::builder().build());
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = Mutex::new(release_rx);
+    let blocker_proc = off.register_native(
+        "conf/offload-blocker",
+        Arc::new(move |ctx| {
+            let _ = release_rx.lock().unwrap().recv();
+            ctx.host.create_blob(1u64.to_le_bytes().to_vec())
+        }),
+    );
+    let add = register_add(&off);
+    let blocker = off.apply(limits(), blocker_proc, &[]).unwrap();
+    let deadlined = off
+        .apply(
+            limits(),
+            add,
+            &[
+                off.put_blob(Blob::from_u64(1)),
+                off.put_blob(Blob::from_u64(2)),
+            ],
+        )
+        .unwrap();
+
+    // Occupy the single submission thread, then queue the deadlined
+    // batch behind it — it is deterministically still pool-queued when
+    // the clock advances.
+    let busy = off.submit_many(&[blocker]);
+    let doomed = off.submit_with(&[deadlined], SubmitOptions::default().with_deadline(500));
+    off.advance_virtual_clock(1_000);
+    release_tx.send(()).unwrap();
+    let results = off.wait_batch(doomed);
+    assert!(
+        matches!(
+            results[0],
+            Err(Error::DeadlineExceeded { deadline_us: 500 })
+        ),
+        "pool-queued-past-deadline batch must expire before dispatch: {:?}",
+        results[0]
+    );
+    for r in off.wait_batch(busy) {
+        r.expect("the blocking batch still resolves");
+    }
+}
+
 /// Runtime-specific: detaching is eager — the scheduler's watcher table
 /// empties the moment a ticket resolves or drops, so long-lived nodes
 /// cannot accumulate per-ticket bookkeeping.
@@ -657,9 +1102,87 @@ fn runtime_tickets_leave_no_watchers_behind() {
     drop(abandoned);
     assert_eq!(rt.submission_watchers(), 0, "dropped tickets must not leak");
 
-    // The abandoned jobs are ordinary shared state: the next evaluation
-    // drains them and they resolve normally.
+    // The dropped ticket's unshared queued jobs were withdrawn with the
+    // watchers: nothing orphaned stays in the run queue...
+    assert_eq!(rt.queued_jobs(), 0, "dropped tickets must not orphan jobs");
+    // ...and a fresh request for the same thunk simply re-enqueues it.
     assert_eq!(rt.get_u64(rt.eval(fresh[0]).unwrap()).unwrap(), 101);
+}
+
+/// The acceptance bar for true cancellation: a cancelled 256-request
+/// batch on a busy runtime leaves zero watchers, zero orphaned queued
+/// jobs, runs none of the cancelled-only procedures, and never hangs a
+/// concurrent waiter.
+#[test]
+fn cancelling_a_large_queued_batch_withdraws_everything() {
+    let rt = Arc::new(Runtime::builder().build());
+    let add = register_add(&*rt);
+
+    // A concurrent waiter holds its own (overlapping-free) work so the
+    // runtime is genuinely busy while the cancel lands.
+    let waiter_batch: Vec<Handle> = (0..64u64)
+        .map(|i| {
+            rt.apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(500_000 + i)),
+                    rt.put_blob(Blob::from_u64(1)),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // 256 distinct requests nothing else shares.
+    let doomed_batch: Vec<Handle> = (0..256u64)
+        .map(|i| {
+            rt.apply(
+                limits(),
+                add,
+                &[
+                    rt.put_blob(Blob::from_u64(900_000 + i)),
+                    rt.put_blob(Blob::from_u64(2)),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let doomed = rt.submit_with(
+        &doomed_batch,
+        SubmitOptions::default().with_priority(Priority::Batch),
+    );
+    assert_eq!(rt.submission_watchers(), 256);
+    assert_eq!(rt.queued_jobs(), 256);
+
+    let waiter = {
+        let rt = Arc::clone(&rt);
+        let batch = waiter_batch.clone();
+        std::thread::spawn(move || {
+            let results = rt.wait_batch(rt.submit_many(&batch));
+            results
+                .into_iter()
+                .map(|r| r.expect("waiter request succeeds"))
+                .collect::<Vec<_>>()
+        })
+    };
+
+    // Cancel while the concurrent waiter races the queue; no procedure
+    // of the cancelled-only batch may run (the waiter thread only ever
+    // dequeues runnable, wanted jobs — the withdrawn 256 are skipped).
+    doomed.cancel();
+    let resolved = waiter.join().expect("concurrent waiter must not hang");
+    assert_eq!(resolved.len(), waiter_batch.len());
+
+    assert_eq!(rt.submission_watchers(), 0, "no watcher survives cancel");
+    assert_eq!(rt.queued_jobs(), 0, "no orphaned queued jobs after cancel");
+    // Only the waiter's 64 procedures ran: the cancelled 256 never did.
+    assert_eq!(
+        rt.procedures_run(),
+        waiter_batch.len() as u64,
+        "cancelled-only procedures must not execute"
+    );
 }
 
 /// ClusterClient-specific conformance: the simulated substrate must not

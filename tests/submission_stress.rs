@@ -12,7 +12,11 @@
 //!   exactly once, with the right value, and the runtime executed
 //!   exactly one procedure per distinct request;
 //! * **no leaked bookkeeping** — the scheduler's watcher table is empty
-//!   once the books close.
+//!   once the books close;
+//! * **cancellation under fire** — a canceller thread revoking a share
+//!   of the in-flight tickets must neither hang the waiters nor break
+//!   the books: every surviving request still resolves exactly once,
+//!   and no watcher or orphaned queued job outlives the run.
 
 use fix::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -202,4 +206,116 @@ fn stress_survives_a_worker_pool() {
     });
     assert_eq!(resolved.load(Ordering::SeqCst), 3 * 20 * BATCH);
     assert_eq!(rt.submission_watchers(), 0);
+}
+
+/// A canceller thread races the waiters: a deterministic share of the
+/// tickets is cancelled mid-flight while the rest are verified. The
+/// accounting must still close — every surviving request resolves
+/// exactly once with the right value, procedures never run more than
+/// once per distinct request, and nothing (watchers or queued jobs)
+/// leaks.
+#[test]
+fn canceller_thread_cannot_break_accounting() {
+    let rt = Arc::new(Runtime::builder().build());
+    let add = rt.register_native(
+        "stress/cancel-add",
+        Arc::new(|ctx| {
+            let a = ctx.arg_blob(0)?.as_u64().unwrap();
+            let b = ctx.arg_blob(1)?.as_u64().unwrap();
+            ctx.host
+                .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+        }),
+    );
+
+    // Producers tag every third batch for cancellation; the canceller
+    // drains those, the waiters the rest.
+    let (live_tx, live_rx) = mpsc::channel::<(Vec<u64>, BatchTicket)>();
+    let (doom_tx, doom_rx) = mpsc::channel::<BatchTicket>();
+    let live_rx = Arc::new(Mutex::new(live_rx));
+    let verified = AtomicU64::new(0);
+    let doomed_count = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let live_tx = live_tx.clone();
+            let doom_tx = doom_tx.clone();
+            let rt = Arc::clone(&rt);
+            let doomed_count = &doomed_count;
+            scope.spawn(move || {
+                for k in 0..BATCHES_PER_PRODUCER {
+                    let base = 2_000_000 + (p as u64) * 1_000_000 + (k as u64) * BATCH;
+                    let thunks: Vec<Handle> = (0..BATCH)
+                        .map(|j| {
+                            rt.apply(
+                                limits(),
+                                add,
+                                &[
+                                    rt.put_blob(Blob::from_u64(base + j)),
+                                    rt.put_blob(Blob::from_u64(23)),
+                                ],
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    let ticket = rt.submit_many(&thunks);
+                    if k % 3 == 0 {
+                        doomed_count.fetch_add(BATCH, Ordering::SeqCst);
+                        doom_tx.send(ticket).expect("canceller outlives producers");
+                    } else {
+                        let expected: Vec<u64> = (0..BATCH).map(|j| base + j + 23).collect();
+                        live_tx
+                            .send((expected, ticket))
+                            .expect("waiters outlive producers");
+                    }
+                }
+            });
+        }
+        drop(live_tx);
+        drop(doom_tx);
+
+        // The canceller: revokes tickets as fast as they arrive.
+        scope.spawn(move || {
+            while let Ok(ticket) = doom_rx.recv() {
+                ticket.cancel();
+            }
+        });
+
+        for _ in 0..WAITERS {
+            let live_rx = Arc::clone(&live_rx);
+            let rt = Arc::clone(&rt);
+            let verified = &verified;
+            scope.spawn(move || loop {
+                let next = live_rx.lock().unwrap().recv();
+                let Ok((expected, ticket)) = next else {
+                    return; // Drained and disconnected.
+                };
+                let results = ticket.wait();
+                assert_eq!(results.len(), expected.len());
+                for (r, want) in results.iter().zip(&expected) {
+                    let h = *r.as_ref().expect("surviving request succeeds");
+                    assert_eq!(rt.get_u64(h).unwrap(), *want);
+                }
+                verified.fetch_add(expected.len() as u64, Ordering::SeqCst);
+            });
+        }
+    });
+
+    let total = (PRODUCERS * BATCHES_PER_PRODUCER) as u64 * BATCH;
+    let doomed = doomed_count.load(Ordering::SeqCst);
+    assert_eq!(
+        verified.load(Ordering::SeqCst),
+        total - doomed,
+        "every surviving request must be resolved exactly once"
+    );
+    // Distinct thunks run at most once; every verified one ran. The
+    // cancelled remainder ran only if a waiter dequeued it before its
+    // cancel landed — never more than once either way.
+    let ran = rt.procedures_run();
+    assert!(
+        ran >= total - doomed && ran <= total,
+        "procedures_run {ran} outside [{}, {total}]",
+        total - doomed
+    );
+    assert_eq!(rt.submission_watchers(), 0, "no watcher survives the run");
+    assert_eq!(rt.queued_jobs(), 0, "no orphaned queued jobs survive");
 }
