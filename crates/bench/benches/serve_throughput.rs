@@ -101,6 +101,40 @@ fn bench_serve_throughput(c: &mut Criterion) {
         );
     }
 
+    // Worker-pool scaling on the sharded scheduler: the same pipelined
+    // traffic against 2-, 4-, and 8-worker runtimes. Every run's
+    // virtual table must equal the warm run's (worker count can move
+    // wall-clock throughput, never results). Wall-clock scaling only
+    // shows on hardware with that many cores — the summary prints the
+    // machine's available parallelism alongside, so a flat line on a
+    // small box reads as a machine limit, not a scheduler one.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    for workers in [2usize, 4, 8] {
+        let rt = Runtime::builder().workers(workers).build();
+        serve(&rt, &pipelined).expect("warm-up"); // Warm this runtime's cache.
+        let mut best = 0.0f64;
+        for _ in 0..9 {
+            let report = serve(&rt, &pipelined).expect("serve");
+            assert_eq!(
+                warm.to_string(),
+                report.to_string(),
+                "worker count changed the virtual tables"
+            );
+            best = best.max(report.wall_rps());
+        }
+        scaling.push((workers, best));
+    }
+    let base = scaling[0].1;
+    let summary: Vec<String> = scaling
+        .iter()
+        .map(|&(w, rps)| format!("{w}w ≈ {rps:.0} req/s ({:.2}×)", rps / base))
+        .collect();
+    println!(
+        "serve_throughput[scaling, {cores} core(s) available]: {}",
+        summary.join(", ")
+    );
+
     // The SLO mix: same arrivals, two-level dispatch, per-batch
     // priorities through submit_with. Its virtual tables differ from
     // the DRR rows (dispatch order changes), so it gets its own warm-up

@@ -2,8 +2,13 @@
 //! evaluation section.
 //!
 //! ```text
-//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|calibrate|summary|all] [--quick]
+//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|sweep|calibrate|summary|all] [--quick]
 //! ```
+//!
+//! `sweep` runs the serving table across several seeds, one thread per
+//! seed (`--serial` to force the single-threaded driver). The output is
+//! byte-identical either way — the virtual clock, not thread timing,
+//! produces every number.
 //!
 //! `calibrate` audits the shared `fix_core::calibration::SERVICE_COSTS`
 //! table against measured warm/cold procedure paths on the real
@@ -91,6 +96,14 @@ fn main() {
     if which == "all" || which == "serve" {
         let scale = if quick { 1 } else { 5 };
         println!("{}", fix_bench::serve_report::table_text(scale));
+    }
+    // Multi-seed serving sweep, parallel by default (not part of `all`:
+    // it reprints the serve table once per seed).
+    if which == "sweep" {
+        let scale = if quick { 1 } else { 5 };
+        let seeds: &[u64] = &[2026, 7, 99, 1234];
+        let serial = args.iter().any(|a| a == "--serial");
+        println!("{}", fix_bench::serve_report::sweep(seeds, scale, !serial));
     }
     // Measured calibration: wall-clock audit of the virtual-clock
     // constants (not part of `all`, which prints only deterministic

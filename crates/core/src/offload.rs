@@ -33,7 +33,7 @@ use crate::limits::ResourceLimits;
 use crate::semantics::Footprint;
 use crate::ticket::{BatchTicket, PendingBatch};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -60,6 +60,13 @@ struct SlotState {
 struct OffloadSlot {
     state: Mutex<SlotState>,
     cv: Condvar,
+    /// Lock-free mirror of [`SlotState::produced`], written under the
+    /// lock. Hot polling (`try_take` runs once per ticket per
+    /// `wait_any` tick) reads this and skips the mutex entirely while
+    /// the batch is in flight — the same shape as the scheduler's
+    /// lock-free batch fills, where only the producing write
+    /// synchronizes and the done check is one atomic load.
+    done: AtomicBool,
 }
 
 impl OffloadSlot {
@@ -70,6 +77,7 @@ impl OffloadSlot {
         if !state.produced {
             state.results = Some(results);
             state.produced = true;
+            self.done.store(true, Ordering::Release);
         }
         drop(state);
         self.cv.notify_all();
@@ -85,6 +93,9 @@ struct OffloadPending {
 
 impl PendingBatch for OffloadPending {
     fn try_take(&self) -> Option<Vec<Result<Handle>>> {
+        if !self.slot.done.load(Ordering::Acquire) {
+            return None; // In flight: no lock taken on the polling path.
+        }
         let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
         state.results.take()
     }
@@ -103,6 +114,9 @@ impl PendingBatch for OffloadPending {
     }
 
     fn advance(&self, timeout: Duration) {
+        if self.slot.done.load(Ordering::Acquire) {
+            return;
+        }
         let state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
         if !state.produced {
             let _ = self
@@ -121,6 +135,7 @@ impl PendingBatch for OffloadPending {
             // and the slots resolve as cancelled right now.
             state.results = Some((0..self.len).map(|_| Err(Error::Cancelled)).collect());
             state.produced = true;
+            self.slot.done.store(true, Ordering::Release);
         }
         drop(state);
         self.slot.cv.notify_all();

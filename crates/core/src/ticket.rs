@@ -47,6 +47,19 @@ const WAIT_ANY_TICK: Duration = Duration::from_micros(500);
 /// Backends implement this once per submission mechanism; callers never
 /// see it directly — they hold a [`BatchTicket`], which resolves itself
 /// through these hooks. All methods may be called from any thread.
+/// ## The slot-fill contract
+///
+/// Completion is per *slot*, and each slot resolves **exactly once**:
+/// whichever event reaches it first — the result, a deadline expiry, a
+/// cancellation, a stall failure — owns the slot's outcome, and every
+/// later writer backs off. Backends are free to implement that with a
+/// lock (serialize fills) or lock-free (the single-node scheduler
+/// claims slots with a first-writer-wins CAS and counts the batch down
+/// atomically); either way, by the time "every slot filled" is
+/// observable, every slot's result must be readable. `try_take` is
+/// called from hot polling loops (`wait_any` re-polls each ticket per
+/// tick), so the done check should be cheap — an atomic flag, not a
+/// lock sweep.
 pub trait PendingBatch: Send + Sync {
     /// Non-blocking: the positional results, if every slot in the batch
     /// has completed; `None` while any slot is still in flight.

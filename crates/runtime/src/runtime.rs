@@ -333,6 +333,15 @@ impl Runtime {
         self.scheduler.queued_jobs()
     }
 
+    /// Jobs the scheduler dispatched by stealing from another thread's
+    /// deque slot. Moves whenever an idle worker (or waiter) picks up
+    /// work that was pushed from a different thread — the starvation
+    /// pin asserts a Latency batch stuck behind a busy worker completes
+    /// via exactly this.
+    pub fn work_steals(&self) -> u64 {
+        self.scheduler.steals()
+    }
+
     /// Procedures actually executed so far (memoization cache misses).
     pub fn procedures_run(&self) -> u64 {
         self.engine

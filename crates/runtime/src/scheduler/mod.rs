@@ -1,0 +1,1146 @@
+//! The job scheduler: dependency tracking over restartable jobs,
+//! sharded for multicore scaling.
+//!
+//! All worker threads of a node share the runtime storage and a pool of
+//! pending jobs (paper §4.2.1). A job is stepped on a worker; if it
+//! reports dependencies, it parks until they complete and is then
+//! stepped again. Jobs are deduplicated by identity, so concurrent
+//! requests for the same evaluation share one execution — Fix's
+//! determinism makes this safe, and it is also what makes jobs freely
+//! *stealable*: a content-addressed job produces the same result no
+//! matter which thread runs it, so no scheduler state pins work to a
+//! thread.
+//!
+//! # The three layers
+//!
+//! The scheduler used to funnel every submit, dequeue, completion, and
+//! watcher fill through one `Mutex<Shared>`. That monolith is now three
+//! independently synchronized layers:
+//!
+//! 1. **The sharded job map** (`jobmap`) — per-job bookkeeping
+//!    (state, queue tokens, the live-token claim bit, interest
+//!    refcounts, pins, respin counters, dependency waiters, batch
+//!    watchers) lives in a 32-way hash-sharded map. Unrelated jobs
+//!    never share a lock; one job's submit-claim-complete round-trip
+//!    touches only its own shard. Dependency edges cross shards through
+//!    an atomic waitgroup (`jobmap::DepWait`), never by nesting shard
+//!    locks.
+//! 2. **Work-stealing deques** (`deques`) — the run queue is 16 slots
+//!    × one deque per `Priority` tier. A thread pushes and pops its own
+//!    slot LIFO (depth-first, cache-warm) and steals FIFO from other
+//!    slots when empty, scanning the highest tier first. Priority
+//!    ordering is therefore **strict within a slot but only eventual
+//!    across slots**: a busy worker finishes its own lower-tier job
+//!    before anyone notices the higher-tier token in its deque — but
+//!    any thread going idle steals tier-major, so high-tier work is
+//!    picked up as soon as any capacity frees. Stale tokens are skipped
+//!    and deadlines expire lazily *at the claiming worker*, under the
+//!    job's shard lock.
+//! 3. **Lock-free batch fills** (`batch`) — a watched batch's slots
+//!    are filled by first-writer-wins CAS claims; `remaining` counts
+//!    down atomically and only the final fill touches the condvar (and
+//!    only when someone is parked). Completions no longer take any
+//!    global lock to notify tickets.
+//!
+//! # Driving and watching
+//!
+//! The scheduler can be driven two ways:
+//!
+//! * **inline** ([`Scheduler::run_inline`]) — the calling thread drains
+//!   jobs itself; this is the microsecond path used when a client
+//!   evaluates a single computation (no thread handoff);
+//! * **pooled** ([`WorkerPool`]) — N worker threads drain jobs
+//!   concurrently, each pinned to its own deque slot; independent
+//!   sub-computations (e.g. the branches of a parallel map) run in
+//!   parallel, and idle workers steal.
+//!
+//! Batches can also be **watched** instead of driven:
+//! `submit_watched_with` enqueues a set of roots and registers a
+//! `BatchState` that the completion path fills in as each root
+//! finishes — no caller thread parked, no per-job polling. This is the
+//! mechanism behind the One Fix API's submission tickets
+//! (`fix_core::api::SubmitApi`); `wait_batch` turns the calling thread
+//! into an inline driver until the watched batch is done.
+//!
+//! Watched submissions are *request scoped* (`fix_core::api::SubmitOptions`):
+//!
+//! * **priority** — a job's tier is set at its first enqueue; a later
+//!   *higher*-priority submission of a deduplicated job promotes the
+//!   entry and pushes a fresh token at the higher tier (priority
+//!   inheritance), so shared work runs at the urgency of the most
+//!   urgent request that wants it.
+//! * **deadlines** — a watched batch may carry an absolute deadline on
+//!   the scheduler's virtual clock; queued work whose deadline has
+//!   passed is expired *lazily at claim*: the expired slots fail with
+//!   `Error::DeadlineExceeded`, and the job itself is skipped when no
+//!   live request still wants it — dead work is withdrawn, not executed.
+//! * **cancellation** — `cancel_batch` fails a batch's unresolved slots
+//!   with `Error::Cancelled` and withdraws still-queued jobs no other
+//!   live request shares, via the per-job interest refcount the job map
+//!   keeps (watched slots + pinned fire-and-forget submissions +
+//!   dependency waiters all count as interest).
+//! * **strict mode** — a strict slot watches the whole eval→force job
+//!   chain: when its `Eval` completes, the watcher *chains* onto the
+//!   `Force` of the produced value instead of filling, so the slot
+//!   resolves exactly when a blocking `eval_strict` would return.
+//!
+//! # Parking and stall detection
+//!
+//! With no global lock, "nothing left to do" is answered by three
+//! SeqCst counters: `queued` (tokens in any deque, maintained
+//! increment-before-push / decrement-after-pop), `executing` (claims
+//! held by drivers mid-step; a claimant publishes every consequence of
+//! its pop — requeues, fills, completions — before releasing), and
+//! `workers_running`. A waiter that reads all three as zero has proof
+//! no progress is possible — including jobs resident in *other*
+//! threads' deques or mid-steal, which a per-queue emptiness scan would
+//! miss. Threads park on one condvar behind a `sleepers` count, so the
+//! hot path's wakeups are a single atomic load; a bounded park timeout
+//! backstops the protocol against lost-wakeup bugs without masking
+//! genuine stalls.
+
+mod batch;
+mod deques;
+mod jobmap;
+
+pub(crate) use batch::BatchState;
+use batch::Watcher;
+use deques::DequeSet;
+use jobmap::{DepWait, JobEntry, JobMap, JobState};
+
+use crate::engine::{Engine, Job, Step};
+use fix_core::api::Priority;
+use fix_core::error::{Error, Result};
+use fix_core::handle::Handle;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Requeue bound before a job is declared stuck (see [`JobEntry::respins`]).
+const MAX_RESPINS: u32 = 10_000;
+
+/// Upper bound on any single park. The notify protocol is designed to
+/// be lossless; the timeout converts a protocol bug into bounded extra
+/// latency instead of a hang, and costs nothing on the hot path (a
+/// parked thread is off the hot path by definition).
+const PARK_SAFETY: Duration = Duration::from_millis(2);
+
+/// The shared scheduler for one node.
+pub struct Scheduler {
+    engine: Arc<Engine>,
+    /// Layer 1: per-job bookkeeping, sharded by job hash.
+    jobs: JobMap,
+    /// Layer 2: the tiered work-stealing run queue.
+    deques: DequeSet,
+    /// Park control. Never held while doing work — only around the
+    /// park/notify handshake, so a notifier can't slip between a
+    /// sleeper's predicate check and its wait.
+    park: Mutex<()>,
+    cv: Condvar,
+    /// Threads currently inside [`park_unless`](Scheduler::park_unless).
+    /// Notifiers skip the lock entirely while this is zero.
+    sleepers: AtomicUsize,
+    /// Claims held by drivers mid-step (see [`Claim`]).
+    executing: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Number of pool workers attached (used for stall detection).
+    workers_running: AtomicUsize,
+    /// The virtual clock (µs) submission deadlines are measured on.
+    /// Advanced only by the embedder, never by wall time, so expiry is
+    /// deterministic.
+    clock: AtomicU64,
+}
+
+/// What became of a popped token once the job map adjudicated it.
+enum TokenVerdict {
+    /// Dead token (withdrawn, duplicate, or moved-on job); pop again.
+    Stale,
+    /// Live token claimed, but expiry left the job wanted by nothing —
+    /// withdrawn instead of executed. `woke` = an expired fill
+    /// completed some batch, so sleepers need a nudge.
+    Skipped { woke: bool },
+    /// Live token claimed; run the job.
+    Run { woke: bool },
+}
+
+impl Scheduler {
+    /// Creates a scheduler over an engine.
+    pub fn new(engine: Arc<Engine>) -> Scheduler {
+        Scheduler {
+            engine,
+            jobs: JobMap::new(),
+            deques: DequeSet::new(),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            executing: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            workers_running: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine this scheduler drives.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The virtual clock, in µs.
+    pub fn virtual_now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the virtual clock by `us` µs. Queued jobs whose batch
+    /// deadlines the clock passes expire at their next claim.
+    pub fn advance_clock(&self, us: u64) {
+        self.clock.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Jobs claimed out of another thread's deque slot since this
+    /// scheduler was built (diagnostic; the starvation pin asserts a
+    /// stuck batch completes via exactly this).
+    pub fn steals(&self) -> u64 {
+        self.deques.steals()
+    }
+
+    // ----------------------------------------------------------------
+    // Submission
+
+    /// Submits a job if it is not already known, pinning it: a
+    /// fire-and-forget submission has no ticket whose cancellation
+    /// could withdraw it. Returns immediately.
+    pub fn submit(&self, job: Job) {
+        let pushed = {
+            let mut shard = self.jobs.shard(&job);
+            self.enqueue_entry(shard.entry(job).or_default(), job, Priority::Normal, true)
+        };
+        if pushed {
+            self.notify_sleepers();
+        }
+    }
+
+    /// Core enqueue under the job's shard lock: refreshes the entry
+    /// and, unless a live token already floats, pushes a fresh token
+    /// into the calling thread's deque slot at the job's tier. Returns
+    /// whether a token was pushed (the caller wakes sleepers *after*
+    /// releasing the shard).
+    ///
+    /// A revived (previously withdrawn) job always gets a fresh token
+    /// at the *reviving* submission's tier — its stale token keeps
+    /// floating in the old tier and is skipped at claim (though a stale
+    /// token in a higher tier may still dispatch the job earlier than
+    /// the new tier would; never later).
+    ///
+    /// A later *higher*-priority submission of an already-queued job
+    /// promotes the entry and pushes an extra token at the higher tier
+    /// (priority inheritance for deduplicated work): the live-token
+    /// claim bit keeps execution exactly-once, and whichever token pops
+    /// first — usually the higher-tier one — runs the job, leaving the
+    /// other to be skipped as stale.
+    fn enqueue_entry(
+        &self,
+        entry: &mut JobEntry,
+        job: Job,
+        priority: Priority,
+        pinned: bool,
+    ) -> bool {
+        if pinned {
+            entry.pinned = true;
+        }
+        if entry.state.is_none() {
+            // Fresh (or previously withdrawn) job: it runs at the tier
+            // of the submission reviving it.
+            entry.priority = priority;
+            entry.state = Some(JobState::Queued);
+            if !entry.enqueued {
+                entry.enqueued = true;
+                entry.tokens += 1;
+                self.push_token(job, entry.priority.tier());
+                return true;
+            }
+        } else if priority < entry.priority {
+            entry.priority = priority;
+            if matches!(entry.state, Some(JobState::Queued)) && entry.enqueued {
+                // Priority inheritance: re-token the queued job at the
+                // higher tier instead of only promoting future enqueues.
+                entry.tokens += 1;
+                self.push_token(job, priority.tier());
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Requeues a job that already has an entry (dependency satisfied,
+    /// or a benign respin).
+    fn requeue(&self, job: Job) {
+        let pushed = {
+            let mut shard = self.jobs.shard(&job);
+            let entry = shard.entry(job).or_default();
+            entry.state = Some(JobState::Queued);
+            if !entry.enqueued {
+                entry.enqueued = true;
+                entry.tokens += 1;
+                self.push_token(job, entry.priority.tier());
+                true
+            } else {
+                false
+            }
+        };
+        if pushed {
+            self.notify_sleepers();
+        }
+    }
+
+    /// Pushes a queue token to the calling thread's home slot. Safe
+    /// under a shard lock: deque mutexes are leaves (never held while
+    /// acquiring anything else).
+    fn push_token(&self, job: Job, tier: usize) {
+        self.deques.push(deques::current_slot(), tier, job);
+    }
+
+    /// Submits every root and registers a completion watcher for each,
+    /// returning immediately — no caller thread is parked. Roots that
+    /// already finished fill their slots on the spot; the rest fill as
+    /// the completion path reaches them. Each root is `(job,
+    /// then_force)`: a strict slot submits its `Eval` with
+    /// `then_force`, and the watcher chains onto the `Force` of the
+    /// result when the eval completes. This is the scheduler half of
+    /// the One Fix API's `submit_with`.
+    pub(crate) fn submit_watched_with(
+        &self,
+        roots: &[(Job, bool)],
+        deadline_us: Option<u64>,
+        priority: Priority,
+    ) -> Arc<BatchState> {
+        let state = Arc::new(BatchState::new(roots, deadline_us, priority));
+        for (pos, &(job, then_force)) in roots.iter().enumerate() {
+            self.watch_job(&state, pos, job, then_force, false);
+        }
+        state
+    }
+
+    /// Points slot `pos` of `state` at `job`: fills immediately if the
+    /// job already finished (chaining through `Force` for strict
+    /// slots), otherwise enqueues the job at the batch's tier and
+    /// registers the completion watcher on the job's shard entry,
+    /// counting one unit of interest.
+    ///
+    /// `stage_moved` says whether `job` differs from the slot's
+    /// recorded stage job: false for the initial watch (the slot was
+    /// constructed pointing at its root job), true when a strict chain
+    /// advanced onto the `Force`. A moved stage is recorded (and the
+    /// slot's claim re-checked) *under the new stage's shard lock*,
+    /// which is the chain's half of the revocation protocol — see the
+    /// `batch` module docs.
+    fn watch_job(
+        &self,
+        state: &Arc<BatchState>,
+        pos: usize,
+        job: Job,
+        then_force: bool,
+        stage_moved: bool,
+    ) {
+        let (mut job, mut then_force, mut stage_moved) = (job, then_force, stage_moved);
+        loop {
+            let fill_now: Result<Handle>;
+            {
+                let mut shard = self.jobs.shard(&job);
+                match shard.get(&job).and_then(|e| e.state.clone()) {
+                    Some(JobState::Done(h)) if then_force => {
+                        // The eval stage is already memoized: the
+                        // slot's fate rests on the force of its value.
+                        drop(shard);
+                        job = Job::Force(h);
+                        then_force = false;
+                        stage_moved = true;
+                        continue;
+                    }
+                    Some(JobState::Done(h)) => fill_now = Ok(h),
+                    Some(JobState::Failed(e)) => fill_now = Err(e),
+                    _ => {
+                        if stage_moved {
+                            state.set_stage(pos, job);
+                        }
+                        if state.slot_claimed(pos) {
+                            // Revoked while the chain advanced: the
+                            // revoker owns the slot's result; register
+                            // nothing.
+                            return;
+                        }
+                        let entry = shard.entry(job).or_default();
+                        let pushed = self.enqueue_entry(entry, job, state.priority, false);
+                        entry.interest += 1;
+                        entry.watchers.push(Watcher {
+                            state: Arc::clone(state),
+                            pos,
+                            then_force,
+                        });
+                        drop(shard);
+                        if pushed {
+                            self.notify_sleepers();
+                        }
+                        return;
+                    }
+                }
+            }
+            if state.fill(pos, fill_now) {
+                self.notify_sleepers();
+            }
+            return;
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Driving
+
+    /// Drives jobs on the calling thread until the watched batch
+    /// completes; cooperates with pool workers and other inline drivers
+    /// exactly like [`run_inline`](Scheduler::run_inline). On a genuine
+    /// stall the batch's unfinished slots are failed (and its watchers
+    /// deregistered) instead of parking forever.
+    pub(crate) fn wait_batch(&self, state: &Arc<BatchState>) {
+        loop {
+            if state.is_done() {
+                return;
+            }
+            if let Some(claim) = self.try_claim() {
+                claim.execute();
+                continue;
+            }
+            let mut stalled = false;
+            self.park_unless(PARK_SAFETY, || {
+                state.is_done() || self.deques.queued() > 0 || {
+                    stalled = self.stalled_now();
+                    stalled
+                }
+            });
+            if stalled {
+                if state.is_done() {
+                    return;
+                }
+                self.fail_stalled(state);
+                return;
+            }
+        }
+    }
+
+    /// Bounded progress toward a watched batch: steps one queued job
+    /// inline if there is one, otherwise parks for at most `timeout`
+    /// awaiting someone else's progress (or fails the batch on a genuine
+    /// stall). The building block of `wait_any`-style multiplexing.
+    pub(crate) fn advance_batch(&self, state: &Arc<BatchState>, timeout: Duration) {
+        if state.is_done() {
+            return;
+        }
+        if let Some(claim) = self.try_claim() {
+            claim.execute();
+            return;
+        }
+        let mut stalled = false;
+        self.park_unless(timeout, || {
+            state.is_done() || self.deques.queued() > 0 || {
+                stalled = self.stalled_now();
+                stalled
+            }
+        });
+        if stalled && !state.is_done() {
+            self.fail_stalled(state);
+        }
+    }
+
+    /// Drives jobs on the calling thread until `root` completes.
+    ///
+    /// If worker threads are also draining jobs, this cooperates with
+    /// them; when nothing is momentarily claimable it waits for
+    /// progress. Kept allocation-free separately from the watched-batch
+    /// path (`submit_watched_with` + `wait_batch`, which backs
+    /// `Runtime::eval_many` and the submission tickets) — this is the
+    /// Fig. 7a microsecond path — with the subtle parts (executor
+    /// claims, the stall predicate) shared between the two loops.
+    pub fn run_inline(&self, root: Job) -> Result<Handle> {
+        self.submit(root);
+        loop {
+            if let Some(result) = self.poll(root) {
+                return result;
+            }
+            if let Some(claim) = self.try_claim() {
+                claim.execute();
+                continue;
+            }
+            let mut stalled = false;
+            self.park_unless(PARK_SAFETY, || {
+                self.poll(root).is_some() || self.deques.queued() > 0 || {
+                    stalled = self.stalled_now();
+                    stalled
+                }
+            });
+            if stalled {
+                // Re-poll once: the finishing step and our stall read
+                // can race, and a result always wins over the error.
+                if let Some(result) = self.poll(root) {
+                    return result;
+                }
+                return Err(Error::Trap(format!(
+                    "evaluation stalled: no runnable jobs for {root}"
+                )));
+            }
+        }
+    }
+
+    /// Claims the next runnable job for this thread: raises the
+    /// executor claim, then pops tokens (own slot first, then steals)
+    /// until the job map confirms one live — skipping stale tokens and
+    /// lazily expiring deadline-passed watcher slots, the "expire at
+    /// claim" half of request-scoped submission. Returns `None` (and
+    /// drops the claim) when no runnable token is left anywhere.
+    fn try_claim(&self) -> Option<Claim<'_>> {
+        if self.deques.queued() == 0 {
+            return None;
+        }
+        // Raise the claim *before* popping: from here until release,
+        // a stall checker reading `executing == 0` cannot miss us.
+        self.executing.fetch_add(1, Ordering::SeqCst);
+        let home = deques::current_slot();
+        loop {
+            let Some(job) = self.deques.pop(home) else {
+                self.release_claim();
+                return None;
+            };
+            match self.adjudicate_token(job) {
+                TokenVerdict::Stale => continue,
+                TokenVerdict::Skipped { woke } => {
+                    if woke {
+                        self.notify_sleepers();
+                    }
+                    continue;
+                }
+                TokenVerdict::Run { woke } => {
+                    if woke {
+                        self.notify_sleepers();
+                    }
+                    return Some(Claim {
+                        scheduler: self,
+                        job,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Decides a popped token's fate under the job's shard lock.
+    fn adjudicate_token(&self, job: Job) -> TokenVerdict {
+        let mut shard = self.jobs.shard(&job);
+        let Some(entry) = shard.get_mut(&job) else {
+            return TokenVerdict::Stale; // Withdrawn and fully dropped.
+        };
+        entry.tokens = entry.tokens.saturating_sub(1);
+        if !(matches!(entry.state, Some(JobState::Queued)) && entry.enqueued) {
+            // Stale token: the job was withdrawn, is already being
+            // stepped by someone who claimed the live token, or has
+            // moved on entirely.
+            if entry.disposable() {
+                shard.remove(&job);
+            }
+            return TokenVerdict::Stale;
+        }
+        // Claim the live token: from here the job counts as being
+        // stepped (never withdrawable), not as queued.
+        entry.enqueued = false;
+        // Lazy deadline expiry at the claiming worker. The per-entry
+        // watcher list keeps the no-watched-batches case (plain `eval`
+        // inline driving) at a single emptiness check.
+        let mut woke = false;
+        if !entry.watchers.is_empty() {
+            let now = self.clock.load(Ordering::Relaxed);
+            let expires = |w: &Watcher| matches!(w.state.deadline_us, Some(d) if now > d);
+            if entry.watchers.iter().any(expires) {
+                let mut kept = Vec::with_capacity(entry.watchers.len());
+                for w in std::mem::take(&mut entry.watchers) {
+                    if expires(&w) {
+                        entry.interest = entry.interest.saturating_sub(1);
+                        let deadline_us = w.state.deadline_us.expect("expired ⇒ has deadline");
+                        woke |= w
+                            .state
+                            .fill(w.pos, Err(Error::DeadlineExceeded { deadline_us }));
+                    } else {
+                        kept.push(w);
+                    }
+                }
+                entry.watchers = kept;
+            }
+        }
+        if entry.wanted() {
+            TokenVerdict::Run { woke }
+        } else {
+            // Nothing live wants this job, and the claim is ours:
+            // withdraw instead of executing dead work.
+            entry.state = None;
+            if entry.tokens == 0 {
+                shard.remove(&job);
+            }
+            TokenVerdict::Skipped { woke }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Execution
+
+    /// Steps a job and records the outcome.
+    ///
+    /// A panicking codelet is caught at this boundary and recorded as a
+    /// guest [`Error::Trap`] — panics are guest faults like VM traps, and
+    /// converting them here lets failure propagation wake every waiter.
+    /// Letting the panic unwind instead would lose the job (its entry
+    /// stays `Queued` but it is no longer in any deque), permanently
+    /// hanging any driver or pool waiting on it.
+    fn execute(&self, job: Job) {
+        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.engine.step(job)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                Err(Error::Trap(format!("codelet panicked: {msg}")))
+            });
+        match step {
+            Ok(Step::Done(h)) => self.complete_job(job, Ok(h)),
+            Err(e) => self.complete_job(job, Err(e)),
+            Ok(Step::Deps(deps)) => self.park_on_deps(job, deps),
+        }
+        self.notify_sleepers();
+    }
+
+    /// Parks a stepped job on its unfinished dependencies via a fresh
+    /// [`DepWait`] waitgroup, enqueueing each pending dependency at the
+    /// job's own tier. The waitgroup's guard unit (held until the job's
+    /// state is safely `Waiting`) is what makes the park race-free
+    /// against dependencies completing on other shards mid-registration.
+    fn park_on_deps(&self, job: Job, deps: Vec<Job>) {
+        // Dependencies run at the tier of the job that needs them.
+        let tier = {
+            self.jobs
+                .shard(&job)
+                .get(&job)
+                .map(|e| e.priority)
+                .unwrap_or_default()
+        };
+        let wait = Arc::new(DepWait {
+            job,
+            pending: AtomicUsize::new(1), // registration guard
+            fired: AtomicBool::new(false),
+        });
+        let mut registered = 0usize;
+        let mut failed: Option<Error> = None;
+        let mut pushed_any = false;
+        for dep in deps {
+            let mut shard = self.jobs.shard(&dep);
+            match shard.get(&dep).and_then(|e| e.state.clone()) {
+                Some(JobState::Done(_)) => {}
+                Some(JobState::Failed(e)) => {
+                    failed = Some(e);
+                    break;
+                }
+                _ => {
+                    let entry = shard.entry(dep).or_default();
+                    pushed_any |= self.enqueue_entry(entry, dep, tier, false);
+                    entry.waiters.push(Arc::clone(&wait));
+                    wait.pending.fetch_add(1, Ordering::AcqRel);
+                    registered += 1;
+                }
+            }
+        }
+        if pushed_any {
+            self.notify_sleepers();
+        }
+        if let Some(e) = failed {
+            // A dependency already failed: the job fails now. Neutralize
+            // the waitgroup so completions of the deps we did register
+            // with cannot requeue or re-fail it.
+            wait.fired.store(true, Ordering::SeqCst);
+            self.complete_job(job, Err(e));
+            return;
+        }
+        enum After {
+            Requeue,
+            Stuck,
+            Parked,
+        }
+        let after = {
+            let mut shard = self.jobs.shard(&job);
+            let entry = shard.entry(job).or_default();
+            if registered == 0 {
+                // Everything finished in the meantime; go again — but
+                // bound the spins: if the engine keeps reporting deps
+                // the job map says are done, the two memo layers are
+                // out of sync (e.g. the relation cache was cleared
+                // without resetting the scheduler).
+                entry.respins += 1;
+                if entry.respins > MAX_RESPINS {
+                    After::Stuck
+                } else {
+                    After::Requeue
+                }
+            } else {
+                entry.respins = 0;
+                // The state moves to Waiting *before* the guard unit is
+                // released below: a dependency completing right now
+                // still sees pending > 0, so the requeue cannot fire
+                // until we are done here.
+                entry.state = Some(JobState::Waiting);
+                After::Parked
+            }
+        };
+        match after {
+            After::Requeue => {
+                wait.fired.store(true, Ordering::SeqCst);
+                self.requeue(job);
+            }
+            After::Stuck => {
+                wait.fired.store(true, Ordering::SeqCst);
+                self.complete_job(
+                    job,
+                    Err(Error::Trap(format!(
+                        "scheduler stuck re-stepping {job}: job states and the \
+                         relation cache disagree (was the cache cleared without \
+                         Runtime::clear_memoization?)"
+                    ))),
+                );
+            }
+            After::Parked => {
+                // Release the registration guard; if every dependency
+                // finished while we registered, the requeue is ours.
+                if wait.pending.fetch_sub(1, Ordering::AcqRel) == 1
+                    && !wait.fired.swap(true, Ordering::AcqRel)
+                {
+                    self.requeue(job);
+                }
+            }
+        }
+    }
+
+    /// Marks a job finished and wakes its (transitive) waiters, filling
+    /// the slots of any watched batches as it goes (the completion
+    /// notification hook behind submission tickets). A strict slot's
+    /// watcher does not fill on its eval stage — it chains onto the
+    /// `Force` of the produced value, re-registering on that job.
+    fn complete_job(&self, job: Job, result: Result<Handle>) {
+        // Worklist of (job, result) so failure propagation is iterative.
+        let mut worklist: Vec<(Job, Result<Handle>)> = vec![(job, result)];
+        let mut woke = false;
+        while let Some((job, result)) = worklist.pop() {
+            let (waiters, watchers) = {
+                let mut shard = self.jobs.shard(&job);
+                let entry = shard.entry(job).or_default();
+                entry.state = Some(match &result {
+                    Ok(h) => JobState::Done(*h),
+                    Err(e) => JobState::Failed(e.clone()),
+                });
+                let watchers = std::mem::take(&mut entry.watchers);
+                entry.interest = entry.interest.saturating_sub(watchers.len());
+                (std::mem::take(&mut entry.waiters), watchers)
+            };
+            // Shard released: fills and chains below take other locks.
+            for w in watchers {
+                match (&result, w.then_force) {
+                    (Ok(h), true) => {
+                        // Strict chain: the slot now rides the
+                        // deep-force of the evaluated value.
+                        self.watch_job(&w.state, w.pos, Job::Force(*h), false, true);
+                    }
+                    _ => woke |= w.state.fill(w.pos, result.clone()),
+                }
+            }
+            for wait in waiters {
+                match &result {
+                    Ok(_) => {
+                        if wait.pending.fetch_sub(1, Ordering::AcqRel) == 1
+                            && !wait.fired.swap(true, Ordering::AcqRel)
+                        {
+                            self.requeue(wait.job);
+                        }
+                    }
+                    Err(e) => {
+                        // Fail the waiter and its waiters transitively
+                        // (exactly once, however many of its deps fail).
+                        if !wait.fired.swap(true, Ordering::AcqRel) {
+                            worklist.push((wait.job, Err(e.clone())));
+                        }
+                    }
+                }
+            }
+        }
+        if woke {
+            self.notify_sleepers();
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Revocation (cancel, stall, expiry)
+
+    /// Cancels a watched batch (the ticket was cancelled or dropped
+    /// unresolved): unresolved slots fail with [`Error::Cancelled`],
+    /// their watchers are deregistered, and still-queued jobs that no
+    /// other live request shares are withdrawn — they will be skipped
+    /// at claim instead of executed. Jobs that are shared, depended
+    /// on, pinned, or already executing stay ordinary scheduler state
+    /// and complete normally.
+    pub(crate) fn cancel_batch(&self, state: &Arc<BatchState>) {
+        for pos in state.unclaimed() {
+            self.revoke_slot(state, pos, true, |_| Error::Cancelled);
+        }
+        // A concurrent waiter of another ticket may be parked on this
+        // batch's jobs; the withdrawal changed what is runnable.
+        self.notify_sleepers();
+    }
+
+    /// Fails a watched batch's unfinished slots with the stall error
+    /// (mirroring what [`run_inline`](Scheduler::run_inline) reports)
+    /// and deregisters its watchers, so the waiter returns instead of
+    /// parking on a graph that can never progress. Queued jobs are left
+    /// alone — there is nothing to withdraw from a drained queue.
+    fn fail_stalled(&self, state: &Arc<BatchState>) {
+        for pos in state.unclaimed() {
+            self.revoke_slot(state, pos, false, |job| {
+                Error::Trap(format!("evaluation stalled: no runnable jobs for {job}"))
+            });
+        }
+        self.notify_sleepers();
+    }
+
+    /// Revokes one slot: claims it (backing off if a racing fill won),
+    /// deregisters its watcher from whichever job the slot's stage
+    /// chain currently points at, optionally withdraws orphaned queued
+    /// work, and writes the error. The stage re-read loop pairs with
+    /// [`watch_job`](Scheduler::watch_job)'s record-stage-then-check-
+    /// claim ordering (see the `batch` module docs): however the race
+    /// lands, no watcher survives the revocation.
+    fn revoke_slot(
+        &self,
+        state: &Arc<BatchState>,
+        pos: usize,
+        withdraw: bool,
+        err: impl Fn(Job) -> Error,
+    ) {
+        if !state.claim_slot(pos) {
+            return; // A fill got here first; the slot has a result.
+        }
+        let mut stage = state.stage(pos);
+        loop {
+            {
+                let mut shard = self.jobs.shard(&stage);
+                if let Some(entry) = shard.get_mut(&stage) {
+                    let before = entry.watchers.len();
+                    entry
+                        .watchers
+                        .retain(|w| !(Arc::ptr_eq(&w.state, state) && w.pos == pos));
+                    entry.interest = entry.interest.saturating_sub(before - entry.watchers.len());
+                    if withdraw
+                        && !entry.wanted()
+                        && matches!(entry.state, Some(JobState::Queued))
+                        && entry.enqueued
+                    {
+                        // Genuinely in a deque (live token unclaimed —
+                        // a popped, mid-step job must complete, or a
+                        // later submission of the same job could run it
+                        // twice concurrently) and nothing live wants
+                        // it: withdraw. The stale token is skipped at
+                        // claim, which also drops the entry once the
+                        // last token drains.
+                        entry.state = None;
+                        entry.enqueued = false;
+                    }
+                }
+            }
+            let now = state.stage(pos);
+            if now == stage {
+                break;
+            }
+            stage = now; // The chain advanced mid-revoke; chase it.
+        }
+        if state.finish_claimed(pos, Err(err(stage))) {
+            self.notify_sleepers();
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Queries and maintenance
+
+    /// Returns the job's result if it has finished.
+    pub fn poll(&self, job: Job) -> Option<Result<Handle>> {
+        match self
+            .jobs
+            .shard(&job)
+            .get(&job)
+            .and_then(|e| e.state.as_ref())
+        {
+            Some(JobState::Done(h)) => Some(Ok(*h)),
+            Some(JobState::Failed(e)) => Some(Err(e.clone())),
+            _ => None,
+        }
+    }
+
+    /// Blocks until the job completes (requires a running [`WorkerPool`]
+    /// or another thread driving the queue). The job should have been
+    /// submitted with [`submit`](Scheduler::submit), which pins it —
+    /// an unpinned job could be withdrawn by a cancellation and never
+    /// complete.
+    pub fn wait(&self, job: Job) -> Result<Handle> {
+        loop {
+            if let Some(result) = self.poll(job) {
+                return result;
+            }
+            self.park_unless(PARK_SAFETY, || self.poll(job).is_some());
+        }
+    }
+
+    /// Registered completion watchers across all watched batches
+    /// (diagnostic; the leak test pins this to zero after tickets are
+    /// resolved or dropped).
+    pub fn watcher_count(&self) -> usize {
+        let mut n = 0;
+        self.jobs
+            .for_each_shard(|map| n += map.values().map(|e| e.watchers.len()).sum::<usize>());
+        n
+    }
+
+    /// Jobs currently queued for (or undergoing) execution. Withdrawn
+    /// jobs do not count: after cancelling the only ticket that wanted
+    /// a batch, a quiescent scheduler reports zero — the "no orphaned
+    /// queued work" half of the ticket-leak pin.
+    pub fn queued_jobs(&self) -> usize {
+        let mut n = 0;
+        self.jobs.for_each_shard(|map| {
+            n += map
+                .values()
+                .filter(|e| matches!(e.state, Some(JobState::Queued)))
+                .count();
+        });
+        n
+    }
+
+    /// Discards all job state and any queued work.
+    ///
+    /// Job completion records double as a memo consistent with the
+    /// engine's relation cache, so the two must be cleared together
+    /// (see [`Runtime::clear_memoization`](crate::Runtime::clear_memoization)).
+    /// Must only be called while no evaluation is in flight; queued jobs
+    /// are dropped and their waiters never woken. Watched batches still
+    /// in flight are failed loudly rather than silently forgotten, so a
+    /// leaked ticket wait cannot hang.
+    pub fn reset(&self) {
+        self.deques.drain_all();
+        let mut stranded: Vec<(Job, Watcher)> = Vec::new();
+        self.jobs.for_each_shard(|map| {
+            for (job, entry) in map.iter_mut() {
+                for w in std::mem::take(&mut entry.watchers) {
+                    stranded.push((*job, w));
+                }
+            }
+            map.clear();
+        });
+        for (job, w) in stranded {
+            w.state.fill(
+                w.pos,
+                Err(Error::Trap(format!(
+                    "scheduler reset while {job} was in flight"
+                ))),
+            );
+        }
+        self.notify_sleepers();
+    }
+
+    /// Drops one finished job record, so a later submission re-steps it
+    /// against the engine instead of short-circuiting to the recorded
+    /// result. No-op if the job is still queued, running, or waited on.
+    ///
+    /// Used by recompute-on-demand after the matching relation-cache
+    /// entries are removed, keeping the invariant that a `Done` job
+    /// record always has its relations memoized.
+    pub fn forget(&self, job: Job) {
+        let mut shard = self.jobs.shard(&job);
+        if let Some(entry) = shard.get(&job) {
+            if entry.finished() && entry.waiters.is_empty() && entry.tokens == 0 {
+                shard.remove(&job);
+            }
+        }
+    }
+
+    /// Drops completed job records that nothing waits on, bounding the
+    /// job map for long-lived nodes. Results stay reproducible: the
+    /// engine's relation cache still memoizes the underlying relations,
+    /// so a re-submitted job completes from cache without re-running
+    /// procedures.
+    pub fn forget_finished(&self) -> usize {
+        let mut dropped = 0;
+        self.jobs.for_each_shard(|map| {
+            let before = map.len();
+            map.retain(|_, e| !e.finished() || !e.waiters.is_empty() || e.tokens > 0);
+            dropped += before - map.len();
+        });
+        dropped
+    }
+
+    // ----------------------------------------------------------------
+    // Parking
+
+    /// True when no one can make progress: no pool workers, no driver
+    /// mid-step, and no token in any deque — *including other threads'
+    /// slots and tokens mid-steal*, which is exactly what the `queued`
+    /// counter (increment-before-push / decrement-after-pop, with the
+    /// popper's claim held until its consequences are published) exists
+    /// to make checkable from one thread.
+    fn stalled_now(&self) -> bool {
+        self.workers_running.load(Ordering::SeqCst) == 0
+            && self.executing.load(Ordering::SeqCst) == 0
+            && self.deques.queued() == 0
+    }
+
+    /// Parks the calling thread until a notify (or the safety timeout),
+    /// unless `ready` already holds once the park lock is taken. The
+    /// sleepers-count handshake with [`notify_sleepers`] guarantees
+    /// that any state change making `ready` true after our check — all
+    /// of which notify under the park lock when sleepers > 0 — wakes
+    /// us. Callers re-check their predicate in a loop.
+    fn park_unless(&self, cap: Duration, mut ready: impl FnMut() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.park.lock();
+        if !ready() {
+            self.cv.wait_for(&mut guard, cap);
+        }
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes parked threads, if any. The sleepers check makes this a
+    /// single atomic load on the hot path (nobody parked); when someone
+    /// is, the notify happens under the park lock so it cannot slip
+    /// between a sleeper's predicate check and its wait. Never call
+    /// with a job-map shard locked (lock order: park → shard).
+    fn notify_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Drops an executor claim and re-notifies: the stall predicate may
+    /// have just become true for a parked waiter.
+    fn release_claim(&self) {
+        self.executing.fetch_sub(1, Ordering::SeqCst);
+        self.notify_sleepers();
+    }
+
+    /// Raises the shutdown flag so workers exit. The store happens
+    /// under the park lock: a worker's check-shutdown-then-wait
+    /// sequence is atomic only against mutators that hold it.
+    fn begin_shutdown(&self) {
+        {
+            let _guard = self.park.lock();
+            self.shutdown.store(true, Ordering::SeqCst);
+        }
+        self.cv.notify_all();
+    }
+
+    fn worker_loop(&self, index: usize) {
+        deques::pin_slot(index);
+        /// Keeps `workers_running` an honest *live*-worker count: the
+        /// decrement runs on every exit, including unwinding out of a
+        /// panicking codelet. Without it, a dead worker would satisfy
+        /// the stall predicate forever and park inline drivers instead
+        /// of letting them report the stall. Decrement under the park
+        /// lock + notify, like every other stall-predicate mutation.
+        struct LiveWorker<'a>(&'a Scheduler);
+        impl Drop for LiveWorker<'_> {
+            fn drop(&mut self) {
+                {
+                    let _guard = self.0.park.lock();
+                    self.0.workers_running.fetch_sub(1, Ordering::SeqCst);
+                }
+                self.0.cv.notify_all();
+            }
+        }
+        let _live = LiveWorker(self);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(claim) = self.try_claim() {
+                claim.execute();
+                continue;
+            }
+            self.park_unless(PARK_SAFETY, || {
+                self.shutdown.load(Ordering::SeqCst) || self.deques.queued() > 0
+            });
+        }
+    }
+}
+
+/// A driver's executor claim on one popped job (see
+/// [`Scheduler::try_claim`]): while it lives, concurrent drivers that
+/// find the deques empty see the in-flight step (via the `executing`
+/// counter) instead of reporting a stall. Dropping releases the claim
+/// and wakes parked drivers — also on unwind, so a panicking codelet
+/// leaves the scheduler consistent (the surviving driver then reports
+/// the stall as an error).
+struct Claim<'a> {
+    scheduler: &'a Scheduler,
+    job: Job,
+}
+
+impl Claim<'_> {
+    /// Steps the claimed job, then releases the claim.
+    fn execute(self) {
+        self.scheduler.execute(self.job);
+        // Release happens in Drop, which also covers the panic path.
+    }
+}
+
+impl Drop for Claim<'_> {
+    fn drop(&mut self) {
+        self.scheduler.release_claim();
+    }
+}
+
+/// A pool of worker threads draining a scheduler's deques, worker `i`
+/// pinned to deque slot `i`.
+pub struct WorkerPool {
+    scheduler: Arc<Scheduler>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` workers over the scheduler.
+    pub fn spawn(scheduler: Arc<Scheduler>, n: usize) -> WorkerPool {
+        scheduler.workers_running.fetch_add(n, Ordering::SeqCst);
+        let threads = (0..n)
+            .map(|i| {
+                let sched = Arc::clone(&scheduler);
+                std::thread::Builder::new()
+                    .name(format!("fixpoint-worker-{i}"))
+                    .spawn(move || sched.worker_loop(i))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { scheduler, threads }
+    }
+
+    /// Signals shutdown and joins all workers.
+    pub fn shutdown(mut self) {
+        self.scheduler.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.scheduler.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

@@ -171,6 +171,25 @@ fn main() {
         "SLO table reproduced bit-for-bit; latency-tier p99 {interactive_p99} µs < batch-tier \
          p99 {analytics_p99} µs ✓"
     );
+
+    // --- Worker pools don't perturb the tables --------------------------
+    // The scheduler shards its job map and steals work across per-worker
+    // deques, so with workers the same traffic executes in a genuinely
+    // different interleaving — and the virtual-clock tables must not
+    // care. This runs in the release CI smoke, so a scheduler change
+    // that lets wall-clock interleaving leak into the deterministic
+    // telemetry fails the build.
+    let one = serve(&Runtime::builder().workers(1).build(), &cfg).expect("serve workers=1");
+    let four = serve(&Runtime::builder().workers(4).build(), &cfg).expect("serve workers=4");
+    assert_eq!(
+        one.to_string(),
+        four.to_string(),
+        "a 4-worker pool must reproduce the 1-worker tables bit for bit"
+    );
+    assert_eq!(one.to_string(), on_runtime.to_string());
+    let slo_four = serve(&Runtime::builder().workers(4).build(), &slo_cfg).expect("SLO workers=4");
+    assert_eq!(on_slo.to_string(), slo_four.to_string());
+    println!("worker pools (1 vs 4) reproduce the pool-less tables bit-for-bit ✓");
 }
 
 /// The same tenants as `config`, re-classed: interactive is

@@ -62,6 +62,9 @@ where
 {
     let inline = Runtime::builder().build();
     let pooled = Runtime::builder().workers(2).build();
+    // A wider pool than cores on most CI boxes: exercises the sharded
+    // job map and cross-deque stealing under genuine oversubscription.
+    let pooled4 = Runtime::builder().workers(4).build();
     let off_rt = BlockingOffload::new(Runtime::builder().build());
     let off_cc = BlockingOffload::new(ClusterClient::builder().build().expect("cluster client"));
     let off_bl = BlockingOffload::new(
@@ -76,6 +79,7 @@ where
     let backends: Vec<(&str, &dyn SubmittingBackend)> = vec![
         ("Runtime", &inline),
         ("Runtime(workers=2)", &pooled),
+        ("Runtime(workers=4)", &pooled4),
         ("BlockingOffload<Runtime>", &off_rt),
         ("BlockingOffload<ClusterClient>", &off_cc),
         ("BlockingOffload<BaselineEvaluator>", &off_bl),

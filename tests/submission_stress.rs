@@ -16,7 +16,13 @@
 //! * **cancellation under fire** — a canceller thread revoking a share
 //!   of the in-flight tickets must neither hang the waiters nor break
 //!   the books: every surviving request still resolves exactly once,
-//!   and no watcher or orphaned queued job outlives the run.
+//!   and no watcher or orphaned queued job outlives the run;
+//! * **work stealing** — tokens land in the submitting thread's deque
+//!   slot, so every other thread that makes progress on them crossed a
+//!   deque boundary: the steal tests pin that cross-slot claiming keeps
+//!   the same exactly-once books, that a submitting thread's exit never
+//!   strands its queued work (the stall check must see other slots),
+//!   and that a latency batch overtakes a busy worker via stealing.
 
 use fix::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -318,4 +324,334 @@ fn canceller_thread_cannot_break_accounting() {
     );
     assert_eq!(rt.submission_watchers(), 0, "no watcher survives the run");
     assert_eq!(rt.queued_jobs(), 0, "no orphaned queued jobs survive");
+}
+
+/// The canceller stress again, now with a 4-worker pool stealing from
+/// the producers' deque slots while cancels land. Producers never drive
+/// the scheduler, so *every* job that runs was claimed across a slot
+/// boundary — by a pool worker or a waiter — and the books must close
+/// exactly as they do single-sloted: surviving requests resolve once
+/// with the right value, nothing runs twice, nothing leaks.
+#[test]
+fn worker_pool_steals_survive_concurrent_cancel() {
+    const POOL_BATCHES: usize = 20;
+    let rt = Arc::new(Runtime::builder().workers(4).build());
+    let add = rt.register_native(
+        "stress/steal-add",
+        Arc::new(|ctx| {
+            let a = ctx.arg_blob(0)?.as_u64().unwrap();
+            let b = ctx.arg_blob(1)?.as_u64().unwrap();
+            ctx.host
+                .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+        }),
+    );
+
+    let (live_tx, live_rx) = mpsc::channel::<(Vec<u64>, BatchTicket)>();
+    let (doom_tx, doom_rx) = mpsc::channel::<BatchTicket>();
+    let live_rx = Arc::new(Mutex::new(live_rx));
+    let verified = AtomicU64::new(0);
+    let doomed_count = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let live_tx = live_tx.clone();
+            let doom_tx = doom_tx.clone();
+            let rt = Arc::clone(&rt);
+            let doomed_count = &doomed_count;
+            scope.spawn(move || {
+                for k in 0..POOL_BATCHES {
+                    let base = 4_000_000 + (p as u64) * 1_000_000 + (k as u64) * BATCH;
+                    let thunks: Vec<Handle> = (0..BATCH)
+                        .map(|j| {
+                            rt.apply(
+                                limits(),
+                                add,
+                                &[
+                                    rt.put_blob(Blob::from_u64(base + j)),
+                                    rt.put_blob(Blob::from_u64(31)),
+                                ],
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    let ticket = rt.submit_many(&thunks);
+                    if k % 3 == 0 {
+                        doomed_count.fetch_add(BATCH, Ordering::SeqCst);
+                        doom_tx.send(ticket).expect("canceller outlives producers");
+                    } else {
+                        let expected: Vec<u64> = (0..BATCH).map(|j| base + j + 31).collect();
+                        live_tx
+                            .send((expected, ticket))
+                            .expect("waiters outlive producers");
+                    }
+                }
+            });
+        }
+        drop(live_tx);
+        drop(doom_tx);
+
+        scope.spawn(move || {
+            while let Ok(ticket) = doom_rx.recv() {
+                ticket.cancel();
+            }
+        });
+
+        for _ in 0..WAITERS {
+            let live_rx = Arc::clone(&live_rx);
+            let rt = Arc::clone(&rt);
+            let verified = &verified;
+            scope.spawn(move || loop {
+                let next = live_rx.lock().unwrap().recv();
+                let Ok((expected, ticket)) = next else {
+                    return;
+                };
+                let results = ticket.wait();
+                assert_eq!(results.len(), expected.len());
+                for (r, want) in results.iter().zip(&expected) {
+                    let h = *r.as_ref().expect("surviving request succeeds");
+                    assert_eq!(rt.get_u64(h).unwrap(), *want);
+                }
+                verified.fetch_add(expected.len() as u64, Ordering::SeqCst);
+            });
+        }
+    });
+
+    let total = (PRODUCERS * POOL_BATCHES) as u64 * BATCH;
+    let doomed = doomed_count.load(Ordering::SeqCst);
+    assert_eq!(
+        verified.load(Ordering::SeqCst),
+        total - doomed,
+        "every surviving request must be resolved exactly once"
+    );
+    let ran = rt.procedures_run();
+    assert!(
+        ran >= total - doomed && ran <= total,
+        "procedures_run {ran} outside [{}, {total}]",
+        total - doomed
+    );
+    assert!(
+        rt.work_steals() > 0,
+        "producer-submitted work can only run via cross-slot steals"
+    );
+    assert_eq!(rt.submission_watchers(), 0, "no watcher survives the run");
+    assert_eq!(rt.queued_jobs(), 0, "no orphaned queued jobs survive");
+}
+
+/// A producer thread submits a batch and *exits* without driving the
+/// scheduler; the main thread (a different deque slot) must then steal
+/// the work out of the dead thread's slot rather than misreport an
+/// "evaluation stalled" trap — the stall check has to count tokens
+/// parked in *other* slots' deques, not just the claimant's own.
+#[test]
+fn exited_submitters_work_is_stolen_not_stalled() {
+    let rt = Runtime::builder().build();
+    let add = rt.register_native(
+        "stress/orphan-add",
+        Arc::new(|ctx| {
+            let a = ctx.arg_blob(0)?.as_u64().unwrap();
+            let b = ctx.arg_blob(1)?.as_u64().unwrap();
+            ctx.host
+                .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+        }),
+    );
+
+    let (tx, rx) = mpsc::channel::<(Vec<u64>, BatchTicket)>();
+    std::thread::scope(|scope| {
+        let rt = &rt;
+        scope.spawn(move || {
+            let thunks: Vec<Handle> = (0..BATCH)
+                .map(|j| {
+                    rt.apply(
+                        limits(),
+                        add,
+                        &[
+                            rt.put_blob(Blob::from_u64(6_000_000 + j)),
+                            rt.put_blob(Blob::from_u64(7)),
+                        ],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let expected: Vec<u64> = (0..BATCH).map(|j| 6_000_000 + j + 7).collect();
+            tx.send((expected, rt.submit_many(&thunks))).unwrap();
+        });
+    });
+    // The producer is gone; its tokens sit in its (now orphaned) slot.
+    let (expected, ticket) = rx.recv().unwrap();
+    let results = ticket.wait();
+    for (r, want) in results.iter().zip(&expected) {
+        let h = *r.as_ref().expect("orphaned request still succeeds");
+        assert_eq!(rt.get_u64(h).unwrap(), *want);
+    }
+    assert!(
+        rt.work_steals() >= 1,
+        "the waiter sits in a different slot, so progress requires steals"
+    );
+    assert_eq!(rt.submission_watchers(), 0);
+    assert_eq!(rt.queued_jobs(), 0);
+}
+
+/// The starvation pin: with a 2-worker pool, one worker is wedged on a
+/// long batch-tier job (a codelet blocked on a channel). A latency-tier
+/// batch submitted from an external thread must still complete — some
+/// other claimant steals it past the busy worker — and only then is the
+/// wedged job released.
+#[test]
+fn latency_batch_overtakes_a_busy_worker_via_stealing() {
+    let rt = Arc::new(Runtime::builder().workers(2).build());
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let started_tx = Mutex::new(started_tx);
+    let gate_rx = Mutex::new(gate_rx);
+    let blocker = rt.register_native(
+        "stress/blocker",
+        Arc::new(move |ctx| {
+            started_tx.lock().unwrap().send(()).ok();
+            // Hold the worker until the test releases it (or drops the
+            // channel on a failure path — either unblocks us).
+            let _ = gate_rx.lock().unwrap().recv();
+            ctx.host.create_blob(0u64.to_le_bytes().to_vec())
+        }),
+    );
+    let add = rt.register_native(
+        "stress/starve-add",
+        Arc::new(|ctx| {
+            let a = ctx.arg_blob(0)?.as_u64().unwrap();
+            let b = ctx.arg_blob(1)?.as_u64().unwrap();
+            ctx.host
+                .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+        }),
+    );
+
+    // Wedge one worker on a batch-tier job and wait until it is
+    // actually executing (the main thread never drives the scheduler
+    // here, so only a pool worker can have claimed it — via a steal
+    // from this thread's slot).
+    let blocker_thunk = rt
+        .apply(limits(), blocker, &[rt.put_blob(Blob::from_u64(0))])
+        .unwrap();
+    let blocker_ticket = rt.submit_with(
+        &[blocker_thunk],
+        SubmitOptions::default().with_priority(Priority::Batch),
+    );
+    started_rx.recv().expect("a worker claims the blocker");
+
+    // A latency batch submitted from a fresh thread, which exits
+    // immediately: completion requires stealing past the wedged worker.
+    let (tx, rx) = mpsc::channel::<(Vec<u64>, BatchTicket)>();
+    std::thread::scope(|scope| {
+        let rt = Arc::clone(&rt);
+        scope.spawn(move || {
+            let thunks: Vec<Handle> = (0..BATCH)
+                .map(|j| {
+                    rt.apply(
+                        limits(),
+                        add,
+                        &[
+                            rt.put_blob(Blob::from_u64(8_000_000 + j)),
+                            rt.put_blob(Blob::from_u64(11)),
+                        ],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let expected: Vec<u64> = (0..BATCH).map(|j| 8_000_000 + j + 11).collect();
+            let ticket = rt.submit_with(
+                &thunks,
+                SubmitOptions::default().with_priority(Priority::Latency),
+            );
+            tx.send((expected, ticket)).unwrap();
+        });
+    });
+    let (expected, ticket) = rx.recv().unwrap();
+    let results = ticket.wait();
+    for (r, want) in results.iter().zip(&expected) {
+        let h = *r
+            .as_ref()
+            .expect("latency request completes despite the wedge");
+        assert_eq!(rt.get_u64(h).unwrap(), *want);
+    }
+    assert!(
+        rt.work_steals() > 0,
+        "nothing here runs in its submitter's slot — steals must have happened"
+    );
+
+    // Only now release the wedged worker and close its books too.
+    gate_tx
+        .send(())
+        .expect("blocker is still parked on the gate");
+    for r in blocker_ticket.wait() {
+        r.expect("blocker completes once released");
+    }
+    assert_eq!(rt.submission_watchers(), 0);
+    assert_eq!(rt.queued_jobs(), 0);
+}
+
+/// Priority inheritance: re-submitting an already-queued job at a
+/// higher tier must re-token it at that tier, so the later
+/// latency-class submission overtakes batch work queued ahead of it —
+/// instead of inheriting the stale batch position.
+#[test]
+fn resubmission_at_higher_tier_jumps_the_queue() {
+    let rt = Runtime::builder().build();
+    let add = rt.register_native(
+        "stress/tier-add",
+        Arc::new(|ctx| {
+            let a = ctx.arg_blob(0)?.as_u64().unwrap();
+            let b = ctx.arg_blob(1)?.as_u64().unwrap();
+            ctx.host
+                .create_blob(a.wrapping_add(b).to_le_bytes().to_vec())
+        }),
+    );
+    let mk = |a: u64| {
+        rt.apply(
+            limits(),
+            add,
+            &[
+                rt.put_blob(Blob::from_u64(a)),
+                rt.put_blob(Blob::from_u64(5)),
+            ],
+        )
+        .unwrap()
+    };
+    let shared = mk(9_000_000);
+    let filler_a = mk(9_000_001);
+    let filler_b = mk(9_000_002);
+
+    // Queue [shared, filler_a, filler_b] at batch tier, then re-submit
+    // `shared` alone at latency tier. All tokens sit in this thread's
+    // own slot, where dispatch is tier-major LIFO: without inheritance
+    // the latency wait would first chew through both fillers (batch
+    // LIFO order) before reaching `shared`.
+    let batch_ticket = rt.submit_with(
+        &[shared, filler_a, filler_b],
+        SubmitOptions::default().with_priority(Priority::Batch),
+    );
+    let latency_ticket = rt.submit_with(
+        &[shared],
+        SubmitOptions::default().with_priority(Priority::Latency),
+    );
+
+    for r in latency_ticket.wait() {
+        let h = *r.as_ref().expect("latency resubmission succeeds");
+        assert_eq!(rt.get_u64(h).unwrap(), 9_000_005);
+    }
+    assert_eq!(
+        rt.procedures_run(),
+        1,
+        "the re-tokened job must run before the batch fillers queued ahead of it"
+    );
+
+    // The batch ticket still resolves every slot, and the shared job
+    // ran exactly once for both tickets.
+    for r in batch_ticket.wait() {
+        r.expect("batch slots all resolve");
+    }
+    assert_eq!(
+        rt.procedures_run(),
+        3,
+        "fillers ran once each, shared never re-ran"
+    );
+    assert_eq!(rt.submission_watchers(), 0);
+    assert_eq!(rt.queued_jobs(), 0);
 }
