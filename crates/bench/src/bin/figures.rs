@@ -2,7 +2,7 @@
 //! evaluation section.
 //!
 //! ```text
-//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|sweep|calibrate|summary|all] [--quick]
+//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|sweep|calibrate|recover|summary|all] [--quick]
 //! ```
 //!
 //! `sweep` runs the serving table across several seeds, one thread per
@@ -111,6 +111,16 @@ fn main() {
     if which == "calibrate" {
         let samples = if quick { 5 } else { 15 };
         println!("{}", fix_bench::calibrate::run(samples));
+    }
+    // Cold start vs warm restart per log size (wall-clock, like
+    // `calibrate`: not part of `all` — run it explicitly).
+    if which == "recover" {
+        let sizes: &[usize] = if quick {
+            &[64, 256, 1024]
+        } else {
+            &[256, 1024, 4096]
+        };
+        println!("{}", fix_bench::recover::run(sizes));
     }
     // Extension experiments (paper §6 future work, implemented here).
     if which == "all" || which == "extgc" {

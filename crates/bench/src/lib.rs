@@ -19,4 +19,5 @@ pub mod fig7b;
 pub mod fig8a;
 pub mod fig8b;
 pub mod fig9;
+pub mod recover;
 pub mod serve_report;

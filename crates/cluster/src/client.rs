@@ -568,6 +568,10 @@ impl Evaluator for ClusterClient {
         self.inner().footprint(thunk)
     }
 
+    fn footprint_many(&self, thunks: &[Handle]) -> Result<Footprint> {
+        self.inner().footprint_many(thunks)
+    }
+
     fn procedures_run(&self) -> u64 {
         self.inner().procedures_run()
     }

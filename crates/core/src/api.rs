@@ -373,6 +373,23 @@ pub trait Evaluator {
     /// whatever evaluation results the backend has already memoized.
     fn footprint(&self, thunk: Handle) -> Result<Footprint>;
 
+    /// Computes the combined minimum repository of a batch of requests:
+    /// the deduplicated union of per-thunk [`footprint`](Evaluator::footprint)s.
+    /// Data shared between requests appears — and is counted — once, so
+    /// `total_bytes` is what a batch transfer actually ships (and the
+    /// object set is exactly what a snapshot must pin to cover the batch).
+    ///
+    /// The default folds [`Footprint::merge`] over per-thunk footprints;
+    /// backends with direct store access override it to walk shared data
+    /// only once.
+    fn footprint_many(&self, thunks: &[Handle]) -> Result<Footprint> {
+        let mut merged = Footprint::default();
+        for &thunk in thunks {
+            merged.merge(&self.footprint(thunk)?);
+        }
+        Ok(merged)
+    }
+
     /// Procedures the backend has actually executed (memoization cache
     /// misses). The conformance suite observes memoization through this.
     fn procedures_run(&self) -> u64;
@@ -746,6 +763,9 @@ impl<T: Evaluator + ?Sized> Evaluator for &T {
     fn footprint(&self, thunk: Handle) -> Result<Footprint> {
         (**self).footprint(thunk)
     }
+    fn footprint_many(&self, thunks: &[Handle]) -> Result<Footprint> {
+        (**self).footprint_many(thunks)
+    }
     fn procedures_run(&self) -> u64 {
         (**self).procedures_run()
     }
@@ -763,6 +783,9 @@ impl<T: Evaluator + ?Sized> Evaluator for Arc<T> {
     }
     fn footprint(&self, thunk: Handle) -> Result<Footprint> {
         (**self).footprint(thunk)
+    }
+    fn footprint_many(&self, thunks: &[Handle]) -> Result<Footprint> {
+        (**self).footprint_many(thunks)
     }
     fn procedures_run(&self) -> u64 {
         (**self).procedures_run()

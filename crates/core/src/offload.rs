@@ -432,6 +432,10 @@ impl<T: Evaluator + Send + Sync + 'static> Evaluator for BlockingOffload<T> {
         self.inner.footprint(thunk)
     }
 
+    fn footprint_many(&self, thunks: &[Handle]) -> Result<Footprint> {
+        self.inner.footprint_many(thunks)
+    }
+
     fn procedures_run(&self) -> u64 {
         self.inner.procedures_run()
     }

@@ -102,6 +102,41 @@ impl Footprint {
     pub fn is_complete(&self) -> bool {
         self.unresolved_encodes.is_empty()
     }
+
+    /// Merges `other` into `self`, deduplicating: a datum required by two
+    /// requests appears (and is counted in `total_bytes`) once. The merge
+    /// of per-request footprints is exactly the set a batch transfer — or
+    /// a snapshot pinning the batch — must cover.
+    pub fn merge(&mut self, other: &Footprint) {
+        let mut seen: HashSet<[u8; 32]> = self.objects.iter().map(|h| payload_key(*h)).collect();
+        for &h in &other.objects {
+            if seen.insert(payload_key(h)) {
+                self.objects.push(h);
+                self.total_bytes += handle_transfer_size(h);
+            }
+        }
+        merge_unique(&mut self.unresolved_encodes, &other.unresolved_encodes);
+        merge_unique(&mut self.refs, &other.refs);
+    }
+}
+
+/// [`Node::transfer_size`], computed from the handle alone (the size
+/// rides in the name: blob length, or 32 bytes per tree entry).
+fn handle_transfer_size(handle: Handle) -> u64 {
+    match handle.kind() {
+        Kind::Object(DataType::Tree) | Kind::Ref(DataType::Tree) => 32 * handle.size(),
+        _ => handle.size(),
+    }
+}
+
+/// Appends the elements of `extra` not already in `dst`, preserving order.
+fn merge_unique(dst: &mut Vec<Handle>, extra: &[Handle]) {
+    let mut seen: HashSet<[u8; 32]> = dst.iter().map(|h| *h.raw()).collect();
+    for &h in extra {
+        if seen.insert(*h.raw()) {
+            dst.push(h);
+        }
+    }
 }
 
 /// Computes the minimum repository of `thunk` (paper §3.3).
@@ -140,31 +175,71 @@ pub fn footprint(
 ) -> Result<Footprint> {
     let mut fp = Footprint::default();
     let mut seen = HashSet::new();
+    footprint_into(source, thunk, resolver, &mut fp, &mut seen)?;
+    Ok(fp)
+}
+
+/// Computes the combined minimum repository of a batch of thunks.
+///
+/// Equivalent to folding [`Footprint::merge`] over per-thunk
+/// [`footprint`]s, but shares one seen-set so data common to several
+/// requests is walked once: the result is exactly the set of objects a
+/// batch transfer must ship — or a snapshot must pin — to cover every
+/// request, with `total_bytes` counting each distinct object once.
+pub fn footprint_many(
+    source: &dyn DataSource,
+    thunks: &[Handle],
+    resolver: &dyn EncodeResolver,
+) -> Result<Footprint> {
+    let mut fp = Footprint::default();
+    let mut seen = HashSet::new();
+    for &thunk in thunks {
+        footprint_into(source, thunk, resolver, &mut fp, &mut seen)?;
+    }
+    // The object walk dedups via `seen`; refs and unresolved encodes are
+    // pushed per occurrence, so dedup them across the batch here.
+    dedup_in_place(&mut fp.unresolved_encodes);
+    dedup_in_place(&mut fp.refs);
+    Ok(fp)
+}
+
+fn dedup_in_place(handles: &mut Vec<Handle>) {
+    let mut seen = HashSet::new();
+    handles.retain(|h| seen.insert(*h.raw()));
+}
+
+fn footprint_into(
+    source: &dyn DataSource,
+    thunk: Handle,
+    resolver: &dyn EncodeResolver,
+    fp: &mut Footprint,
+    seen: &mut HashSet<[u8; 32]>,
+) -> Result<()> {
     match thunk.kind() {
         Kind::Thunk(ThunkKind::Application) => {
             let def = thunk.thunk_definition()?;
-            add_object_recursive(source, def, resolver, &mut fp, &mut seen)?;
+            add_object_recursive(source, def, resolver, fp, seen)?;
         }
         Kind::Thunk(ThunkKind::Selection) => {
             let def = thunk.thunk_definition()?;
             // The definition tree is tiny ([target, begin, end?]) but needed.
-            add_data(source, def, &mut fp, &mut seen)?;
+            add_data(source, def, fp, seen)?;
             let tree = load_tree(source, def)?;
             let sel = Selection::from_tree(&tree)?;
             // The target's own data is needed (but not its children): the
             // runtime reads it to perform the extraction.
             match sel.target.kind() {
-                Kind::Object(_) | Kind::Ref(_) => add_data(source, sel.target, &mut fp, &mut seen)?,
+                Kind::Object(_) | Kind::Ref(_) => add_data(source, sel.target, fp, seen)?,
                 Kind::Thunk(_) => { /* evaluated first; contributes nothing yet */ }
                 Kind::Encode(..) => match resolver.resolved(sel.target) {
-                    Some(r) => add_data(source, r, &mut fp, &mut seen)?,
+                    Some(r) => add_data(source, r, fp, seen)?,
                     None => fp.unresolved_encodes.push(sel.target),
                 },
             }
         }
         Kind::Thunk(ThunkKind::Identification) => {
             let target = thunk.thunk_definition()?;
-            add_data(source, target, &mut fp, &mut seen)?;
+            add_data(source, target, fp, seen)?;
         }
         _ => {
             return Err(Error::TypeMismatch {
@@ -173,7 +248,7 @@ pub fn footprint(
             })
         }
     }
-    Ok(fp)
+    Ok(())
 }
 
 /// Adds a single datum (no recursion into tree children).

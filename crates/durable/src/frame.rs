@@ -1,0 +1,350 @@
+//! The on-disk framing: length-prefixed, checksummed records.
+//!
+//! Both durable files — the append-only log and each snapshot — are a
+//! magic header followed by a sequence of *frames*:
+//!
+//! ```text
+//! [ u32 payload length ][ u32 CRC-32 of payload ][ payload ]
+//! ```
+//!
+//! A frame payload is one *record*, discriminated by its first byte:
+//!
+//! * `1` (node) — `[ 32-byte payload key ][ Parcel bytes ]`: one stored
+//!   object, encoded as a single-object [`fix_core::wire::Parcel`] whose
+//!   root is the object's canonical handle. Reusing the parcel format
+//!   means every fault-in re-verifies the payload against its
+//!   content-addressed name for free.
+//! * `2` (relation) — `[ u8 relation ][ 32-byte input ][ 32-byte output ]`:
+//!   one memoized evaluation relation.
+//! * `3` (commit) — `[ u64 frame count ]`: a snapshot terminator; a
+//!   snapshot is valid only if its last frame is a commit naming the
+//!   number of frames before it.
+//!
+//! Scanning is *lazy*: node frames are classified by peeking the key and
+//! the parcel's root handle without parsing (or verifying) the payload —
+//! that work is deferred to first touch. A scan stops at the first
+//! invalid frame (bad length or checksum); everything after it is an
+//! unsynced torn tail, reported so recovery can truncate it.
+
+use fix_core::data::Node;
+use fix_core::error::{Error, Result};
+use fix_core::handle::Handle;
+use fix_core::wire::Parcel;
+use fix_storage::Relation;
+
+/// The 8-byte magic opening the append-only log.
+pub const LOG_MAGIC: &[u8; 8] = b"FIXLOG1\0";
+/// The 8-byte magic opening a snapshot file.
+pub const SNAP_MAGIC: &[u8; 8] = b"FIXSNAP1";
+
+const TAG_NODE: u8 = 1;
+const TAG_RELATION: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+
+/// Frame header size: u32 length + u32 checksum.
+pub const FRAME_HEADER: usize = 8;
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Implemented
+// here because the environment is offline; ~10 lines is cheaper than a
+// dependency.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Appends a frame around `payload` to `out`.
+pub fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes a node record payload: `(payload_key, Node)` as key + parcel.
+pub fn encode_node(key: [u8; 32], node: &Node) -> Vec<u8> {
+    let parcel = Parcel::new(node.handle(), vec![node.clone()]);
+    let mut out = Vec::with_capacity(1 + 32 + 64);
+    out.push(TAG_NODE);
+    out.extend_from_slice(&key);
+    out.extend_from_slice(&parcel.to_bytes());
+    out
+}
+
+/// Encodes a relation record payload.
+pub fn encode_relation(relation: Relation, input: Handle, output: Handle) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 1 + 64);
+    out.push(TAG_RELATION);
+    out.push(match relation {
+        Relation::Eval => 0,
+        Relation::Apply => 1,
+        Relation::Force => 2,
+    });
+    out.extend_from_slice(input.raw());
+    out.extend_from_slice(output.raw());
+    out
+}
+
+/// Encodes a snapshot commit record covering `frames` preceding frames.
+pub fn encode_commit(frames: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(TAG_COMMIT);
+    out.extend_from_slice(&frames.to_le_bytes());
+    out
+}
+
+/// Parses a node record payload fully, re-verifying the object's bytes
+/// against its content-addressed name (fault-in path).
+pub fn decode_node(payload: &[u8]) -> Result<([u8; 32], Node)> {
+    let malformed = |r: &str| Error::Backend {
+        backend: "durable",
+        message: format!("malformed node record: {r}"),
+    };
+    if payload.first() != Some(&TAG_NODE) || payload.len() < 33 {
+        return Err(malformed("bad tag or truncated key"));
+    }
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&payload[1..33]);
+    let parcel = Parcel::from_bytes(&payload[33..])?;
+    match parcel.objects.as_slice() {
+        [node] if node.handle() == parcel.root => {
+            Ok((key, parcel.objects.into_iter().next().unwrap()))
+        }
+        _ => Err(malformed("expected exactly one object matching the root")),
+    }
+}
+
+/// A record classified by a scan, without parsing node payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scanned {
+    /// A stored object at `offset` (frame start, from the file head);
+    /// `len` is the whole frame length including its header.
+    Node {
+        /// The object's payload key.
+        key: [u8; 32],
+        /// The object's canonical handle (parcel root, unverified —
+        /// verification happens when the payload is parsed on fault-in).
+        handle: Handle,
+        /// Frame start offset in the file.
+        offset: u64,
+        /// Whole frame length (header + payload).
+        len: u32,
+    },
+    /// A memoized relation.
+    Relation(Relation, Handle, Handle),
+    /// A snapshot commit covering the preceding frame count.
+    Commit(u64),
+}
+
+/// The result of scanning a frame sequence.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Every valid record, in file order.
+    pub records: Vec<Scanned>,
+    /// Bytes of valid frames from `base` (i.e. the offset, from the
+    /// file head, one past the last valid frame).
+    pub valid_len: u64,
+    /// Bytes after `valid_len` — a torn or corrupt tail.
+    pub torn_bytes: u64,
+}
+
+/// Scans `data` (the file contents *after* the magic, which starts at
+/// file offset `base`) into records, stopping at the first invalid
+/// frame. Node payloads are classified, not parsed.
+pub fn scan(data: &[u8], base: u64) -> Scan {
+    let mut out = Scan {
+        valid_len: base,
+        ..Scan::default()
+    };
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let rest = &data[pos..];
+        if rest.len() < FRAME_HEADER {
+            break; // Torn mid-header.
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let declared_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        let Some(payload) = rest.get(FRAME_HEADER..FRAME_HEADER + len) else {
+            break; // Torn mid-payload.
+        };
+        if crc32(payload) != declared_crc {
+            break; // Corrupt: treat like a torn tail (unsynced garbage).
+        }
+        let Some(record) = classify(payload, base + pos as u64, (FRAME_HEADER + len) as u32) else {
+            break; // Unknown tag or malformed record body.
+        };
+        out.records.push(record);
+        pos += FRAME_HEADER + len;
+        out.valid_len = base + pos as u64;
+    }
+    out.torn_bytes = (data.len() - pos) as u64;
+    out
+}
+
+fn classify(payload: &[u8], offset: u64, frame_len: u32) -> Option<Scanned> {
+    match *payload.first()? {
+        TAG_NODE => {
+            // [tag][key:32][parcel: magic:8 root:32 ...] — peek the root
+            // handle without touching the object bytes.
+            let key: [u8; 32] = payload.get(1..33)?.try_into().ok()?;
+            if payload.get(33..41)? != fix_core::wire::MAGIC {
+                return None;
+            }
+            let raw: [u8; 32] = payload.get(41..73)?.try_into().ok()?;
+            let handle = Handle::from_raw(raw).ok()?;
+            Some(Scanned::Node {
+                key,
+                handle,
+                offset,
+                len: frame_len,
+            })
+        }
+        TAG_RELATION => {
+            let relation = match payload.get(1)? {
+                0 => Relation::Eval,
+                1 => Relation::Apply,
+                2 => Relation::Force,
+                _ => return None,
+            };
+            let input: [u8; 32] = payload.get(2..34)?.try_into().ok()?;
+            let output: [u8; 32] = payload.get(34..66)?.try_into().ok()?;
+            if payload.len() != 66 {
+                return None;
+            }
+            Some(Scanned::Relation(
+                relation,
+                Handle::from_raw(input).ok()?,
+                Handle::from_raw(output).ok()?,
+            ))
+        }
+        TAG_COMMIT => {
+            let n: [u8; 8] = payload.get(1..9)?.try_into().ok()?;
+            if payload.len() != 9 {
+                return None;
+            }
+            Some(Scanned::Commit(u64::from_le_bytes(n)))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_core::data::{Blob, Tree};
+    use fix_storage::payload_key;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn node_record_round_trips_and_scans_lazily() {
+        let node = Node::Blob(Blob::from_vec(vec![7u8; 100]));
+        let key = payload_key(node.handle());
+        let payload = encode_node(key, &node);
+        let (got_key, got_node) = decode_node(&payload).unwrap();
+        assert_eq!(got_key, key);
+        assert_eq!(got_node, node);
+
+        let mut bytes = Vec::new();
+        push_frame(&mut bytes, &payload);
+        let scan = scan(&bytes, 8);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.valid_len, 8 + bytes.len() as u64);
+        assert_eq!(
+            scan.records,
+            vec![Scanned::Node {
+                key,
+                handle: node.handle(),
+                offset: 8,
+                len: bytes.len() as u32,
+            }]
+        );
+    }
+
+    #[test]
+    fn relation_record_round_trips() {
+        let tree = Tree::from_handles(vec![]);
+        let input = tree.handle().application().unwrap();
+        let output = Blob::from_vec(vec![9u8; 64]).handle();
+        let mut bytes = Vec::new();
+        push_frame(&mut bytes, &encode_relation(Relation::Eval, input, output));
+        push_frame(&mut bytes, &encode_commit(1));
+        let scan = scan(&bytes, 8);
+        assert_eq!(
+            scan.records,
+            vec![
+                Scanned::Relation(Relation::Eval, input, output),
+                Scanned::Commit(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let node = Node::Blob(Blob::from_vec(vec![1u8; 64]));
+        let key = payload_key(node.handle());
+        let mut bytes = Vec::new();
+        push_frame(&mut bytes, &encode_node(key, &node));
+        let valid = bytes.len();
+        // A torn frame: a header promising more bytes than exist.
+        bytes.extend_from_slice(&1000u32.to_le_bytes());
+        bytes.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        bytes.extend_from_slice(&[0xAB; 11]);
+        let scan = scan(&bytes, 8);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, 8 + valid as u64);
+        assert_eq!(scan.torn_bytes, 8 + 11);
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_checksum() {
+        let node = Node::Blob(Blob::from_vec(vec![2u8; 64]));
+        let mut bytes = Vec::new();
+        push_frame(&mut bytes, &encode_node(payload_key(node.handle()), &node));
+        push_frame(
+            &mut bytes,
+            &encode_relation(Relation::Apply, node.handle(), node.handle()),
+        );
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xFF; // Corrupt the second frame's payload.
+        let scan = scan(&bytes, 8);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_bytes > 0);
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_payload() {
+        let node = Node::Blob(Blob::from_vec(vec![3u8; 64]));
+        let mut payload = encode_node(payload_key(node.handle()), &node);
+        let n = payload.len();
+        payload[n - 5] ^= 0xFF; // Flip a byte of the object's data.
+        assert!(decode_node(&payload).is_err());
+    }
+}

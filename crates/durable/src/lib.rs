@@ -1,0 +1,141 @@
+//! `fix-durable`: the persistence tier — an append-only content-addressed
+//! log with snapshots, lazy restart, and spill-to-disk.
+//!
+//! The Fix paper's core bet is that content addressing makes computation
+//! state portable and replayable, which makes durability nearly free: a
+//! stored object's name *is* its checksum, and a memoized relation is a
+//! fact about deterministic evaluation that can be replayed on any node.
+//! [`DurableStore`] exploits both. It wraps a
+//! [`fix_storage::Store`]/[`RelationCache`](fix_storage::RelationCache)
+//! pair through the storage hooks:
+//!
+//! * every fresh object insert and memoized relation is appended to a
+//!   checksummed frame log (`log.fixlog`) by a batching group-commit
+//!   writer thread, with a configurable [`FsyncPolicy`];
+//! * periodic [`snapshot`](DurableStore::snapshot)s compact the full
+//!   state (all relations + all live objects) into `snap-<seq>.fixsnap`
+//!   and truncate the log;
+//! * recovery ([`DurableStore::open`]) loads the newest valid snapshot,
+//!   replays the log tail, and tolerates a torn final frame (truncated,
+//!   counted in [`DurableStats::truncated_bytes`]);
+//! * restart is *lazy*: open builds only an index (payload key → file
+//!   offset) and replays relations — object bytes are faulted in from
+//!   disk on first touch, so a warm restart serves its first request
+//!   from disk instead of recomputing;
+//! * an optional [`spill_watermark_bytes`](DurableOptions::spill_watermark_bytes)
+//!   bounds resident memory by evicting cold persisted objects, which
+//!   refault on demand.
+//!
+//! # Example
+//!
+//! ```
+//! use fix_durable::{DurableOptions, DurableStore};
+//! use fix_core::data::Blob;
+//!
+//! let dir = tempfile::tempdir().unwrap();
+//! let blob = Blob::from_vec(vec![7u8; 100]);
+//! let handle = {
+//!     let d = DurableStore::open(dir.path(), DurableOptions::default()).unwrap();
+//!     let handle = d.store().put_blob(blob.clone());
+//!     d.flush().unwrap();
+//!     handle
+//! };
+//! // A new process: the object is indexed but not resident, and the
+//! // first read faults it in from disk.
+//! let d = DurableStore::open(dir.path(), DurableOptions::default()).unwrap();
+//! assert_eq!(d.store().object_count(), 0);
+//! assert_eq!(d.store().get_blob(handle).unwrap(), blob);
+//! assert_eq!(d.stats().faults, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod store;
+
+pub use frame::{crc32, LOG_MAGIC, SNAP_MAGIC};
+pub use store::DurableStore;
+
+/// When the group-commit writer calls `fsync` on the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// After every write batch (safest, slowest).
+    Always,
+    /// After every N appended frames (bounded loss window).
+    EveryN(u64),
+    /// Only at snapshots, explicit flushes, and shutdown (fastest; a
+    /// crash may lose everything since the last snapshot/flush).
+    OnSnapshot,
+}
+
+/// What the deterministic kill point does when it trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Stop persisting: write a torn partial frame, then silently drop
+    /// all further appends — the in-process simulation of a crash
+    /// (the caller discards the in-memory state and re-opens).
+    Stop,
+    /// Write a torn partial frame and terminate the process with this
+    /// exit code — the end-to-end crash used by the CI recovery smoke.
+    Exit(i32),
+}
+
+/// A deterministic crash injection point: trip after the N-th appended
+/// frame, mid-batch, leaving a torn final frame for recovery to handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPoint {
+    /// Trip when this many frames have been written.
+    pub after_frames: u64,
+    /// What tripping does.
+    pub mode: KillMode,
+}
+
+/// Configures a [`DurableStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// The fsync policy for the group-commit writer.
+    pub fsync: FsyncPolicy,
+    /// Take a snapshot (and truncate the log) automatically when the log
+    /// exceeds this many bytes. `None` = snapshot only on request.
+    pub snapshot_log_bytes: Option<u64>,
+    /// Evict cold persisted objects from memory when the in-memory store
+    /// exceeds this many payload bytes. `None` = never spill.
+    pub spill_watermark_bytes: Option<u64>,
+    /// Deterministic crash injection (tests and the recovery smoke).
+    pub kill: Option<KillPoint>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            fsync: FsyncPolicy::EveryN(64),
+            snapshot_log_bytes: None,
+            spill_watermark_bytes: None,
+            kill: None,
+        }
+    }
+}
+
+/// A point-in-time copy of a store's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Frames appended to the log this run (nodes + relations).
+    pub appended_frames: u64,
+    /// Log bytes written this run (frames only, not the header).
+    pub appended_bytes: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Objects faulted in from disk on first touch.
+    pub faults: u64,
+    /// Objects evicted by the spill watermark.
+    pub spills: u64,
+    /// Snapshots taken this run.
+    pub snapshots: u64,
+    /// Objects found on disk at open (the lazy index size at open).
+    pub replayed_nodes: u64,
+    /// Memoized relations replayed into the cache at open.
+    pub replayed_relations: u64,
+    /// Torn/corrupt tail bytes truncated during recovery.
+    pub truncated_bytes: u64,
+}

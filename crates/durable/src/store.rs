@@ -1,0 +1,873 @@
+//! [`DurableStore`]: the persistence tier around a
+//! [`Store`]/[`RelationCache`] pair.
+//!
+//! Architecture: callers talk to the wrapped in-memory store as usual;
+//! the storage hooks feed a single group-commit writer thread that owns
+//! the log file. Appends are asynchronous (bounded loss per the
+//! [`FsyncPolicy`](crate::FsyncPolicy)); [`DurableStore::flush`] is the
+//! synchronous barrier. Reads that miss memory fault from disk through
+//! the index this module maintains.
+
+use crate::frame::{self, Scanned, FRAME_HEADER, LOG_MAGIC, SNAP_MAGIC};
+use crate::{DurableOptions, DurableStats, FsyncPolicy, KillMode};
+use fix_core::data::Node;
+use fix_core::error::{Error, Result};
+use fix_core::handle::Handle;
+use fix_storage::{
+    payload_key, FaultSource, Relation, RelationCache, RelationSink, Store, StoreSink,
+};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Weak};
+
+const LOG_FILE: &str = "log.fixlog";
+const MAGIC_LEN: u64 = 8;
+
+fn snap_name(seq: u64) -> String {
+    format!("snap-{seq:016x}.fixsnap")
+}
+
+fn io_err(e: impl std::fmt::Display) -> Error {
+    Error::Backend {
+        backend: "durable",
+        message: e.to_string(),
+    }
+}
+
+/// Where a persisted object's frame lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Location {
+    Log,
+    Snapshot(u64),
+}
+
+/// One durable index entry: payload key → on-disk frame.
+#[derive(Debug, Clone)]
+struct Slot {
+    file: Location,
+    offset: u64,
+    len: u32,
+    handle: Handle,
+    /// Logical last-touch tick (spill evicts the coldest first).
+    touch: u64,
+}
+
+enum Pending {
+    Node {
+        key: [u8; 32],
+        handle: Handle,
+        payload: Vec<u8>,
+    },
+    Relation {
+        payload: Vec<u8>,
+    },
+}
+
+#[derive(Default)]
+struct Queue {
+    pending: Vec<Pending>,
+    /// Ops ever enqueued / fsynced through — flush() waits on these.
+    enqueued: u64,
+    synced: u64,
+    flush_upto: u64,
+    snap_requests: u64,
+    snaps_done: u64,
+    shutdown: bool,
+    /// The deterministic kill point tripped: appends are dropped.
+    crashed: bool,
+    io_error: Option<String>,
+}
+
+#[derive(Default)]
+struct Counters {
+    appended_frames: AtomicU64,
+    appended_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    faults: AtomicU64,
+    spills: AtomicU64,
+    snapshots: AtomicU64,
+    replayed_nodes: AtomicU64,
+    replayed_relations: AtomicU64,
+    truncated_bytes: AtomicU64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    options: DurableOptions,
+    store: Arc<Store>,
+    cache: Arc<RelationCache>,
+    index: RwLock<HashMap<[u8; 32], Slot>>,
+    queue: Mutex<Queue>,
+    /// Wakes the writer (new work / flush / snapshot / shutdown).
+    work: Condvar,
+    /// Wakes flush/snapshot waiters.
+    done: Condvar,
+    log_read: Mutex<File>,
+    snap_read: Mutex<Option<(u64, File)>>,
+    stats: Counters,
+    clock: AtomicU64,
+    replayed: Vec<(Relation, Handle, Handle)>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Inner {
+    // ---- hook bodies -------------------------------------------------
+
+    fn observe_insert(&self, node: &Node) {
+        let key = payload_key(node.handle());
+        if self.index.read().contains_key(&key) {
+            return; // Already persisted (e.g. a refault after a spill).
+        }
+        let payload = frame::encode_node(key, node);
+        let mut q = self.queue.lock();
+        if q.crashed || q.shutdown {
+            return;
+        }
+        q.pending.push(Pending::Node {
+            key,
+            handle: node.handle(),
+            payload,
+        });
+        q.enqueued += 1;
+        self.work.notify_one();
+    }
+
+    fn observe_relation(&self, relation: Relation, input: Handle, output: Handle) {
+        let payload = frame::encode_relation(relation, input, output);
+        let mut q = self.queue.lock();
+        if q.crashed || q.shutdown {
+            return;
+        }
+        q.pending.push(Pending::Relation { payload });
+        q.enqueued += 1;
+        self.work.notify_one();
+    }
+
+    fn knows(&self, handle: Handle) -> bool {
+        self.index.read().contains_key(&payload_key(handle))
+    }
+
+    fn fault_in(&self, handle: Handle) -> Option<Node> {
+        let key = payload_key(handle);
+        // A snapshot may move the slot (log → snapshot file) between the
+        // lookup and the read; on a failed read, re-look the slot up.
+        for _ in 0..3 {
+            let slot = self.index.read().get(&key).cloned()?;
+            if let Some(node) = self.read_node(&slot) {
+                self.stats.faults.fetch_add(1, Relaxed);
+                let tick = self.clock.fetch_add(1, Relaxed);
+                if let Some(s) = self.index.write().get_mut(&key) {
+                    s.touch = tick;
+                }
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    // ---- disk reads --------------------------------------------------
+
+    fn read_node(&self, slot: &Slot) -> Option<Node> {
+        let bytes = self.read_frame(slot)?;
+        if bytes.len() < FRAME_HEADER {
+            return None;
+        }
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let payload = bytes.get(FRAME_HEADER..FRAME_HEADER + len)?;
+        if frame::crc32(payload) != crc {
+            return None;
+        }
+        let (_, node) = frame::decode_node(payload).ok()?;
+        Some(node)
+    }
+
+    fn read_frame(&self, slot: &Slot) -> Option<Vec<u8>> {
+        let mut buf = vec![0u8; slot.len as usize];
+        match slot.file {
+            Location::Log => {
+                let mut f = self.log_read.lock();
+                f.seek(SeekFrom::Start(slot.offset)).ok()?;
+                f.read_exact(&mut buf).ok()?;
+            }
+            Location::Snapshot(seq) => {
+                let mut guard = self.snap_read.lock();
+                let stale = !matches!(&*guard, Some((s, _)) if *s == seq);
+                if stale {
+                    let f = File::open(self.dir.join(snap_name(seq))).ok()?;
+                    *guard = Some((seq, f));
+                }
+                let (_, f) = guard.as_mut().unwrap();
+                f.seek(SeekFrom::Start(slot.offset)).ok()?;
+                f.read_exact(&mut buf).ok()?;
+            }
+        }
+        Some(buf)
+    }
+
+    // ---- shutdown ----------------------------------------------------
+
+    fn shutdown_and_join(&self) {
+        {
+            let mut q = self.queue.lock();
+            q.shutdown = true;
+        }
+        self.work.notify_all();
+        let handle = self.writer.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The hook adapter: weak, so the store/cache (which outlive us inside a
+/// `Runtime`) don't keep the writer machinery alive in a cycle.
+struct Hooks(Weak<Inner>);
+
+impl FaultSource for Hooks {
+    fn fault(&self, handle: Handle) -> Option<Node> {
+        self.0.upgrade()?.fault_in(handle)
+    }
+
+    fn knows(&self, handle: Handle) -> bool {
+        self.0.upgrade().is_some_and(|i| i.knows(handle))
+    }
+}
+
+impl StoreSink for Hooks {
+    fn inserted(&self, node: &Node) {
+        if let Some(i) = self.0.upgrade() {
+            i.observe_insert(node);
+        }
+    }
+}
+
+impl RelationSink for Hooks {
+    fn recorded(&self, relation: Relation, input: Handle, output: Handle) {
+        if let Some(i) = self.0.upgrade() {
+            i.observe_relation(relation, input, output);
+        }
+    }
+}
+
+/// Joins the writer thread when the last user-facing clone drops.
+struct ShutdownGuard(Arc<Inner>);
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.0.shutdown_and_join();
+    }
+}
+
+/// A crash-recoverable, content-addressed store: a [`Store`] and
+/// [`RelationCache`] whose state survives the process.
+///
+/// See the [crate docs](crate) for the design; see
+/// [`DurableStore::open`] for recovery semantics. Clones share one
+/// underlying store; the writer thread stops when the last clone drops
+/// (a final implicit flush).
+#[derive(Clone)]
+pub struct DurableStore {
+    inner: Arc<Inner>,
+    _guard: Arc<ShutdownGuard>,
+}
+
+impl DurableStore {
+    /// Opens (or creates) a durable store rooted at `dir`.
+    ///
+    /// Recovery: load the newest *valid* snapshot (committed, every
+    /// frame checksummed, terminated by a commit record — a leftover
+    /// `.tmp` from a crash mid-snapshot is ignored), then scan the log
+    /// tail. The scan stops at the first invalid frame; a torn final
+    /// frame — the signature of a crash mid-append — is truncated
+    /// (reported in [`DurableStats::truncated_bytes`]) and the store
+    /// opens with everything before it.
+    ///
+    /// The restart is lazy: only the index and the memoized relations
+    /// are loaded eagerly; object bytes fault in on first touch.
+    /// Relations whose output data fell into the torn tail are dropped,
+    /// so a recovered cache never promises data the log lost.
+    pub fn open(dir: impl AsRef<Path>, options: DurableOptions) -> Result<DurableStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(io_err)?;
+
+        let mut index: HashMap<[u8; 32], Slot> = HashMap::new();
+        let mut relations: Vec<(Relation, Handle, Handle)> = Vec::new();
+
+        // --- Newest valid snapshot wins. ---
+        let mut seqs: Vec<u64> = fs::read_dir(&dir)
+            .map_err(io_err)?
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                let seq = name.strip_prefix("snap-")?.strip_suffix(".fixsnap")?;
+                u64::from_str_radix(seq, 16).ok()
+            })
+            .collect();
+        seqs.sort_unstable();
+        let next_seq = seqs.last().map_or(0, |s| s + 1);
+        for &seq in seqs.iter().rev() {
+            let Ok(bytes) = fs::read(dir.join(snap_name(seq))) else {
+                continue;
+            };
+            if bytes.len() < MAGIC_LEN as usize || &bytes[..8] != SNAP_MAGIC {
+                continue;
+            }
+            let scan = frame::scan(&bytes[8..], MAGIC_LEN);
+            let committed = scan.torn_bytes == 0
+                && matches!(scan.records.last(),
+                    Some(Scanned::Commit(n)) if *n as usize == scan.records.len() - 1);
+            if !committed {
+                continue;
+            }
+            for rec in scan.records {
+                match rec {
+                    Scanned::Node {
+                        key,
+                        handle,
+                        offset,
+                        len,
+                    } => {
+                        index.insert(
+                            key,
+                            Slot {
+                                file: Location::Snapshot(seq),
+                                offset,
+                                len,
+                                handle,
+                                touch: 0,
+                            },
+                        );
+                    }
+                    Scanned::Relation(r, i, o) => relations.push((r, i, o)),
+                    Scanned::Commit(_) => {}
+                }
+            }
+            break;
+        }
+
+        // --- Log tail (newer than any snapshot; overrides it). ---
+        let log_path = dir.join(LOG_FILE);
+        let mut append = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&log_path)
+            .map_err(io_err)?;
+        let mut existing = Vec::new();
+        append.read_to_end(&mut existing).map_err(io_err)?;
+        let truncated;
+        let mut valid_len = MAGIC_LEN;
+        if existing.len() >= MAGIC_LEN as usize && &existing[..8] == LOG_MAGIC {
+            let scan = frame::scan(&existing[MAGIC_LEN as usize..], MAGIC_LEN);
+            valid_len = scan.valid_len;
+            truncated = scan.torn_bytes;
+            for rec in scan.records {
+                match rec {
+                    Scanned::Node {
+                        key,
+                        handle,
+                        offset,
+                        len,
+                    } => {
+                        index.insert(
+                            key,
+                            Slot {
+                                file: Location::Log,
+                                offset,
+                                len,
+                                handle,
+                                touch: 0,
+                            },
+                        );
+                    }
+                    Scanned::Relation(r, i, o) => relations.push((r, i, o)),
+                    Scanned::Commit(_) => {}
+                }
+            }
+        } else {
+            // New file, or a header torn mid-creation: start fresh.
+            truncated = existing.len() as u64;
+            append.set_len(0).map_err(io_err)?;
+            append.seek(SeekFrom::Start(0)).map_err(io_err)?;
+            append.write_all(LOG_MAGIC).map_err(io_err)?;
+        }
+        if existing.len() as u64 > valid_len {
+            // Drop the torn tail so new appends start at a clean edge.
+            append.set_len(valid_len).map_err(io_err)?;
+            append.sync_data().map_err(io_err)?;
+        }
+        append.seek(SeekFrom::Start(valid_len)).map_err(io_err)?;
+
+        // A relation must not promise data the log lost (its value frame
+        // was enqueued before it, so "relation present, value torn" only
+        // happens across the torn tail).
+        // (Literal outputs ride in the handle itself and are never
+        // indexed, so they are always safe to replay.)
+        relations.retain(|(_, _, out)| {
+            out.is_literal() || !out.is_value() || index.contains_key(&payload_key(*out))
+        });
+
+        let store = Arc::new(Store::new());
+        let cache = Arc::new(RelationCache::new());
+        for &(r, i, o) in &relations {
+            cache.put(r, i, o);
+        }
+        let replayed = cache.entries();
+
+        let stats = Counters::default();
+        stats.replayed_nodes.store(index.len() as u64, Relaxed);
+        stats
+            .replayed_relations
+            .store(replayed.len() as u64, Relaxed);
+        stats.truncated_bytes.store(truncated, Relaxed);
+
+        let log_read = File::open(&log_path).map_err(io_err)?;
+        let inner = Arc::new(Inner {
+            dir,
+            options,
+            store,
+            cache,
+            index: RwLock::new(index),
+            queue: Mutex::new(Queue::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            log_read: Mutex::new(log_read),
+            snap_read: Mutex::new(None),
+            stats,
+            clock: AtomicU64::new(1),
+            replayed,
+            writer: Mutex::new(None),
+        });
+
+        let hooks = Arc::new(Hooks(Arc::downgrade(&inner)));
+        inner
+            .store
+            .set_fault_source(Arc::clone(&hooks) as Arc<dyn FaultSource>);
+        inner
+            .store
+            .set_sink(Arc::clone(&hooks) as Arc<dyn StoreSink>);
+        inner.cache.set_sink(hooks as Arc<dyn RelationSink>);
+
+        let writer_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("fix-durable-writer".into())
+            .spawn(move || writer_loop(writer_inner, append, valid_len, next_seq))
+            .map_err(io_err)?;
+        *inner.writer.lock() = Some(handle);
+
+        Ok(DurableStore {
+            _guard: Arc::new(ShutdownGuard(Arc::clone(&inner))),
+            inner,
+        })
+    }
+
+    /// The wrapped in-memory object store (hand this to a runtime).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.inner.store
+    }
+
+    /// The wrapped relation cache, pre-loaded with replayed relations.
+    pub fn cache(&self) -> &Arc<RelationCache> {
+        &self.inner.cache
+    }
+
+    /// The directory holding the log and snapshots.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> DurableStats {
+        let c = &self.inner.stats;
+        DurableStats {
+            appended_frames: c.appended_frames.load(Relaxed),
+            appended_bytes: c.appended_bytes.load(Relaxed),
+            fsyncs: c.fsyncs.load(Relaxed),
+            faults: c.faults.load(Relaxed),
+            spills: c.spills.load(Relaxed),
+            snapshots: c.snapshots.load(Relaxed),
+            replayed_nodes: c.replayed_nodes.load(Relaxed),
+            replayed_relations: c.replayed_relations.load(Relaxed),
+            truncated_bytes: c.truncated_bytes.load(Relaxed),
+        }
+    }
+
+    /// The relations recovered at open — the work a restarted node does
+    /// *not* have to redo (each re-submits with zero procedures run).
+    pub fn replayed_relations(&self) -> &[(Relation, Handle, Handle)] {
+        &self.inner.replayed
+    }
+
+    /// Objects currently faultable from disk (the durable index size).
+    pub fn indexed_objects(&self) -> usize {
+        self.inner.index.read().len()
+    }
+
+    /// True once the deterministic kill point has tripped (appends are
+    /// being dropped; the next open recovers the pre-crash prefix).
+    pub fn crashed(&self) -> bool {
+        self.inner.queue.lock().crashed
+    }
+
+    /// Blocks until everything appended so far is written *and* fsynced
+    /// (regardless of the fsync policy). The durability barrier.
+    pub fn flush(&self) -> Result<()> {
+        let inner = &self.inner;
+        let mut q = inner.queue.lock();
+        if q.crashed {
+            return Ok(());
+        }
+        let target = q.enqueued;
+        q.flush_upto = q.flush_upto.max(target);
+        inner.work.notify_all();
+        while q.synced < target && !q.crashed && q.io_error.is_none() && !q.shutdown {
+            inner.done.wait(&mut q);
+        }
+        match &q.io_error {
+            Some(e) => Err(io_err(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Takes a snapshot now: compacts all relations and all live objects
+    /// into a fresh `snap-<seq>.fixsnap`, atomically (write, fsync,
+    /// rename), then truncates the log and deletes older snapshots.
+    /// Blocks until done.
+    pub fn snapshot(&self) -> Result<()> {
+        let inner = &self.inner;
+        let mut q = inner.queue.lock();
+        if q.crashed {
+            return Ok(());
+        }
+        q.snap_requests += 1;
+        let target = q.snap_requests;
+        inner.work.notify_all();
+        while q.snaps_done < target && !q.crashed && q.io_error.is_none() && !q.shutdown {
+            inner.done.wait(&mut q);
+        }
+        match &q.io_error {
+            Some(e) => Err(io_err(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Garbage-collects memory *and* the durable index: objects
+    /// unreachable from `roots` can neither be read nor faulted back in
+    /// afterwards (no resurrection); their log bytes are reclaimed at
+    /// the next snapshot. Returns the number of objects collected.
+    pub fn gc(&self, roots: &[Handle]) -> usize {
+        // Barrier first, so just-inserted objects are indexed and the
+        // index prune below sees them.
+        let _ = self.flush();
+        let inner = &self.inner;
+        let mut reachable: HashSet<[u8; 32]> = HashSet::new();
+        let mut stack: Vec<Handle> = roots.to_vec();
+        while let Some(h) = stack.pop() {
+            if h.is_literal() || !reachable.insert(payload_key(h)) {
+                continue;
+            }
+            // Faults lazily-resident trees in so the walk can descend.
+            if let Ok(Node::Tree(t)) = inner.store.get(h) {
+                stack.extend(t.entries().iter().copied());
+            }
+        }
+        let mut disk_only_pruned = 0usize;
+        {
+            let mut index = inner.index.write();
+            index.retain(|key, slot| {
+                let keep = reachable.contains(key);
+                if !keep && !inner.store.resident(slot.handle) {
+                    disk_only_pruned += 1;
+                }
+                keep
+            });
+        }
+        inner.store.gc(roots) + disk_only_pruned
+    }
+
+    /// Forgets one object entirely: evicts it from memory *and* drops it
+    /// from the durable index, so it cannot refault (unlike a spill
+    /// eviction, which is transparent). Returns the bytes freed from
+    /// memory, if it was resident.
+    pub fn forget(&self, handle: Handle) -> Option<u64> {
+        let _ = self.flush();
+        self.inner.index.write().remove(&payload_key(handle));
+        self.inner.store.evict(handle)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The group-commit writer.
+// ----------------------------------------------------------------------
+
+fn writer_loop(inner: Arc<Inner>, mut append: File, mut log_len: u64, mut next_seq: u64) {
+    let mut durable = 0u64; // Ops written (not necessarily synced).
+    let mut synced = 0u64; // Ops fsynced through.
+    let mut snaps_done = 0u64;
+    let mut unsynced_frames = 0u64;
+    let mut dirty = false;
+    loop {
+        let (batch, flush_upto, snap_requests, shutdown) = {
+            let mut q = inner.queue.lock();
+            while q.pending.is_empty()
+                && q.flush_upto <= synced
+                && q.snap_requests <= snaps_done
+                && !q.shutdown
+            {
+                inner.work.wait(&mut q);
+            }
+            (
+                std::mem::take(&mut q.pending),
+                q.flush_upto,
+                q.snap_requests,
+                q.shutdown,
+            )
+        };
+
+        let mut io_error: Option<String> = None;
+        let mut crashed_now = false;
+        for op in batch {
+            durable += 1;
+            if crashed_now || io_error.is_some() {
+                continue; // Dropped; `durable` still advances so flush waiters wake.
+            }
+            let payload = match &op {
+                Pending::Node { payload, .. } | Pending::Relation { payload } => payload,
+            };
+            let mut bytes = Vec::with_capacity(payload.len() + FRAME_HEADER);
+            frame::push_frame(&mut bytes, payload);
+            if let Err(e) = append.write_all(&bytes) {
+                io_error = Some(e.to_string());
+                continue;
+            }
+            let offset = log_len;
+            log_len += bytes.len() as u64;
+            inner.stats.appended_frames.fetch_add(1, Relaxed);
+            inner
+                .stats
+                .appended_bytes
+                .fetch_add(bytes.len() as u64, Relaxed);
+            unsynced_frames += 1;
+            dirty = true;
+            if let Pending::Node { key, handle, .. } = op {
+                let touch = inner.clock.fetch_add(1, Relaxed);
+                inner.index.write().insert(
+                    key,
+                    Slot {
+                        file: Location::Log,
+                        offset,
+                        len: bytes.len() as u32,
+                        handle,
+                        touch,
+                    },
+                );
+            }
+            // The deterministic kill point: crash mid-batch, leaving a
+            // torn partial frame at the tail for recovery to truncate.
+            if let Some(kill) = inner.options.kill {
+                if inner.stats.appended_frames.load(Relaxed) == kill.after_frames {
+                    let mut torn = Vec::new();
+                    torn.extend_from_slice(&1_000_000u32.to_le_bytes());
+                    torn.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+                    torn.extend_from_slice(&[0xAB; 11]);
+                    let _ = append.write_all(&torn);
+                    let _ = append.sync_data();
+                    match kill.mode {
+                        KillMode::Exit(code) => std::process::exit(code),
+                        KillMode::Stop => crashed_now = true,
+                    }
+                }
+            }
+        }
+
+        // Group commit: one fsync covers the whole batch.
+        let policy_wants = match inner.options.fsync {
+            FsyncPolicy::Always => dirty,
+            FsyncPolicy::EveryN(n) => unsynced_frames >= n,
+            FsyncPolicy::OnSnapshot => false,
+        };
+        let flush_wants = flush_upto > synced;
+        if dirty && io_error.is_none() && !crashed_now && (policy_wants || flush_wants || shutdown)
+        {
+            match append.sync_data() {
+                Ok(()) => {
+                    inner.stats.fsyncs.fetch_add(1, Relaxed);
+                    unsynced_frames = 0;
+                    dirty = false;
+                }
+                Err(e) => io_error = Some(e.to_string()),
+            }
+        }
+        if !dirty {
+            synced = durable;
+        }
+
+        // Snapshots: explicit requests, or the auto size threshold.
+        let auto = inner
+            .options
+            .snapshot_log_bytes
+            .is_some_and(|t| log_len - MAGIC_LEN > t);
+        if (snap_requests > snaps_done || auto) && io_error.is_none() && !crashed_now {
+            match do_snapshot(&inner, &mut append, &mut log_len, &mut next_seq) {
+                Ok(()) => {
+                    snaps_done = snaps_done.max(snap_requests);
+                    unsynced_frames = 0;
+                    dirty = false;
+                    synced = durable;
+                }
+                Err(e) => io_error = Some(e.to_string()),
+            }
+        }
+
+        // Spill: hold resident bytes under the watermark by evicting the
+        // coldest persisted objects (they refault on demand).
+        if let Some(wm) = inner.options.spill_watermark_bytes {
+            if inner.store.total_bytes() > wm && io_error.is_none() {
+                spill(&inner, wm);
+            }
+        }
+
+        let mut q = inner.queue.lock();
+        q.synced = synced;
+        q.snaps_done = snaps_done;
+        if crashed_now {
+            q.crashed = true;
+            q.pending.clear();
+            q.synced = q.enqueued;
+        }
+        if let Some(e) = io_error {
+            q.io_error = Some(e);
+        }
+        inner.done.notify_all();
+        if q.crashed || q.io_error.is_some() {
+            return;
+        }
+        if q.shutdown && q.pending.is_empty() {
+            return;
+        }
+    }
+}
+
+fn spill(inner: &Arc<Inner>, watermark: u64) {
+    // Coldest-first among resident, persisted objects.
+    let mut candidates: Vec<(u64, Handle)> = inner
+        .index
+        .read()
+        .values()
+        .filter(|s| inner.store.resident(s.handle))
+        .map(|s| (s.touch, s.handle))
+        .collect();
+    candidates.sort_unstable_by_key(|(touch, _)| *touch);
+    for (_, handle) in candidates {
+        if inner.store.total_bytes() <= watermark {
+            break;
+        }
+        if inner.store.evict(handle).is_some() {
+            inner.stats.spills.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+fn do_snapshot(
+    inner: &Arc<Inner>,
+    append: &mut File,
+    log_len: &mut u64,
+    next_seq: &mut u64,
+) -> std::io::Result<()> {
+    let seq = *next_seq;
+    let final_path = inner.dir.join(snap_name(seq));
+    let tmp_path = inner.dir.join(format!("snap-{seq:016x}.tmp"));
+    let mut out = File::create(&tmp_path)?;
+    out.write_all(SNAP_MAGIC)?;
+    let mut pos = MAGIC_LEN;
+    let mut frames = 0u64;
+    let mut buf = Vec::new();
+
+    for (relation, input, output) in inner.cache.entries() {
+        buf.clear();
+        frame::push_frame(&mut buf, &frame::encode_relation(relation, input, output));
+        out.write_all(&buf)?;
+        pos += buf.len() as u64;
+        frames += 1;
+    }
+
+    let slots: Vec<([u8; 32], Slot)> = inner
+        .index
+        .read()
+        .iter()
+        .map(|(k, s)| (*k, s.clone()))
+        .collect();
+    let mut moved: HashMap<[u8; 32], Slot> = HashMap::with_capacity(slots.len());
+    for (key, slot) in slots {
+        // Source each object from memory if resident, else copy its
+        // frame's node from the old file — without making it resident
+        // (a snapshot must not defeat the spill).
+        let node = if inner.store.resident(slot.handle) {
+            inner.store.get(slot.handle).ok()
+        } else {
+            inner.read_node(&slot)
+        };
+        let node = node.ok_or_else(|| {
+            std::io::Error::other(format!("snapshot source read failed for {}", slot.handle))
+        })?;
+        buf.clear();
+        frame::push_frame(&mut buf, &frame::encode_node(key, &node));
+        out.write_all(&buf)?;
+        moved.insert(
+            key,
+            Slot {
+                file: Location::Snapshot(seq),
+                offset: pos,
+                len: buf.len() as u32,
+                handle: slot.handle,
+                touch: slot.touch,
+            },
+        );
+        pos += buf.len() as u64;
+        frames += 1;
+    }
+
+    buf.clear();
+    frame::push_frame(&mut buf, &frame::encode_commit(frames));
+    out.write_all(&buf)?;
+    out.sync_all()?;
+    drop(out);
+    fs::rename(&tmp_path, &final_path)?;
+    if let Ok(d) = File::open(&inner.dir) {
+        let _ = d.sync_all();
+    }
+
+    // Readers move to the snapshot before the log bytes go away; a
+    // fault that raced the swap retries against the fresh slot.
+    *inner.index.write() = moved;
+    *inner.snap_read.lock() = None;
+    append.set_len(MAGIC_LEN)?;
+    append.sync_data()?;
+    append.seek(SeekFrom::Start(MAGIC_LEN))?;
+    *log_len = MAGIC_LEN;
+
+    // The previous snapshot is superseded only now that the log has
+    // been truncated past it.
+    if let Ok(entries) = fs::read_dir(&inner.dir) {
+        for e in entries.flatten() {
+            if let Ok(name) = e.file_name().into_string() {
+                let old = name
+                    .strip_prefix("snap-")
+                    .and_then(|n| n.strip_suffix(".fixsnap"))
+                    .and_then(|n| u64::from_str_radix(n, 16).ok());
+                if old.is_some_and(|o| o < seq) {
+                    let _ = fs::remove_file(e.path());
+                }
+            }
+        }
+    }
+
+    *next_seq = seq + 1;
+    inner.stats.snapshots.fetch_add(1, Relaxed);
+    Ok(())
+}

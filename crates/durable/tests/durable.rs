@@ -1,0 +1,354 @@
+//! Crash-recovery, snapshot, spill, and gc semantics for `DurableStore`.
+
+use fix_core::data::{Blob, Node, Tree};
+use fix_core::handle::Handle;
+use fix_durable::{DurableOptions, DurableStore, FsyncPolicy, KillMode, KillPoint};
+use fix_storage::Relation;
+use std::fs::OpenOptions;
+use std::io::Write;
+
+fn opts() -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::Always,
+        ..DurableOptions::default()
+    }
+}
+
+fn blob(seed: u8, len: usize) -> Blob {
+    // > 30 bytes so it is a stored object, not a handle-resident literal.
+    Blob::from_vec((0..len).map(|i| seed.wrapping_add(i as u8)).collect())
+}
+
+#[test]
+fn reopen_faults_objects_lazily() {
+    let dir = tempfile::tempdir().unwrap();
+    let b = blob(1, 100);
+    let t_handle;
+    let b_handle;
+    {
+        let d = DurableStore::open(dir.path(), opts()).unwrap();
+        b_handle = d.store().put_blob(b.clone());
+        t_handle = d.store().put_tree(Tree::from_handles(vec![b_handle]));
+        d.flush().unwrap();
+    }
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert_eq!(d.store().object_count(), 0, "restart must be lazy");
+    assert_eq!(d.stats().replayed_nodes, 2);
+    assert!(
+        d.store().contains(b_handle),
+        "contains() consults the index"
+    );
+    let t = d.store().get_tree(t_handle).unwrap();
+    assert_eq!(t.entries(), &[b_handle]);
+    assert_eq!(d.store().get_blob(b_handle).unwrap(), b);
+    assert_eq!(d.stats().faults, 2);
+    assert_eq!(
+        d.store().object_count(),
+        2,
+        "faulted objects become resident"
+    );
+}
+
+#[test]
+fn torn_final_frame_is_truncated() {
+    let dir = tempfile::tempdir().unwrap();
+    let keep = blob(2, 64);
+    let keep_handle;
+    {
+        let d = DurableStore::open(dir.path(), opts()).unwrap();
+        keep_handle = d.store().put_blob(keep.clone());
+        d.flush().unwrap();
+    }
+    // Simulate a crash mid-append: a frame header promising more bytes
+    // than the file holds.
+    let log = dir.path().join("log.fixlog");
+    let mut f = OpenOptions::new().append(true).open(&log).unwrap();
+    f.write_all(&500u32.to_le_bytes()).unwrap();
+    f.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap();
+    f.write_all(&[0xAB; 17]).unwrap();
+    drop(f);
+
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert_eq!(d.stats().truncated_bytes, 8 + 17);
+    assert_eq!(d.stats().replayed_nodes, 1);
+    assert_eq!(d.store().get_blob(keep_handle).unwrap(), keep);
+
+    // The truncated log is clean: appends after recovery survive another
+    // reopen.
+    let extra_handle = d.store().put_blob(blob(3, 80));
+    d.flush().unwrap();
+    drop(d);
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert_eq!(d.stats().truncated_bytes, 0);
+    assert_eq!(d.stats().replayed_nodes, 2);
+    assert!(d.store().contains(extra_handle));
+}
+
+#[test]
+fn snapshot_compacts_and_truncates_the_log() {
+    let dir = tempfile::tempdir().unwrap();
+    let blobs: Vec<Blob> = (0..8).map(|i| blob(10 + i, 50 + i as usize)).collect();
+    let handles: Vec<Handle>;
+    {
+        let d = DurableStore::open(dir.path(), opts()).unwrap();
+        handles = blobs
+            .iter()
+            .map(|b| d.store().put_blob(b.clone()))
+            .collect();
+        d.cache().put(Relation::Eval, handles[0], handles[1]);
+        d.snapshot().unwrap();
+        assert_eq!(d.stats().snapshots, 1);
+        // The log is truncated back to its 8-byte magic header.
+        let log_len = std::fs::metadata(dir.path().join("log.fixlog"))
+            .unwrap()
+            .len();
+        assert_eq!(log_len, 8);
+        // Objects still read fine (now from the snapshot file).
+        for (b, h) in blobs.iter().zip(&handles) {
+            assert_eq!(&d.store().get_blob(*h).unwrap(), b);
+        }
+    }
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert_eq!(d.stats().replayed_nodes, 8);
+    assert_eq!(d.stats().replayed_relations, 1);
+    assert_eq!(
+        d.cache().get(Relation::Eval, handles[0]),
+        Some(handles[1]),
+        "memoized relations survive the snapshot"
+    );
+    for (b, h) in blobs.iter().zip(&handles) {
+        assert_eq!(&d.store().get_blob(*h).unwrap(), b);
+    }
+}
+
+#[test]
+fn interrupted_snapshot_tmp_is_ignored() {
+    let dir = tempfile::tempdir().unwrap();
+    let b = blob(4, 90);
+    let h;
+    {
+        let d = DurableStore::open(dir.path(), opts()).unwrap();
+        h = d.store().put_blob(b.clone());
+        d.flush().unwrap();
+    }
+    // A crash mid-snapshot leaves a partial .tmp (never renamed) and, in
+    // the worst case, a garbage .fixsnap with no commit record.
+    std::fs::write(
+        dir.path().join("snap-00000000000000aa.tmp"),
+        b"FIXSNAP8junk",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.path().join("snap-00000000000000ab.fixsnap"),
+        b"FIXSNAP8",
+    )
+    .unwrap();
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert_eq!(d.store().get_blob(h).unwrap(), b, "log still authoritative");
+}
+
+#[test]
+fn kill_point_crashes_and_recovery_keeps_the_prefix() {
+    let dir = tempfile::tempdir().unwrap();
+    let survivors: Vec<Blob> = (0..3).map(|i| blob(20 + i, 40)).collect();
+    let lost = blob(99, 40);
+    let survivor_handles: Vec<Handle>;
+    let lost_handle;
+    {
+        let d = DurableStore::open(
+            dir.path(),
+            DurableOptions {
+                fsync: FsyncPolicy::Always,
+                kill: Some(KillPoint {
+                    after_frames: 3,
+                    mode: KillMode::Stop,
+                }),
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        survivor_handles = survivors
+            .iter()
+            .map(|b| d.store().put_blob(b.clone()))
+            .collect();
+        d.flush().unwrap();
+        assert!(d.crashed(), "the third frame trips the kill point");
+        // Appends after the crash are dropped, and flush doesn't hang.
+        lost_handle = d.store().put_blob(lost.clone());
+        d.flush().unwrap();
+    }
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert!(
+        d.stats().truncated_bytes > 0,
+        "the kill point leaves a torn frame for recovery to drop"
+    );
+    assert_eq!(d.stats().replayed_nodes, 3);
+    for (b, h) in survivors.iter().zip(&survivor_handles) {
+        assert_eq!(&d.store().get_blob(*h).unwrap(), b);
+    }
+    assert!(
+        !d.store().contains(lost_handle),
+        "post-crash appends are lost"
+    );
+}
+
+#[test]
+fn spill_evicts_cold_objects_and_refaults_on_demand() {
+    let dir = tempfile::tempdir().unwrap();
+    let blobs: Vec<Blob> = (0..10).map(|i| blob(30 + i, 100)).collect();
+    let d = DurableStore::open(
+        dir.path(),
+        DurableOptions {
+            fsync: FsyncPolicy::Always,
+            spill_watermark_bytes: Some(450),
+            ..DurableOptions::default()
+        },
+    )
+    .unwrap();
+    let handles: Vec<Handle> = blobs
+        .iter()
+        .map(|b| d.store().put_blob(b.clone()))
+        .collect();
+    d.flush().unwrap();
+    assert!(
+        d.store().total_bytes() <= 450,
+        "spill holds resident bytes under the watermark, got {}",
+        d.store().total_bytes()
+    );
+    assert!(d.stats().spills >= 6);
+    // Everything is still readable; spilled objects refault transparently
+    // and total_bytes stays consistent across the evict→refault round trip.
+    for (b, h) in blobs.iter().zip(&handles) {
+        assert_eq!(&d.store().get_blob(*h).unwrap(), b);
+    }
+    assert_eq!(d.store().object_count(), 10);
+    assert_eq!(d.store().total_bytes(), 10 * 100);
+    assert!(d.stats().faults >= 6);
+}
+
+#[test]
+fn gc_prunes_the_index_so_collected_objects_cannot_resurrect() {
+    let dir = tempfile::tempdir().unwrap();
+    let live = blob(5, 70);
+    let dead = blob(6, 70);
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    let live_handle = d.store().put_blob(live.clone());
+    let dead_handle = d.store().put_blob(dead.clone());
+    let root = d.store().put_tree(Tree::from_handles(vec![live_handle]));
+    d.flush().unwrap();
+
+    let collected = d.gc(&[root]);
+    assert_eq!(collected, 1);
+    assert_eq!(d.store().get_blob(live_handle).unwrap(), live);
+    // The dead object is gone from memory AND the durable index: no
+    // silent resurrection with stale bytes.
+    assert!(d.store().get(dead_handle).is_err());
+    assert!(!d.store().contains(dead_handle));
+    assert_eq!(d.store().total_bytes(), 70 + 32);
+
+    // ... and it stays dead across a snapshot + reopen.
+    d.snapshot().unwrap();
+    drop(d);
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert_eq!(d.stats().replayed_nodes, 2);
+    assert!(d.store().get(dead_handle).is_err());
+    assert_eq!(d.store().get_blob(live_handle).unwrap(), live);
+}
+
+#[test]
+fn gc_descends_through_non_resident_trees() {
+    let dir = tempfile::tempdir().unwrap();
+    let leaf = blob(7, 60);
+    let root;
+    let leaf_handle;
+    {
+        let d = DurableStore::open(dir.path(), opts()).unwrap();
+        leaf_handle = d.store().put_blob(leaf.clone());
+        root = d.store().put_tree(Tree::from_handles(vec![leaf_handle]));
+        d.flush().unwrap();
+    }
+    // Nothing resident: the reachability walk must fault trees in to
+    // find the leaf, and keep both.
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert_eq!(d.gc(&[root]), 0);
+    assert_eq!(d.store().get_blob(leaf_handle).unwrap(), leaf);
+}
+
+#[test]
+fn forget_drops_an_object_for_good() {
+    let dir = tempfile::tempdir().unwrap();
+    let b = blob(8, 55);
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    let h = d.store().put_blob(b);
+    d.flush().unwrap();
+    assert_eq!(d.forget(h), Some(55));
+    assert!(!d.store().contains(h));
+    assert!(d.store().get(h).is_err(), "forget() means no refault");
+    assert_eq!(d.store().total_bytes(), 0);
+}
+
+#[test]
+fn relations_referencing_lost_tail_data_are_dropped_on_replay() {
+    let dir = tempfile::tempdir().unwrap();
+    let input = blob(9, 45);
+    let output = blob(10, 45);
+    let input_handle;
+    let output_handle;
+    {
+        let d = DurableStore::open(dir.path(), opts()).unwrap();
+        input_handle = d.store().put_blob(input);
+        output_handle = d.store().put_blob(output);
+        d.cache().put(Relation::Apply, input_handle, output_handle);
+        d.flush().unwrap();
+    }
+    // Corrupt the output object's frame: recovery stops there, losing
+    // both the output bytes and the relation record behind it — so the
+    // cache must not claim the apply is memoized.
+    let log = dir.path().join("log.fixlog");
+    let mut bytes = std::fs::read(&log).unwrap();
+    let second_frame = 8 + 8 + 4 + 1 + 32 + 73 + 45; // header + frame(node: tag+key+parcel(73+45))
+    bytes[second_frame + 20] ^= 0xFF;
+    std::fs::write(&log, &bytes).unwrap();
+
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    assert_eq!(d.stats().replayed_nodes, 1);
+    assert_eq!(d.stats().replayed_relations, 0);
+    assert_eq!(d.cache().get(Relation::Apply, input_handle), None);
+    assert!(!d.store().contains(output_handle));
+}
+
+#[test]
+fn auto_snapshot_triggers_on_log_size() {
+    let dir = tempfile::tempdir().unwrap();
+    let d = DurableStore::open(
+        dir.path(),
+        DurableOptions {
+            fsync: FsyncPolicy::Always,
+            snapshot_log_bytes: Some(600),
+            ..DurableOptions::default()
+        },
+    )
+    .unwrap();
+    let handles: Vec<Handle> = (0..12)
+        .map(|i| d.store().put_blob(blob(40 + i, 120)))
+        .collect();
+    d.flush().unwrap();
+    assert!(
+        d.stats().snapshots >= 1,
+        "log growth must trigger compaction"
+    );
+    for h in &handles {
+        assert!(d.store().get(*h).is_ok());
+    }
+}
+
+#[test]
+fn literals_are_never_logged() {
+    let dir = tempfile::tempdir().unwrap();
+    let d = DurableStore::open(dir.path(), opts()).unwrap();
+    let h = d.store().put(Node::Blob(Blob::from_vec(vec![1, 2, 3])));
+    assert!(h.is_literal());
+    d.flush().unwrap();
+    assert_eq!(d.stats().appended_frames, 0);
+    assert_eq!(d.indexed_objects(), 0);
+}

@@ -13,7 +13,8 @@ use fix_core::data::{Blob, Node, Tree};
 use fix_core::error::Result;
 use fix_core::handle::Handle;
 use fix_core::limits::ResourceLimits;
-use fix_core::semantics::{footprint, Footprint};
+use fix_core::semantics::{footprint, footprint_many, Footprint};
+use fix_durable::DurableStore;
 use fix_storage::{Labels, ProvenanceLedger, RelationCache, Store};
 use std::sync::Arc;
 
@@ -22,6 +23,7 @@ use std::sync::Arc;
 pub struct RuntimeBuilder {
     workers: usize,
     provenance: bool,
+    durable: Option<DurableStore>,
 }
 
 impl RuntimeBuilder {
@@ -41,10 +43,22 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Backs the runtime with a [`DurableStore`]: objects and memoized
+    /// relations persist through its append-only log, a reopened
+    /// directory restarts lazily (bytes fault in from disk on first
+    /// touch), and memoized work recovered from the log re-serves with
+    /// zero procedures run.
+    pub fn durable(mut self, durable: DurableStore) -> Self {
+        self.durable = Some(durable);
+        self
+    }
+
     /// Builds the runtime.
     pub fn build(self) -> Runtime {
-        let store = Arc::new(Store::new());
-        let cache = Arc::new(RelationCache::new());
+        let (store, cache) = match &self.durable {
+            Some(d) => (Arc::clone(d.store()), Arc::clone(d.cache())),
+            None => (Arc::new(Store::new()), Arc::new(RelationCache::new())),
+        };
         let registry = Arc::new(ProgramRegistry::new());
         let ledger = self.provenance.then(|| Arc::new(ProvenanceLedger::new()));
         let mut engine = Engine::new(
@@ -70,6 +84,7 @@ impl RuntimeBuilder {
             scheduler,
             labels: Labels::new(),
             provenance: ledger,
+            durable: self.durable,
             _pool: pool,
         }
     }
@@ -109,6 +124,7 @@ pub struct Runtime {
     scheduler: Arc<Scheduler>,
     labels: Labels,
     provenance: Option<Arc<ProvenanceLedger>>,
+    durable: Option<DurableStore>,
     _pool: Option<WorkerPool>,
 }
 
@@ -367,10 +383,31 @@ impl Runtime {
         footprint(self.store.as_ref(), thunk, self.cache.as_ref())
     }
 
+    /// Computes the combined minimum repository of a batch of requests,
+    /// walking data shared between requests once: the deduplicated set a
+    /// batch transfer must ship, or a snapshot must pin, to cover all of
+    /// them (see [`fix_core::semantics::footprint_many`]).
+    pub fn footprint_many(&self, thunks: &[Handle]) -> Result<Footprint> {
+        footprint_many(self.store.as_ref(), thunks, self.cache.as_ref())
+    }
+
     /// Runs garbage collection, keeping only objects reachable from
     /// `roots` (plus everything literal).
+    ///
+    /// On a durable runtime this also prunes the on-disk index, so
+    /// collected objects cannot silently refault later.
     pub fn gc(&self, roots: &[Handle]) -> usize {
-        self.store.gc(roots)
+        match &self.durable {
+            Some(d) => d.gc(roots),
+            None => self.store.gc(roots),
+        }
+    }
+
+    /// The persistence tier backing this runtime, when built with
+    /// [`RuntimeBuilder::durable`] (use it to flush, snapshot, or read
+    /// durability stats).
+    pub fn durable(&self) -> Option<&DurableStore> {
+        self.durable.as_ref()
     }
 
     /// Forgets every memoized evaluation: the relation cache *and* the
@@ -471,6 +508,10 @@ impl fix_core::api::Evaluator for Runtime {
 
     fn footprint(&self, thunk: Handle) -> Result<Footprint> {
         Runtime::footprint(self, thunk)
+    }
+
+    fn footprint_many(&self, thunks: &[Handle]) -> Result<Footprint> {
+        Runtime::footprint_many(self, thunks)
     }
 
     fn procedures_run(&self) -> u64 {

@@ -81,6 +81,7 @@
 
 pub mod loadgen;
 pub mod queue;
+pub mod recovery;
 pub mod server;
 pub mod telemetry;
 pub mod tenant;
@@ -88,6 +89,7 @@ pub mod tenant;
 pub use fix_core::api::Priority;
 pub use loadgen::{Arrival, ArrivalProcess, Micros};
 pub use queue::{Dispatch, QueuedRequest, TenantClass, TenantQueues};
+pub use recovery::{kill_and_recover, serve_durable, RecoveryOutcome};
 pub use server::{serve, DriverReport, ServeConfig, ServeReport, TenantReport};
 pub use telemetry::LatencyHistogram;
 pub use tenant::{RequestFactory, RequestKind, SloClass, TenantSpec};

@@ -1,0 +1,43 @@
+//! Persistence hooks: how a durability tier observes and backs a store.
+//!
+//! `fix-durable` wraps [`Store`](crate::Store) and
+//! [`RelationCache`](crate::RelationCache) without a dependency cycle by
+//! registering three callbacks here:
+//!
+//! * [`FaultSource`] — consulted on a `get` miss, so objects that live
+//!   only on disk (lazy restart, spill-to-disk) are faulted in on first
+//!   touch instead of reported missing;
+//! * [`StoreSink`] — notified of every *fresh* object insert, the feed
+//!   for an append-only log;
+//! * [`RelationSink`] — notified of every fresh memoized relation, so
+//!   evaluation results survive a restart.
+//!
+//! All hooks are invoked outside the shard locks; implementations may
+//! call back into the store (a fault handler's `put` re-enters the sink,
+//! which is expected to recognize already-persisted content and skip it).
+
+use crate::relations::Relation;
+use fix_core::data::Node;
+use fix_core::handle::Handle;
+
+/// A backing tier that can produce non-resident objects on demand.
+pub trait FaultSource: Send + Sync {
+    /// Returns the node behind `handle` if the tier holds it, or `None`
+    /// if it is genuinely unknown. Called only after an in-memory miss.
+    fn fault(&self, handle: Handle) -> Option<Node>;
+
+    /// True if the tier holds `handle` (no I/O; an index lookup).
+    fn knows(&self, handle: Handle) -> bool;
+}
+
+/// An observer of fresh object inserts.
+pub trait StoreSink: Send + Sync {
+    /// Called once per payload key, the first time it enters the store.
+    fn inserted(&self, node: &Node);
+}
+
+/// An observer of fresh memoized relations.
+pub trait RelationSink: Send + Sync {
+    /// Called the first time `relation(input) → output` is recorded.
+    fn recorded(&self, relation: Relation, input: Handle, output: Handle);
+}

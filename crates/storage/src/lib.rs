@@ -16,14 +16,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hooks;
 mod labels;
 mod provenance;
 mod relations;
 mod store;
 
+pub use hooks::{FaultSource, RelationSink, StoreSink};
 pub use labels::Labels;
 pub use provenance::{
     apply_eviction, plan_eviction, support_closure, EvictionPlan, ProvenanceLedger, Victim,
 };
 pub use relations::{Relation, RelationCache};
-pub use store::Store;
+pub use store::{payload_key, Store};

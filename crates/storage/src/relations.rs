@@ -16,10 +16,12 @@
 //! in-flight work, and the paper's "computational garbage collection"
 //! story possible.
 
+use crate::hooks::RelationSink;
 use fix_core::handle::Handle;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The kinds of memoized relations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +56,8 @@ pub struct RelationCache {
     shards: Vec<RwLock<HashMap<(Relation, Handle), Handle>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    // Persistence hook: notified of fresh relations (see crate::hooks).
+    sink: OnceLock<Arc<dyn RelationSink>>,
 }
 
 impl Default for RelationCache {
@@ -69,6 +73,14 @@ impl RelationCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            sink: OnceLock::new(),
+        }
+    }
+
+    /// Installs the fresh-relation observer. At most one per cache.
+    pub fn set_sink(&self, sink: Arc<dyn RelationSink>) {
+        if self.sink.set(sink).is_err() {
+            panic!("relation cache already has a sink");
         }
     }
 
@@ -100,6 +112,11 @@ impl RelationCache {
             prev.is_none() || prev == Some(output),
             "nondeterministic relation: {relation:?}({input}) was {prev:?}, now {output}"
         );
+        if prev.is_none() {
+            if let Some(sink) = self.sink.get() {
+                sink.recorded(relation, input, output);
+            }
+        }
     }
 
     /// Number of recorded relations.
@@ -125,6 +142,21 @@ impl RelationCache {
         for shard in &self.shards {
             shard.write().clear();
         }
+    }
+
+    /// A point-in-time copy of every recorded relation, in shard order.
+    ///
+    /// The durable tier snapshots the cache through this; relations
+    /// recorded concurrently are not lost — they reach the snapshot's
+    /// successor log through the sink instead.
+    pub fn entries(&self) -> Vec<(Relation, Handle, Handle)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for (&(relation, input), &output) in shard.read().iter() {
+                out.push((relation, input, output));
+            }
+        }
+        out
     }
 
     /// Forgets one memoized relation, returning the old result.

@@ -2,6 +2,7 @@
 //! store mapping Handles to Blob/Tree data (paper Fig. 6, "Runtime
 //! Storage: Handles ==> Data").
 
+use crate::hooks::{FaultSource, StoreSink};
 use fix_core::data::{literal_blob, Blob, Node, Tree};
 use fix_core::error::{Error, Result};
 use fix_core::handle::Handle;
@@ -9,13 +10,16 @@ use fix_core::semantics::DataSource;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 const SHARDS: usize = 64;
 
 /// The canonical lookup key: the handle's payload and type, with the
 /// accessibility/laziness tag stripped (an Object and a Ref to the same
-/// bytes are the same stored datum).
-pub(crate) fn payload_key(handle: Handle) -> [u8; 32] {
+/// bytes are the same stored datum). Because the canonical Object tag is
+/// zero, a payload key is itself a valid raw Object handle — the durable
+/// tier exploits this to reconstruct a handle from an on-disk key.
+pub fn payload_key(handle: Handle) -> [u8; 32] {
     let mut key = *handle.raw();
     key[30] = 0;
     key
@@ -46,6 +50,12 @@ fn shard_of(key: &[u8; 32]) -> usize {
 pub struct Store {
     shards: Vec<RwLock<HashMap<[u8; 32], Node>>>,
     total_bytes: AtomicU64,
+    // Persistence hooks (see crate::hooks). Both are set at most once,
+    // by a durability tier wrapping this store; the hot hit paths never
+    // touch them — `fault` is consulted only after an in-memory miss and
+    // `sink` only on a fresh insert.
+    fault: OnceLock<Arc<dyn FaultSource>>,
+    sink: OnceLock<Arc<dyn StoreSink>>,
 }
 
 impl Default for Store {
@@ -60,6 +70,23 @@ impl Store {
         Store {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             total_bytes: AtomicU64::new(0),
+            fault: OnceLock::new(),
+            sink: OnceLock::new(),
+        }
+    }
+
+    /// Installs the backing tier consulted after an in-memory miss.
+    /// At most one per store; a second install panics.
+    pub fn set_fault_source(&self, source: Arc<dyn FaultSource>) {
+        if self.fault.set(source).is_err() {
+            panic!("store already has a fault source");
+        }
+    }
+
+    /// Installs the fresh-insert observer. At most one per store.
+    pub fn set_sink(&self, sink: Arc<dyn StoreSink>) {
+        if self.sink.set(sink).is_err() {
+            panic!("store already has an insert sink");
         }
     }
 
@@ -71,9 +98,18 @@ impl Store {
         }
         let key = payload_key(handle);
         let size = node.transfer_size();
-        let mut shard = self.shards[shard_of(&key)].write();
-        if shard.insert(key, node).is_none() {
+        // Clone for the sink before the map takes ownership (Node clones
+        // are refcount bumps); skipped entirely when no tier is attached.
+        let observed = self.sink.get().map(|sink| (sink, node.clone()));
+        let fresh = self.shards[shard_of(&key)]
+            .write()
+            .insert(key, node)
+            .is_none();
+        if fresh {
             self.total_bytes.fetch_add(size, Ordering::Relaxed);
+            if let Some((sink, node)) = observed {
+                sink.inserted(&node);
+            }
         }
         handle
     }
@@ -94,11 +130,20 @@ impl Store {
             return Ok(Node::Blob(b));
         }
         let key = payload_key(handle);
-        self.shards[shard_of(&key)]
-            .read()
-            .get(&key)
-            .cloned()
-            .ok_or(Error::NotFound(handle))
+        let resident = self.shards[shard_of(&key)].read().get(&key).cloned();
+        if let Some(node) = resident {
+            return Ok(node);
+        }
+        // Miss: give the backing tier (lazy restart / spill) a chance to
+        // fault the object in. The fault runs outside any shard lock;
+        // `put` makes the node resident for subsequent reads.
+        if let Some(tier) = self.fault.get() {
+            if let Some(node) = tier.fault(handle) {
+                self.put(node.clone());
+                return Ok(node);
+            }
+        }
+        Err(Error::NotFound(handle))
     }
 
     /// Fetches a blob.
@@ -111,8 +156,24 @@ impl Store {
         self.get(handle)?.as_tree().cloned()
     }
 
-    /// True if the datum is resident (always true for literals).
+    /// True if the datum is resident or faultable from a backing tier
+    /// (always true for literals).
     pub fn contains(&self, handle: Handle) -> bool {
+        if handle.is_literal() {
+            return true;
+        }
+        let key = payload_key(handle);
+        if self.shards[shard_of(&key)].read().contains_key(&key) {
+            return true;
+        }
+        self.fault.get().is_some_and(|tier| tier.knows(handle))
+    }
+
+    /// True if the datum is in memory right now — unlike
+    /// [`contains`](Store::contains), never consults the backing tier.
+    /// The durable tier's spill and snapshot logic distinguishes
+    /// resident from merely-faultable objects through this.
+    pub fn resident(&self, handle: Handle) -> bool {
         if handle.is_literal() {
             return true;
         }

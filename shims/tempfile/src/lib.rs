@@ -1,0 +1,103 @@
+//! Offline stand-in for `tempfile`: the `TempDir` subset the workspace
+//! uses (tempdir-with-cleanup only).
+//!
+//! The registry is unreachable in this build environment, so the real
+//! crate cannot be fetched. A [`TempDir`] is a directory under
+//! `std::env::temp_dir()` whose name mixes the process id with a
+//! process-wide counter (unique without consulting the clock or a RNG),
+//! removed recursively on drop.
+
+#![forbid(unsafe_code)]
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A directory that deletes itself (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: Option<PathBuf>,
+}
+
+impl TempDir {
+    /// Creates a fresh, empty temp directory.
+    pub fn new() -> io::Result<TempDir> {
+        Self::with_prefix("tmp")
+    }
+
+    /// Creates a fresh temp directory whose name starts with `prefix`.
+    pub fn with_prefix<S: AsRef<str>>(prefix: S) -> io::Result<TempDir> {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("{}-{}-{n}", prefix.as_ref(), std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path: Some(path) })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        self.path.as_deref().expect("TempDir already taken")
+    }
+
+    /// Disarms the cleanup and returns the path (the directory persists).
+    pub fn keep(mut self) -> PathBuf {
+        self.path.take().expect("TempDir already taken")
+    }
+
+    /// Deletes the directory now, reporting any error (drop ignores them).
+    pub fn close(mut self) -> io::Result<()> {
+        match self.path.take() {
+            Some(path) => std::fs::remove_dir_all(path),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let _ = std::fs::remove_dir_all(path);
+        }
+    }
+}
+
+/// Creates a temp directory (the free-function form of [`TempDir::new`]).
+pub fn tempdir() -> io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().to_path_buf();
+        std::fs::write(path.join("nested"), b"x").unwrap();
+        std::fs::create_dir(path.join("sub")).unwrap();
+        std::fs::write(path.join("sub/inner"), b"y").unwrap();
+        drop(dir);
+        assert!(!path.exists(), "drop must remove the tree recursively");
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = TempDir::new().unwrap();
+        let b = TempDir::new().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn close_reports_and_keep_disarms() {
+        let dir = TempDir::new().unwrap();
+        dir.close().unwrap();
+
+        let dir = TempDir::new().unwrap();
+        let path = dir.keep();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+}

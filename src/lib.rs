@@ -26,7 +26,11 @@
 //! * [`serve`] — the multi-tenant serving layer: open-loop load
 //!   generation, per-tenant SLO classes (priority tiers, deadlines)
 //!   over two-level dispatch, a batched driver pool, and tail-latency
-//!   telemetry over any One-Fix-API backend.
+//!   telemetry over any One-Fix-API backend;
+//! * [`durable`] — the persistence tier: an append-only
+//!   content-addressed log with snapshots, lazy faulting restart,
+//!   spill-to-disk, and deterministic kill points for crash-recovery
+//!   testing.
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@
 pub use fix_baselines as baselines;
 pub use fix_cluster as cluster;
 pub use fix_core as core;
+pub use fix_durable as durable;
 pub use fix_hash as hash;
 pub use fix_netsim as netsim;
 pub use fix_serve as serve;

@@ -407,6 +407,44 @@ fn footprints_agree() {
     });
 }
 
+/// Batch footprints dedup across requests: data shared by two thunks is
+/// listed (and counted) once, and the batch equals the merged singles.
+#[test]
+fn batch_footprints_dedup_shared_data() {
+    on_every_backend(|rt| {
+        let add = register_add(rt);
+        let shared = rt.put_blob(Blob::from_vec(vec![3u8; 2048]));
+        let a = rt
+            .apply(limits(), add, &[shared, rt.put_blob(Blob::from_u64(1))])
+            .unwrap();
+        let b = rt
+            .apply(limits(), add, &[shared, rt.put_blob(Blob::from_u64(2))])
+            .unwrap();
+        let batch = rt.footprint_many(&[a, b]).unwrap();
+        assert!(batch.is_complete());
+        assert_eq!(
+            batch.objects.iter().filter(|h| **h == shared).count(),
+            1,
+            "shared data must appear once in the batch footprint"
+        );
+        // Batch == merged singles (order-insensitively).
+        let mut merged = rt.footprint(a).unwrap();
+        merged.merge(&rt.footprint(b).unwrap());
+        assert_eq!(batch.total_bytes, merged.total_bytes);
+        let sorted = |mut v: Vec<Handle>| {
+            v.sort_by_key(|h| *h.raw());
+            v
+        };
+        let batch_objs = sorted(batch.objects.clone());
+        assert_eq!(batch_objs, sorted(merged.objects));
+        // Sub-additive: strictly less than the sum of the parts.
+        let (fa, fb) = (rt.footprint(a).unwrap(), rt.footprint(b).unwrap());
+        assert!(batch.total_bytes < fa.total_bytes + fb.total_bytes);
+        assert!(batch.objects.len() < fa.objects.len() + fb.objects.len());
+        batch_objs
+    });
+}
+
 /// The whole real map-reduce workload, generically, with identical
 /// counts — the "a workload written once becomes a benchmark row for
 /// every backend" property.
