@@ -16,6 +16,13 @@
 //! the bench isolates serving overhead per request. The virtual-clock
 //! tables are asserted identical across both strategies — the window
 //! may only move wall-clock throughput, never results.
+//!
+//! A third pair of rows, `tracing_off_window4` / `tracing_on_window4`,
+//! measures the cost of the `fix-obs` event recorder on the same warm
+//! pipelined traffic: off is one relaxed atomic load per
+//! instrumentation site, on pays the full emit-and-buffer path for
+//! every lifecycle event. The deterministic tables are asserted
+//! unchanged either way.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fix_serve::{serve, ArrivalProcess, RequestKind, ServeConfig, SloClass, TenantSpec};
@@ -135,6 +142,37 @@ fn bench_serve_throughput(c: &mut Criterion) {
         summary.join(", ")
     );
 
+    // Tracing overhead on the warm pipelined path: same seed, recorder
+    // on. The virtual tables must not move; the wall-clock gap is the
+    // whole price of tracing (machine dependent, so printed rather than
+    // asserted). Draining the buffers after each traced run is part of
+    // the workflow being measured.
+    fix_obs::recorder().clear();
+    fix_obs::set_tracing(true);
+    let traced = serve(&rt, &pipelined).expect("traced serve run");
+    fix_obs::set_tracing(false);
+    let events = fix_obs::recorder().drain().len();
+    assert_eq!(
+        warm.to_string(),
+        traced.to_string(),
+        "tracing must not perturb the virtual tables"
+    );
+    let mut off_rps = 0.0f64;
+    let mut on_rps = 0.0f64;
+    for _ in 0..9 {
+        off_rps = off_rps.max(serve(&rt, &pipelined).expect("serve").wall_rps());
+        fix_obs::set_tracing(true);
+        let r = serve(&rt, &pipelined).expect("traced serve");
+        fix_obs::set_tracing(false);
+        fix_obs::recorder().clear();
+        on_rps = on_rps.max(r.wall_rps());
+    }
+    println!(
+        "serve_throughput[tracing]: {n} warm requests, {events} events/run; \
+         off ≈ {off_rps:.0} req/s, on ≈ {on_rps:.0} req/s ({:+.1}%)",
+        (on_rps / off_rps - 1.0) * 100.0
+    );
+
     // The SLO mix: same arrivals, two-level dispatch, per-batch
     // priorities through submit_with. Its virtual tables differ from
     // the DRR rows (dispatch order changes), so it gets its own warm-up
@@ -157,6 +195,22 @@ fn bench_serve_throughput(c: &mut Criterion) {
     });
     group.bench_function(format!("slo_two_class_window4/{slo_n}_reqs"), |b| {
         b.iter(|| black_box(serve(&rt, black_box(&slo)).expect("serve")))
+    });
+    // The tracing pair: identical traffic, recorder off vs on. The on
+    // row drains its events each iteration (bounded buffers would
+    // otherwise saturate and measure the cheaper drop path instead).
+    group.bench_function(format!("tracing_off_window4/{n}_reqs"), |b| {
+        b.iter(|| black_box(serve(&rt, black_box(&pipelined)).expect("serve")))
+    });
+    group.bench_function(format!("tracing_on_window4/{n}_reqs"), |b| {
+        fix_obs::set_tracing(true);
+        b.iter(|| {
+            let r = black_box(serve(&rt, black_box(&pipelined)).expect("serve"));
+            fix_obs::recorder().clear();
+            r
+        });
+        fix_obs::set_tracing(false);
+        fix_obs::recorder().clear();
     });
     group.finish();
 }

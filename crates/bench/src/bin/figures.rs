@@ -2,8 +2,14 @@
 //! evaluation section.
 //!
 //! ```text
-//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|sweep|calibrate|recover|summary|all] [--quick]
+//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|sweep|trace|calibrate|recover|summary|all] [--quick]
 //! ```
+//!
+//! `trace` runs the serving workload with the `fix-obs` event recorder
+//! enabled on three submitting backends, prints the deterministic
+//! trace summary + latency decomposition (bit-identical across runs
+//! and backends), and writes one Perfetto-loadable Chrome trace JSON
+//! per backend under `target/trace/`.
 //!
 //! `sweep` runs the serving table across several seeds, one thread per
 //! seed (`--serial` to force the single-threaded driver). The output is
@@ -96,6 +102,14 @@ fn main() {
     if which == "all" || which == "serve" {
         let scale = if quick { 1 } else { 5 };
         println!("{}", fix_bench::serve_report::table_text(scale));
+    }
+    // Deterministic tracing of the serving workload (not part of `all`:
+    // it re-runs the serve workload three times and writes trace files).
+    if which == "trace" {
+        let scale = if quick { 1 } else { 5 };
+        let out = std::path::Path::new("target/trace");
+        println!("{}", fix_bench::trace::run(scale, out));
+        println!("chrome traces written under {}", out.display());
     }
     // Multi-seed serving sweep, parallel by default (not part of `all`:
     // it reprints the serve table once per seed).

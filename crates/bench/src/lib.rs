@@ -21,3 +21,4 @@ pub mod fig8b;
 pub mod fig9;
 pub mod recover;
 pub mod serve_report;
+pub mod trace;

@@ -37,6 +37,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+/// Trace id of a batch: the first 8 bytes of its first thunk's handle
+/// (0 for an empty batch), matching the scheduler's job trace ids.
+fn batch_trace_id(thunks: &[Handle]) -> u64 {
+    thunks.first().map_or(0, |h| {
+        u64::from_le_bytes(h.raw()[..8].try_into().expect("handle has 32 bytes"))
+    })
+}
+
 /// One submitted batch in flight between a ticket and the worker pool.
 struct OffloadJob {
     thunks: Vec<Handle>,
@@ -136,6 +144,9 @@ impl PendingBatch for OffloadPending {
             state.results = Some((0..self.len).map(|_| Err(Error::Cancelled)).collect());
             state.produced = true;
             self.slot.done.store(true, Ordering::Release);
+            if fix_obs::tracing_enabled() {
+                fix_obs::emit(fix_obs::EventKind::OffloadCancel, 0, 0, 0, self.len as u32);
+            }
         }
         drop(state);
         self.slot.cv.notify_all();
@@ -295,7 +306,17 @@ fn serve_one<T: Evaluator + ?Sized>(inner: &T, pool: &Pool, job: OffloadJob) {
     // Expire-before-dispatch: the closest a blocking backend gets to
     // the scheduler's lazy dequeue expiry.
     if let Some(deadline) = job.options.deadline_us {
-        if pool.clock.load(Ordering::Relaxed) > deadline {
+        let now_us = pool.clock.load(Ordering::Relaxed);
+        if now_us > deadline {
+            if fix_obs::tracing_enabled() {
+                fix_obs::emit(
+                    fix_obs::EventKind::OffloadExpire,
+                    now_us,
+                    batch_trace_id(&job.thunks),
+                    job.options.priority.tier() as u32,
+                    job.thunks.len() as u32,
+                );
+            }
             job.slot.fill(
                 job.thunks
                     .iter()
@@ -312,6 +333,7 @@ fn serve_one<T: Evaluator + ?Sized>(inner: &T, pool: &Pool, job: OffloadJob) {
     // A panic below would strand every later batch on this worker;
     // convert it to per-slot errors and keep serving (mirrors the
     // scheduler's treatment of panicking codelets as guest faults).
+    let t0 = fix_obs::tracing_enabled().then(std::time::Instant::now);
     let results =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.options.mode {
             Mode::Whnf => inner.eval_many(&job.thunks),
@@ -328,6 +350,16 @@ fn serve_one<T: Evaluator + ?Sized>(inner: &T, pool: &Pool, job: OffloadJob) {
                 })
                 .collect()
         });
+    if let Some(t0) = t0 {
+        fix_obs::emit_span(
+            fix_obs::EventKind::OffloadDispatch,
+            pool.clock.load(Ordering::Relaxed),
+            batch_trace_id(&job.thunks),
+            job.options.priority.tier() as u32,
+            job.thunks.len() as u32,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
     job.slot.fill(results);
 }
 
@@ -391,6 +423,15 @@ impl<T: Evaluator + Send + Sync + 'static> SubmitApi for BlockingOffload<T> {
                 );
             }
             tiers.queues[options.priority.tier()].push_back(job);
+        }
+        if fix_obs::tracing_enabled() {
+            fix_obs::emit(
+                fix_obs::EventKind::OffloadSubmit,
+                self.pool.clock.load(Ordering::Relaxed),
+                batch_trace_id(handles),
+                options.priority.tier() as u32,
+                handles.len() as u32,
+            );
         }
         self.pool.cv.notify_one();
         BatchTicket::from_pending(

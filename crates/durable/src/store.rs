@@ -82,17 +82,50 @@ struct Queue {
     io_error: Option<String>,
 }
 
+/// The writer's live metric cells. Every counter is a registry-adopted
+/// [`fix_obs::Counter`], so [`DurableStore::stats`] (the legacy struct
+/// view) and [`DurableStore::metrics`] (the named-snapshot view) read
+/// the very same cells and can never disagree.
 #[derive(Default)]
 struct Counters {
-    appended_frames: AtomicU64,
-    appended_bytes: AtomicU64,
-    fsyncs: AtomicU64,
-    faults: AtomicU64,
-    spills: AtomicU64,
-    snapshots: AtomicU64,
-    replayed_nodes: AtomicU64,
-    replayed_relations: AtomicU64,
-    truncated_bytes: AtomicU64,
+    appended_frames: fix_obs::Counter,
+    appended_bytes: fix_obs::Counter,
+    fsyncs: fix_obs::Counter,
+    faults: fix_obs::Counter,
+    spills: fix_obs::Counter,
+    snapshots: fix_obs::Counter,
+    replayed_nodes: fix_obs::Counter,
+    replayed_relations: fix_obs::Counter,
+    truncated_bytes: fix_obs::Counter,
+    /// Wall latency of each group-commit fsync, in µs.
+    fsync_us: fix_obs::HistogramCell,
+    /// Wall latency of each disk refault, in µs.
+    fault_us: fix_obs::HistogramCell,
+    /// Wall latency of each snapshot, in µs.
+    snapshot_us: fix_obs::HistogramCell,
+}
+
+impl Counters {
+    /// Registers every cell under its `durable.*` name.
+    fn register(&self, reg: &fix_obs::Registry) {
+        reg.register_counter("durable.appended_frames", &self.appended_frames);
+        reg.register_counter("durable.appended_bytes", &self.appended_bytes);
+        reg.register_counter("durable.fsyncs", &self.fsyncs);
+        reg.register_counter("durable.faults", &self.faults);
+        reg.register_counter("durable.spills", &self.spills);
+        reg.register_counter("durable.snapshots", &self.snapshots);
+        reg.register_counter("durable.replayed_nodes", &self.replayed_nodes);
+        reg.register_counter("durable.replayed_relations", &self.replayed_relations);
+        reg.register_counter("durable.truncated_bytes", &self.truncated_bytes);
+        reg.register_histogram("durable.fsync_us", &self.fsync_us);
+        reg.register_histogram("durable.fault_us", &self.fault_us);
+        reg.register_histogram("durable.snapshot_us", &self.snapshot_us);
+    }
+}
+
+/// Trace id for durable events: the first 8 bytes of the handle.
+fn trace_id(handle: Handle) -> u64 {
+    u64::from_le_bytes(handle.raw()[..8].try_into().expect("handle has 32 bytes"))
 }
 
 struct Inner {
@@ -109,6 +142,7 @@ struct Inner {
     log_read: Mutex<File>,
     snap_read: Mutex<Option<(u64, File)>>,
     stats: Counters,
+    metrics: fix_obs::Registry,
     clock: AtomicU64,
     replayed: Vec<(Relation, Handle, Handle)>,
     writer: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -157,8 +191,21 @@ impl Inner {
         // lookup and the read; on a failed read, re-look the slot up.
         for _ in 0..3 {
             let slot = self.index.read().get(&key).cloned()?;
+            let t0 = std::time::Instant::now();
             if let Some(node) = self.read_node(&slot) {
-                self.stats.faults.fetch_add(1, Relaxed);
+                let dur = t0.elapsed();
+                self.stats.faults.inc();
+                self.stats.fault_us.record(dur.as_micros() as u64);
+                if fix_obs::tracing_enabled() {
+                    fix_obs::emit_span(
+                        fix_obs::EventKind::DurRefault,
+                        0,
+                        trace_id(handle),
+                        0,
+                        slot.len,
+                        dur.as_nanos() as u64,
+                    );
+                }
                 let tick = self.clock.fetch_add(1, Relaxed);
                 if let Some(s) = self.index.write().get_mut(&key) {
                     s.touch = tick;
@@ -420,11 +467,11 @@ impl DurableStore {
         let replayed = cache.entries();
 
         let stats = Counters::default();
-        stats.replayed_nodes.store(index.len() as u64, Relaxed);
-        stats
-            .replayed_relations
-            .store(replayed.len() as u64, Relaxed);
-        stats.truncated_bytes.store(truncated, Relaxed);
+        stats.replayed_nodes.store(index.len() as u64);
+        stats.replayed_relations.store(replayed.len() as u64);
+        stats.truncated_bytes.store(truncated);
+        let metrics = fix_obs::Registry::new();
+        stats.register(&metrics);
 
         let log_read = File::open(&log_path).map_err(io_err)?;
         let inner = Arc::new(Inner {
@@ -439,6 +486,7 @@ impl DurableStore {
             log_read: Mutex::new(log_read),
             snap_read: Mutex::new(None),
             stats,
+            metrics,
             clock: AtomicU64::new(1),
             replayed,
             writer: Mutex::new(None),
@@ -481,20 +529,28 @@ impl DurableStore {
         &self.inner.dir
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters — thin reads of the same
+    /// live cells [`metrics`](DurableStore::metrics) snapshots.
     pub fn stats(&self) -> DurableStats {
         let c = &self.inner.stats;
         DurableStats {
-            appended_frames: c.appended_frames.load(Relaxed),
-            appended_bytes: c.appended_bytes.load(Relaxed),
-            fsyncs: c.fsyncs.load(Relaxed),
-            faults: c.faults.load(Relaxed),
-            spills: c.spills.load(Relaxed),
-            snapshots: c.snapshots.load(Relaxed),
-            replayed_nodes: c.replayed_nodes.load(Relaxed),
-            replayed_relations: c.replayed_relations.load(Relaxed),
-            truncated_bytes: c.truncated_bytes.load(Relaxed),
+            appended_frames: c.appended_frames.get(),
+            appended_bytes: c.appended_bytes.get(),
+            fsyncs: c.fsyncs.get(),
+            faults: c.faults.get(),
+            spills: c.spills.get(),
+            snapshots: c.snapshots.get(),
+            replayed_nodes: c.replayed_nodes.get(),
+            replayed_relations: c.replayed_relations.get(),
+            truncated_bytes: c.truncated_bytes.get(),
         }
+    }
+
+    /// A named snapshot of this store's `durable.*` metrics: the
+    /// [`stats`](DurableStore::stats) counters plus wall-latency
+    /// histograms for fsyncs, refaults, and snapshots.
+    pub fn metrics(&self) -> fix_obs::MetricsSnapshot {
+        self.inner.metrics.snapshot()
     }
 
     /// The relations recovered at open — the work a restarted node does
@@ -641,17 +697,29 @@ fn writer_loop(inner: Arc<Inner>, mut append: File, mut log_len: u64, mut next_s
             };
             let mut bytes = Vec::with_capacity(payload.len() + FRAME_HEADER);
             frame::push_frame(&mut bytes, payload);
+            let t0 = fix_obs::tracing_enabled().then(std::time::Instant::now);
             if let Err(e) = append.write_all(&bytes) {
                 io_error = Some(e.to_string());
                 continue;
             }
             let offset = log_len;
             log_len += bytes.len() as u64;
-            inner.stats.appended_frames.fetch_add(1, Relaxed);
-            inner
-                .stats
-                .appended_bytes
-                .fetch_add(bytes.len() as u64, Relaxed);
+            inner.stats.appended_frames.inc();
+            inner.stats.appended_bytes.add(bytes.len() as u64);
+            if let Some(t0) = t0 {
+                let id = match &op {
+                    Pending::Node { handle, .. } => trace_id(*handle),
+                    Pending::Relation { .. } => 0,
+                };
+                fix_obs::emit_span(
+                    fix_obs::EventKind::DurAppend,
+                    0,
+                    id,
+                    0,
+                    bytes.len() as u32,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
             unsynced_frames += 1;
             dirty = true;
             if let Pending::Node { key, handle, .. } = op {
@@ -670,7 +738,7 @@ fn writer_loop(inner: Arc<Inner>, mut append: File, mut log_len: u64, mut next_s
             // The deterministic kill point: crash mid-batch, leaving a
             // torn partial frame at the tail for recovery to truncate.
             if let Some(kill) = inner.options.kill {
-                if inner.stats.appended_frames.load(Relaxed) == kill.after_frames {
+                if inner.stats.appended_frames.get() == kill.after_frames {
                     let mut torn = Vec::new();
                     torn.extend_from_slice(&1_000_000u32.to_le_bytes());
                     torn.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
@@ -694,9 +762,22 @@ fn writer_loop(inner: Arc<Inner>, mut append: File, mut log_len: u64, mut next_s
         let flush_wants = flush_upto > synced;
         if dirty && io_error.is_none() && !crashed_now && (policy_wants || flush_wants || shutdown)
         {
+            let t0 = std::time::Instant::now();
             match append.sync_data() {
                 Ok(()) => {
-                    inner.stats.fsyncs.fetch_add(1, Relaxed);
+                    let dur = t0.elapsed();
+                    inner.stats.fsyncs.inc();
+                    inner.stats.fsync_us.record(dur.as_micros() as u64);
+                    if fix_obs::tracing_enabled() {
+                        fix_obs::emit_span(
+                            fix_obs::EventKind::DurFsync,
+                            0,
+                            0,
+                            0,
+                            unsynced_frames as u32,
+                            dur.as_nanos() as u64,
+                        );
+                    }
                     unsynced_frames = 0;
                     dirty = false;
                 }
@@ -768,7 +849,10 @@ fn spill(inner: &Arc<Inner>, watermark: u64) {
             break;
         }
         if inner.store.evict(handle).is_some() {
-            inner.stats.spills.fetch_add(1, Relaxed);
+            inner.stats.spills.inc();
+            if fix_obs::tracing_enabled() {
+                fix_obs::emit(fix_obs::EventKind::DurEvict, 0, trace_id(handle), 0, 0);
+            }
         }
     }
 }
@@ -779,6 +863,7 @@ fn do_snapshot(
     log_len: &mut u64,
     next_seq: &mut u64,
 ) -> std::io::Result<()> {
+    let t0 = std::time::Instant::now();
     let seq = *next_seq;
     let final_path = inner.dir.join(snap_name(seq));
     let tmp_path = inner.dir.join(format!("snap-{seq:016x}.tmp"));
@@ -868,6 +953,18 @@ fn do_snapshot(
     }
 
     *next_seq = seq + 1;
-    inner.stats.snapshots.fetch_add(1, Relaxed);
+    let dur = t0.elapsed();
+    inner.stats.snapshots.inc();
+    inner.stats.snapshot_us.record(dur.as_micros() as u64);
+    if fix_obs::tracing_enabled() {
+        fix_obs::emit_span(
+            fix_obs::EventKind::DurSnapshot,
+            0,
+            seq,
+            0,
+            frames as u32,
+            dur.as_nanos() as u64,
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,345 @@
+//! The unified metrics registry: named counters, gauges, and log-scale
+//! histograms with snapshot + merge.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`HistogramCell`]) are cheap
+//! `Arc`-backed clones, so a hot path can keep its own handle (one
+//! relaxed atomic op per update) while the registry names the same
+//! underlying cell for export. [`Registry::snapshot`] freezes every
+//! metric into a [`MetricsSnapshot`]; snapshots merge commutatively
+//! (counters and gauges add, histograms merge element-wise), so merging
+//! per-worker registries is exactly equal to recording everything into
+//! one — the same contract as [`LogHistogram::merge`].
+
+use crate::hist::LogHistogram;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonically increasing counter (relaxed atomic updates).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh zero counter (not yet registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (for counters sampled from an external
+    /// source at snapshot time).
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed gauge (relaxed atomic updates).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh zero gauge (not yet registered anywhere).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the sampled value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `d`.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared, lockable [`LogHistogram`] cell.
+#[derive(Clone, Default)]
+pub struct HistogramCell(Arc<Mutex<LogHistogram>>);
+
+impl HistogramCell {
+    /// A fresh empty histogram cell (not yet registered anywhere).
+    pub fn new() -> HistogramCell {
+        HistogramCell::default()
+    }
+
+    /// Records one sample, in µs.
+    pub fn record(&self, us: u64) {
+        self.0.lock().record(us);
+    }
+
+    /// Merges a privately accumulated histogram into the cell (the
+    /// zero-synchronization-per-sample pattern: workers record locally,
+    /// then merge once).
+    pub fn merge_from(&self, h: &LogHistogram) {
+        self.0.lock().merge(h);
+    }
+
+    /// A copy of the current contents.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.0.lock().clone()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, HistogramCell>,
+}
+
+/// A named collection of metrics. Use [`global`] for the process-wide
+/// registry, or own one per component (each `Runtime` and
+/// `DurableStore` owns its own, so parallel instances never collide).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering a fresh one on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers an existing counter handle under `name` (adopting the
+    /// live cell a hot path already updates). Replaces any previous
+    /// registration of the name.
+    pub fn register_counter(&self, name: &str, c: &Counter) {
+        self.inner
+            .lock()
+            .counters
+            .insert(name.to_string(), c.clone());
+    }
+
+    /// The gauge named `name`, registering a fresh one on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, g: &Gauge) {
+        self.inner.lock().gauges.insert(name.to_string(), g.clone());
+    }
+
+    /// Registers an existing histogram cell under `name`.
+    pub fn register_histogram(&self, name: &str, h: &HistogramCell) {
+        self.inner
+            .lock()
+            .histograms
+            .insert(name.to_string(), h.clone());
+    }
+
+    /// The histogram named `name`, registering a fresh one on first use.
+    pub fn histogram(&self, name: &str) -> HistogramCell {
+        self.inner
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Freezes every metric into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry (per-tenant serving telemetry registers
+/// here; component-owned registries merge into snapshots of it on
+/// export).
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A frozen view of a registry's metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram contents by name.
+    pub histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self`: counters and gauges add, histograms
+    /// merge element-wise. Commutative and associative, so merging
+    /// per-worker snapshots in any order equals one combined registry.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<44} {:>14}", "metric", "value")?;
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<44} {v:>14}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k:<44} {v:>14}")?;
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                f,
+                "{:<28} {:>9} {:>10} {:>8} {:>8} {:>10}",
+                "histogram (µs)", "count", "mean", "p50", "p99", "max"
+            )?;
+            for (k, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "{k:<28} {:>9} {:>10.1} {:>8} {:>8} {:>10}",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.max()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_the_registered_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+
+        let live = Counter::new();
+        live.add(7);
+        reg.register_counter("adopted", &live);
+        live.inc();
+        assert_eq!(reg.snapshot().counters["adopted"], 8);
+
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.gauge("depth").get(), 3);
+    }
+
+    #[test]
+    fn per_worker_snapshots_merge_to_the_single_registry() {
+        // The same deterministic stream, recorded whole into one
+        // registry and striped across four, must snapshot identically
+        // after merging — counters, gauges, and histograms.
+        let val = |i: u64| (i.wrapping_mul(2654435761) % 10_000) + 1;
+        let single = Registry::new();
+        let workers: Vec<Registry> = (0..4).map(|_| Registry::new()).collect();
+        for i in 0..5_000u64 {
+            single.counter("ops").inc();
+            single.gauge("delta").add(if i % 3 == 0 { 1 } else { -1 });
+            single.histogram("lat").record(val(i));
+            let w = &workers[(i % 4) as usize];
+            w.counter("ops").inc();
+            w.gauge("delta").add(if i % 3 == 0 { 1 } else { -1 });
+            w.histogram("lat").record(val(i));
+        }
+        let mut merged = MetricsSnapshot::default();
+        for w in &workers {
+            merged.merge(&w.snapshot());
+        }
+        assert_eq!(merged, single.snapshot());
+        assert_eq!(merged.to_string(), single.snapshot().to_string());
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let reg = Registry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").add(1);
+        reg.gauge("z.gauge").set(-4);
+        reg.histogram("h").record(100);
+        let s = reg.snapshot().to_string();
+        let first = s.find("a.first").unwrap();
+        let second = s.find("b.second").unwrap();
+        assert!(first < second, "counters print in name order:\n{s}");
+        assert!(s.contains("z.gauge"));
+        assert!(s.contains("histogram"));
+        assert_eq!(s, reg.snapshot().to_string());
+    }
+}

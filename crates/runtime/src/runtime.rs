@@ -76,6 +76,11 @@ impl RuntimeBuilder {
         } else {
             None
         };
+        // Adopt the scheduler's live steal counter: the registry names
+        // the very cell the steal path increments, so `work_steals()`
+        // and `metrics()` can never disagree.
+        let metrics = fix_obs::Registry::new();
+        metrics.register_counter("scheduler.work_steals", &scheduler.steals_counter());
         Runtime {
             store,
             cache,
@@ -85,6 +90,7 @@ impl RuntimeBuilder {
             labels: Labels::new(),
             provenance: ledger,
             durable: self.durable,
+            metrics,
             _pool: pool,
         }
     }
@@ -125,6 +131,7 @@ pub struct Runtime {
     labels: Labels,
     provenance: Option<Arc<ProvenanceLedger>>,
     durable: Option<DurableStore>,
+    metrics: fix_obs::Registry,
     _pool: Option<WorkerPool>,
 }
 
@@ -356,6 +363,49 @@ impl Runtime {
     /// via exactly this.
     pub fn work_steals(&self) -> u64 {
         self.scheduler.steals()
+    }
+
+    /// The runtime's metrics registry, for registering additional
+    /// counters/gauges/histograms that should appear in
+    /// [`metrics`](Runtime::metrics) snapshots alongside the built-in
+    /// scheduler and engine metrics.
+    pub fn metrics_registry(&self) -> &fix_obs::Registry {
+        &self.metrics
+    }
+
+    /// A unified metrics snapshot: scheduler counters (adopted live
+    /// cells — `scheduler.work_steals` is the same cell
+    /// [`work_steals`](Runtime::work_steals) reads), point-in-time
+    /// gauges sampled now (`scheduler.queued_jobs`,
+    /// `scheduler.submission_watchers`), engine execution counters, and
+    /// — on a durable runtime — the persistence tier's `durable.*`
+    /// metrics merged in.
+    pub fn metrics(&self) -> fix_obs::MetricsSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.metrics
+            .gauge("scheduler.queued_jobs")
+            .set(self.queued_jobs() as i64);
+        self.metrics
+            .gauge("scheduler.submission_watchers")
+            .set(self.submission_watchers() as i64);
+        let stats = &self.engine.stats;
+        self.metrics
+            .counter("engine.procedures_run")
+            .store(stats.procedures_run.load(Relaxed));
+        self.metrics
+            .counter("engine.vm_runs")
+            .store(stats.vm_runs.load(Relaxed));
+        self.metrics
+            .counter("engine.native_runs")
+            .store(stats.native_runs.load(Relaxed));
+        self.metrics
+            .counter("engine.fuel_used")
+            .store(stats.fuel_used.load(Relaxed));
+        let mut snap = self.metrics.snapshot();
+        if let Some(d) = &self.durable {
+            snap.merge(&d.metrics());
+        }
+        snap
     }
 
     /// Procedures actually executed so far (memoization cache misses).

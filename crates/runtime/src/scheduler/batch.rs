@@ -135,7 +135,17 @@ impl BatchState {
     /// waking waiters).
     pub(super) fn finish_claimed(&self, pos: usize, result: Result<Handle>) -> bool {
         *self.slots[pos].result.lock() = Some(result);
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let left = self.remaining.fetch_sub(1, Ordering::AcqRel) - 1;
+        if fix_obs::tracing_enabled() {
+            fix_obs::emit(
+                fix_obs::EventKind::SchedBatchFill,
+                0,
+                super::job_trace_id(&self.stage(pos)),
+                pos as u32,
+                left as u32,
+            );
+        }
+        if left == 0 {
             self.done.store(true, Ordering::Release);
             return true;
         }

@@ -35,10 +35,11 @@
 
 use crate::engine::Job;
 use fix_core::api::Priority;
+use fix_obs::EventKind;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Slot count. More slots than any plausible worker pool, so pinned
 /// workers rarely share a slot with round-robin external submitters.
@@ -80,8 +81,9 @@ pub(super) struct DequeSet {
     /// contract that makes this the stall check's queue-empty answer.
     queued: AtomicUsize,
     /// Tokens popped from a non-home slot (diagnostic; the starvation
-    /// pin asserts this moves).
-    steals: AtomicU64,
+    /// pin asserts this moves). A registry-adoptable counter so
+    /// `Runtime` can name it without a second cell.
+    steals: fix_obs::Counter,
 }
 
 impl DequeSet {
@@ -91,7 +93,7 @@ impl DequeSet {
                 .map(|_| std::array::from_fn(|_| Mutex::new(VecDeque::new())))
                 .collect(),
             queued: AtomicUsize::new(0),
-            steals: AtomicU64::new(0),
+            steals: fix_obs::Counter::new(),
         }
     }
 
@@ -105,7 +107,12 @@ impl DequeSet {
     }
 
     pub(super) fn steals(&self) -> u64 {
-        self.steals.load(Ordering::Relaxed)
+        self.steals.get()
+    }
+
+    /// The live steal counter, for registry adoption.
+    pub(super) fn steals_counter(&self) -> fix_obs::Counter {
+        self.steals.clone()
     }
 
     /// Pushes a token onto `home`'s deque for `tier`.
@@ -124,6 +131,15 @@ impl DequeSet {
         for tier in 0..Priority::TIERS {
             if let Some(job) = self.slots[home][tier].lock().pop_back() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                if fix_obs::tracing_enabled() {
+                    fix_obs::emit(
+                        EventKind::SchedPop,
+                        0,
+                        super::job_trace_id(&job),
+                        home as u32,
+                        tier as u32,
+                    );
+                }
                 return Some(job);
             }
         }
@@ -132,7 +148,16 @@ impl DequeSet {
                 let victim = (home + k) % SLOTS;
                 if let Some(job) = self.slots[victim][tier].lock().pop_front() {
                     self.queued.fetch_sub(1, Ordering::SeqCst);
-                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    self.steals.inc();
+                    if fix_obs::tracing_enabled() {
+                        fix_obs::emit(
+                            EventKind::SchedSteal,
+                            0,
+                            super::job_trace_id(&job),
+                            victim as u32,
+                            tier as u32,
+                        );
+                    }
                     return Some(job);
                 }
             }

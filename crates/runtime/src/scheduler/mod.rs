@@ -112,10 +112,11 @@ use crate::engine::{Engine, Job, Step};
 use fix_core::api::Priority;
 use fix_core::error::{Error, Result};
 use fix_core::handle::Handle;
+use fix_obs::EventKind;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Requeue bound before a job is declared stuck (see [`JobEntry::respins`]).
 const MAX_RESPINS: u32 = 10_000;
@@ -125,6 +126,13 @@ const MAX_RESPINS: u32 = 10_000;
 /// latency instead of a hang, and costs nothing on the hot path (a
 /// parked thread is off the hot path by definition).
 const PARK_SAFETY: Duration = Duration::from_millis(2);
+
+/// Compact trace identity of a job: the first 8 bytes of its handle.
+/// Collisions are irrelevant — ids only correlate events in a trace.
+pub(crate) fn job_trace_id(job: &Job) -> u64 {
+    let (Job::Eval(h) | Job::Resolve(h) | Job::Force(h)) = job;
+    u64::from_le_bytes(h.raw()[..8].try_into().expect("handle has 32 bytes"))
+}
 
 /// The shared scheduler for one node.
 pub struct Scheduler {
@@ -204,6 +212,21 @@ impl Scheduler {
         self.deques.steals()
     }
 
+    /// The live steal counter, for adoption into a metrics registry
+    /// (same cell [`steals`](Scheduler::steals) reads).
+    pub fn steals_counter(&self) -> fix_obs::Counter {
+        self.deques.steals_counter()
+    }
+
+    /// Emits a scheduler trace event for `job`. The disabled path is
+    /// one relaxed atomic load (argument evaluation included).
+    #[inline]
+    fn trace_job(&self, kind: EventKind, job: &Job, a: u32, b: u32) {
+        if fix_obs::tracing_enabled() {
+            fix_obs::emit(kind, self.virtual_now(), job_trace_id(job), a, b);
+        }
+    }
+
     // ----------------------------------------------------------------
     // Submission
 
@@ -211,6 +234,12 @@ impl Scheduler {
     /// fire-and-forget submission has no ticket whose cancellation
     /// could withdraw it. Returns immediately.
     pub fn submit(&self, job: Job) {
+        self.trace_job(
+            EventKind::SchedSubmit,
+            &job,
+            0,
+            Priority::Normal.tier() as u32,
+        );
         let pushed = {
             let mut shard = self.jobs.shard(&job);
             self.enqueue_entry(shard.entry(job).or_default(), job, Priority::Normal, true)
@@ -297,7 +326,9 @@ impl Scheduler {
     /// under a shard lock: deque mutexes are leaves (never held while
     /// acquiring anything else).
     fn push_token(&self, job: Job, tier: usize) {
-        self.deques.push(deques::current_slot(), tier, job);
+        let slot = deques::current_slot();
+        self.trace_job(EventKind::SchedEnqueue, &job, slot as u32, tier as u32);
+        self.deques.push(slot, tier, job);
     }
 
     /// Submits every root and registers a completion watcher for each,
@@ -316,6 +347,12 @@ impl Scheduler {
     ) -> Arc<BatchState> {
         let state = Arc::new(BatchState::new(roots, deadline_us, priority));
         for (pos, &(job, then_force)) in roots.iter().enumerate() {
+            self.trace_job(
+                EventKind::SchedSubmit,
+                &job,
+                pos as u32,
+                priority.tier() as u32,
+            );
             self.watch_job(&state, pos, job, then_force, false);
         }
         state
@@ -557,9 +594,11 @@ impl Scheduler {
             let expires = |w: &Watcher| matches!(w.state.deadline_us, Some(d) if now > d);
             if entry.watchers.iter().any(expires) {
                 let mut kept = Vec::with_capacity(entry.watchers.len());
+                let mut expired = 0u32;
                 for w in std::mem::take(&mut entry.watchers) {
                     if expires(&w) {
                         entry.interest = entry.interest.saturating_sub(1);
+                        expired += 1;
                         let deadline_us = w.state.deadline_us.expect("expired ⇒ has deadline");
                         woke |= w
                             .state
@@ -569,6 +608,7 @@ impl Scheduler {
                     }
                 }
                 entry.watchers = kept;
+                self.trace_job(EventKind::SchedExpire, &job, 0, expired);
             }
         }
         if entry.wanted() {
@@ -596,6 +636,7 @@ impl Scheduler {
     /// stays `Queued` but it is no longer in any deque), permanently
     /// hanging any driver or pool waiting on it.
     fn execute(&self, job: Job) {
+        let t0 = fix_obs::tracing_enabled().then(Instant::now);
         let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.engine.step(job)))
             .unwrap_or_else(|payload| {
                 let msg = payload
@@ -605,6 +646,19 @@ impl Scheduler {
                     .unwrap_or_else(|| "unknown panic".into());
                 Err(Error::Trap(format!("codelet panicked: {msg}")))
             });
+        if let Some(t0) = t0 {
+            // Parked-on-deps steps count too: the span is "worker held
+            // this job", whatever the step reported.
+            let parked = matches!(step, Ok(Step::Deps(_))) as u32;
+            fix_obs::emit_span(
+                EventKind::SchedExecute,
+                self.virtual_now(),
+                job_trace_id(&job),
+                deques::current_slot() as u32,
+                parked,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         match step {
             Ok(Step::Done(h)) => self.complete_job(job, Ok(h)),
             Err(e) => self.complete_job(job, Err(e)),
@@ -731,6 +785,7 @@ impl Scheduler {
         let mut worklist: Vec<(Job, Result<Handle>)> = vec![(job, result)];
         let mut woke = false;
         while let Some((job, result)) = worklist.pop() {
+            self.trace_job(EventKind::SchedComplete, &job, 0, result.is_err() as u32);
             let (waiters, watchers) = {
                 let mut shard = self.jobs.shard(&job);
                 let entry = shard.entry(job).or_default();
@@ -789,6 +844,7 @@ impl Scheduler {
     /// and complete normally.
     pub(crate) fn cancel_batch(&self, state: &Arc<BatchState>) {
         for pos in state.unclaimed() {
+            self.trace_job(EventKind::SchedCancel, &state.stage(pos), pos as u32, 0);
             self.revoke_slot(state, pos, true, |_| Error::Cancelled);
         }
         // A concurrent waiter of another ticket may be parked on this
@@ -1008,7 +1064,18 @@ impl Scheduler {
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let mut guard = self.park.lock();
         if !ready() {
+            let t0 = fix_obs::tracing_enabled().then(Instant::now);
             self.cv.wait_for(&mut guard, cap);
+            if let Some(t0) = t0 {
+                fix_obs::emit_span(
+                    EventKind::SchedPark,
+                    self.virtual_now(),
+                    0,
+                    deques::current_slot() as u32,
+                    0,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
         }
         drop(guard);
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -1020,7 +1087,17 @@ impl Scheduler {
     /// between a sleeper's predicate check and its wait. Never call
     /// with a job-map shard locked (lock order: park → shard).
     fn notify_sleepers(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
+        let sleepers = self.sleepers.load(Ordering::SeqCst);
+        if sleepers > 0 {
+            if fix_obs::tracing_enabled() {
+                fix_obs::emit(
+                    EventKind::SchedUnpark,
+                    self.virtual_now(),
+                    0,
+                    deques::current_slot() as u32,
+                    sleepers as u32,
+                );
+            }
             let _guard = self.park.lock();
             self.cv.notify_all();
         }

@@ -47,7 +47,15 @@ use crate::tenant::{draw_kind, RequestFactory, TenantSpec};
 use fix_core::api::{BatchTicket, InvocationApi, Priority, SubmitApi, SubmitOptions};
 use fix_core::error::{Error, Result};
 use fix_core::handle::Handle;
+use fix_obs::EventKind;
 use std::collections::{HashSet, VecDeque};
+
+/// Trace id of a request: the first 8 bytes of its thunk handle, so the
+/// serve-layer lifecycle events for one request stitch into one span —
+/// and line up with the scheduler events for the same handle.
+fn req_trace_id(h: Handle) -> u64 {
+    u64::from_le_bytes(h.raw()[..8].try_into().expect("handle has 32 bytes"))
+}
 
 /// Configuration of one serve run.
 #[derive(Debug, Clone)]
@@ -139,6 +147,16 @@ pub struct TenantReport {
     pub cancelled: u64,
     /// Virtual queueing + service latency of admitted requests.
     pub latency: LatencyHistogram,
+    /// Queue-wait component of each served request's latency (admission
+    /// to dispatch), in virtual µs.
+    pub queue_wait: LatencyHistogram,
+    /// Own-service component (the request's modeled service time).
+    pub service: LatencyHistogram,
+    /// Batch-fill component: everything else — the fixed per-batch
+    /// dispatch overhead plus the co-batched requests' service the
+    /// request waits out. For every sample,
+    /// `latency = queue_wait + service + fill` exactly.
+    pub fill: LatencyHistogram,
 }
 
 /// Per-driver serving outcome.
@@ -217,6 +235,44 @@ impl ServeReport {
     /// Total admitted requests cancelled mid-flight.
     pub fn total_cancelled(&self) -> u64 {
         self.tenants.iter().map(|t| t.cancelled).sum()
+    }
+
+    /// The deterministic latency decomposition table: per tenant, how
+    /// much of the end-to-end latency was queue wait, own service, and
+    /// batch fill (dispatch overhead + co-batched service). All virtual
+    /// µs, so the table is bit-identical across runs and backends for
+    /// the same seed.
+    pub fn decomposition_table(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "latency decomposition (virtual µs)");
+        let _ = writeln!(
+            s,
+            "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "tenant",
+            "served",
+            "wait p50",
+            "wait p99",
+            "svc p50",
+            "svc p99",
+            "fill p50",
+            "fill p99"
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                s,
+                "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                t.name,
+                t.queue_wait.count(),
+                t.queue_wait.quantile(0.50),
+                t.queue_wait.quantile(0.99),
+                t.service.quantile(0.50),
+                t.service.quantile(0.99),
+                t.fill.quantile(0.50),
+                t.fill.quantile(0.99),
+            );
+        }
+        s
     }
 }
 
@@ -415,6 +471,20 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
     let mut tenant_hists: Vec<LatencyHistogram> = (0..cfg.tenants.len())
         .map(|_| LatencyHistogram::new())
         .collect();
+    let mut wait_hists = tenant_hists.clone();
+    let mut service_hists = tenant_hists.clone();
+    let mut fill_hists = tenant_hists.clone();
+    // One relaxed load for the whole run: the virtual loop either
+    // traces every lifecycle event or none (toggling mid-run would
+    // break cross-run comparability anyway).
+    let tracing = fix_obs::tracing_enabled();
+    // Live per-tenant queue-depth gauges in the process-wide registry,
+    // updated at every dispatch sample.
+    let depth_gauges: Vec<fix_obs::Gauge> = cfg
+        .tenants
+        .iter()
+        .map(|t| fix_obs::global().gauge(&format!("serve.{}.queue_depth", t.name)))
+        .collect();
     let mut admitted_per_tenant = vec![0u64; cfg.tenants.len()];
     let mut expired_per_tenant = vec![0u64; cfg.tenants.len()];
     let mut seen: HashSet<Handle> = HashSet::new();
@@ -431,6 +501,15 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         // supposed to avoid.
         if queues.at_capacity(a.tenant) {
             queues.shed(a.tenant);
+            if tracing {
+                fix_obs::emit(
+                    EventKind::ServeShed,
+                    a.time_us,
+                    0,
+                    a.tenant as u32,
+                    queues.tenant_depth(a.tenant) as u32,
+                );
+            }
             return Ok(());
         }
         let spec = &cfg.tenants[a.tenant];
@@ -453,6 +532,15 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         }) {
             admitted[a.tenant] += 1;
             seen.insert(thunk);
+            if tracing {
+                fix_obs::emit(
+                    EventKind::ServeAdmit,
+                    a.time_us,
+                    req_trace_id(thunk),
+                    a.tenant as u32,
+                    queues.tenant_depth(a.tenant) as u32,
+                );
+            }
         }
         Ok(())
     };
@@ -506,6 +594,15 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         // platform refused to execute, accounted as expired.
         for r in &dispatch.expired {
             expired_per_tenant[r.tenant] += 1;
+            if tracing {
+                fix_obs::emit(
+                    EventKind::ServeExpire,
+                    now,
+                    req_trace_id(r.thunk),
+                    r.tenant as u32,
+                    0,
+                );
+            }
         }
         let batch = dispatch.requests;
         if batch.is_empty() {
@@ -515,11 +612,48 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         let service: Micros =
             cfg.batch_overhead_us + batch.iter().map(|r| r.service_us).sum::<Micros>();
         let done = now + service;
+        // Queue-depth sample at dispatch: one reading per tenant the
+        // batch drew from, after the batch's pops.
+        let mut sampled: Vec<usize> = batch.iter().map(|r| r.tenant).collect();
+        sampled.sort_unstable();
+        sampled.dedup();
+        for &t in &sampled {
+            let depth = queues.tenant_depth(t);
+            depth_gauges[t].set(depth as i64);
+            if tracing {
+                fix_obs::emit(EventKind::ServeQueueDepth, now, 0, t as u32, depth as u32);
+            }
+        }
         for r in &batch {
             debug_assert!(r.arrival_us <= now, "service must not precede arrival");
             let latency = done - r.arrival_us;
+            // The decomposition: latency = wait + own service + fill
+            // (dispatch overhead + co-batched service), exactly.
+            let wait = now - r.arrival_us;
+            let fill = service - r.service_us;
             tenant_hists[r.tenant].record(latency);
+            wait_hists[r.tenant].record(wait);
+            service_hists[r.tenant].record(r.service_us);
+            fill_hists[r.tenant].record(fill);
             drivers[d].latency.record(latency);
+            if tracing {
+                let id = req_trace_id(r.thunk);
+                let clamp = |v: Micros| v.min(u32::MAX as Micros) as u32;
+                fix_obs::emit(
+                    EventKind::ServeDispatch,
+                    now,
+                    id,
+                    r.tenant as u32,
+                    clamp(wait),
+                );
+                fix_obs::emit(
+                    EventKind::ServeComplete,
+                    done,
+                    id,
+                    r.tenant as u32,
+                    clamp(latency),
+                );
+            }
         }
         drivers[d].batches += 1;
         drivers[d].requests += batch.len() as u64;
@@ -603,17 +737,28 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         .tenants
         .iter()
         .enumerate()
-        .map(|(i, t)| TenantReport {
-            name: t.name.clone(),
-            class: t.slo.priority.label(),
-            offered: queues.offered[i],
-            admitted: admitted_per_tenant[i],
-            dropped: queues.dropped[i],
-            ok: ok[i],
-            errors: errors[i],
-            expired: expired_per_tenant[i] + expired_exec[i],
-            cancelled: cancelled[i],
-            latency: std::mem::take(&mut tenant_hists[i]),
+        .map(|(i, t)| {
+            // Publish the tenant's latency telemetry into the
+            // process-wide registry (accumulating across serve runs)
+            // under its serving name.
+            fix_obs::global()
+                .histogram(&format!("serve.{}.latency_us", t.name))
+                .merge_from(&tenant_hists[i]);
+            TenantReport {
+                name: t.name.clone(),
+                class: t.slo.priority.label(),
+                offered: queues.offered[i],
+                admitted: admitted_per_tenant[i],
+                dropped: queues.dropped[i],
+                ok: ok[i],
+                errors: errors[i],
+                expired: expired_per_tenant[i] + expired_exec[i],
+                cancelled: cancelled[i],
+                latency: std::mem::take(&mut tenant_hists[i]),
+                queue_wait: std::mem::take(&mut wait_hists[i]),
+                service: std::mem::take(&mut service_hists[i]),
+                fill: std::mem::take(&mut fill_hists[i]),
+            }
         })
         .collect();
     let completed = tenants.iter().map(|t| t.ok + t.errors).sum();

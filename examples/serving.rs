@@ -190,6 +190,34 @@ fn main() {
     let slo_four = serve(&Runtime::builder().workers(4).build(), &slo_cfg).expect("SLO workers=4");
     assert_eq!(on_slo.to_string(), slo_four.to_string());
     println!("worker pools (1 vs 4) reproduce the pool-less tables bit-for-bit ✓");
+
+    // --- Deterministic tracing ------------------------------------------
+    // The fix-obs recorder rides along on the same run: turning it on
+    // must not move the deterministic tables, its serve-layer summary is
+    // itself a pure function of (config, seed), and the full trace
+    // exports as Chrome trace-event JSON. This runs in the release CI
+    // smoke, so instrumentation that perturbs serving — or an export
+    // that stops parsing — fails the build.
+    fix::obs::recorder().clear();
+    fix::obs::set_tracing(true);
+    let traced = serve(&Runtime::builder().build(), &cfg).expect("traced serve");
+    fix::obs::set_tracing(false);
+    let trace = fix::obs::recorder().drain();
+    assert_eq!(
+        on_runtime.to_string(),
+        traced.to_string(),
+        "tracing must not perturb the serving tables"
+    );
+    let summary = trace.summary();
+    assert_eq!(summary.dropped(), 0, "recorder must hold the whole run");
+    let json = trace.to_chrome_json();
+    let events = fix::obs::validate_chrome_trace(&json).expect("Chrome trace must parse");
+    assert!(events > 0, "Chrome trace must be non-empty");
+    println!(
+        "tracing on: tables unchanged, {events} events exported as valid Chrome trace JSON ✓\n"
+    );
+    println!("{summary}");
+    println!("{}", traced.decomposition_table());
 }
 
 /// The same tenants as `config`, re-classed: interactive is

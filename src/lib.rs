@@ -30,7 +30,11 @@
 //! * [`durable`] — the persistence tier: an append-only
 //!   content-addressed log with snapshots, lazy faulting restart,
 //!   spill-to-disk, and deterministic kill points for crash-recovery
-//!   testing.
+//!   testing;
+//! * [`obs`] — the observability layer: a structured event recorder
+//!   (one relaxed atomic load when disabled), a unified metrics
+//!   registry, deterministic virtual-clock trace summaries, and a
+//!   Perfetto-loadable Chrome trace export.
 //!
 //! # Examples
 //!
@@ -59,6 +63,7 @@ pub use fix_core as core;
 pub use fix_durable as durable;
 pub use fix_hash as hash;
 pub use fix_netsim as netsim;
+pub use fix_obs as obs;
 pub use fix_serve as serve;
 pub use fix_storage as storage;
 pub use fix_vm as vm;

@@ -1,0 +1,196 @@
+//! Observability integration tests: the `fix-obs` recorder and metrics
+//! registry wired through the real stack.
+//!
+//! The deterministic-tracing contract under test: serve-layer lifecycle
+//! events ride the virtual clock, so for a fixed seed the trace summary
+//! is byte-identical across runs, worker counts, and submitting
+//! backends — while scheduler/durable/offload diagnostics are free to
+//! differ. The metrics contract: registry snapshots taken through
+//! `Runtime::metrics()` agree exactly with the legacy accessors,
+//! because both read the same live cells.
+
+use fix::durable::{DurableOptions, DurableStore, FsyncPolicy};
+use fix::obs::{self, TraceSummary};
+use fix::prelude::*;
+use fix::serve::{serve, ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
+use std::sync::{Arc, Mutex};
+
+/// The recorder and tracing toggle are process-global; tests in this
+/// binary run concurrently, so every test that records serializes here.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// A small fixed-seed two-tenant workload (short horizon: these run in
+/// debug CI).
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        seed: 2718,
+        duration_us: 20_000,
+        drivers: 2,
+        batch: 16,
+        queue_capacity: 48,
+        batch_overhead_us: 5,
+        inflight: 2,
+        tenants: vec![
+            TenantSpec::uniform_mix(
+                "adds",
+                2,
+                ArrivalProcess::Poisson { rate_rps: 4000.0 },
+                RequestKind::Add,
+            ),
+            TenantSpec::uniform_mix(
+                "fibs",
+                1,
+                ArrivalProcess::Poisson { rate_rps: 1500.0 },
+                RequestKind::Fib { max_n: 10 },
+            ),
+        ],
+    }
+}
+
+/// One traced serve run against `api`, returning the rendered report
+/// and the deterministic trace summary.
+fn traced<A>(api: &A) -> (String, String)
+where
+    A: fix::core::api::SubmitApi + fix::core::api::InvocationApi + Send + Sync,
+{
+    obs::recorder().clear();
+    obs::set_tracing(true);
+    let report = serve(api, &cfg()).expect("traced serve run");
+    obs::set_tracing(false);
+    let trace = obs::recorder().drain();
+    let summary = TraceSummary::of(&trace);
+    assert_eq!(summary.dropped(), 0, "recorder must hold the whole run");
+    (report.to_string(), summary.to_string())
+}
+
+/// Same seed → byte-identical deterministic summary on the inline
+/// runtime, a 4-worker runtime, and a `BlockingOffload`-lifted cluster
+/// client — and none of them perturb the untraced serving tables.
+#[test]
+fn trace_summary_is_backend_independent() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    let plain = serve(&Runtime::builder().build(), &cfg())
+        .expect("untraced serve run")
+        .to_string();
+
+    let (inline_report, inline_summary) = traced(&Runtime::builder().build());
+    let (workers_report, workers_summary) = traced(&Runtime::builder().workers(4).build());
+    let cc = Arc::new(ClusterClient::builder().build().expect("cluster client"));
+    let off = BlockingOffload::with_threads(cc, cfg().drivers);
+    let (cluster_report, cluster_summary) = traced(&off);
+
+    for report in [&inline_report, &workers_report, &cluster_report] {
+        assert_eq!(*report, plain, "tracing must not perturb the serve tables");
+    }
+    assert_eq!(inline_summary, workers_summary);
+    assert_eq!(inline_summary, cluster_summary);
+    // Re-running reproduces the summary byte for byte.
+    let (_, again) = traced(&Runtime::builder().build());
+    assert_eq!(inline_summary, again);
+}
+
+/// The traced run's Chrome export parses, is non-empty, and carries
+/// wall-clock diagnostics (scheduler events) alongside the
+/// deterministic serve stream.
+#[test]
+fn chrome_export_is_valid_and_layered() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    obs::recorder().clear();
+    obs::set_tracing(true);
+    serve(&Runtime::builder().workers(2).build(), &cfg()).expect("traced serve run");
+    obs::set_tracing(false);
+    let trace = obs::recorder().drain();
+    let serve_events = trace.iter().filter(|e| e.kind.deterministic()).count();
+    let sched_events = trace
+        .iter()
+        .filter(|e| e.kind.layer() == obs::Layer::Scheduler)
+        .count();
+    assert!(serve_events > 0, "serve lifecycle must be traced");
+    assert!(sched_events > 0, "scheduler diagnostics must be traced");
+    let json = trace.to_chrome_json();
+    let n = obs::validate_chrome_trace(&json).expect("Chrome trace must parse");
+    assert_eq!(n, trace.len(), "every event exports exactly once");
+}
+
+/// `Runtime::metrics()` and the legacy accessors read the same live
+/// cells, so they can never disagree; the durable tier's metrics merge
+/// in under their `durable.*` names.
+#[test]
+fn metrics_snapshot_agrees_with_legacy_accessors() {
+    let dir = tempfile::tempdir().unwrap();
+    let durable = DurableStore::open(
+        dir.path(),
+        DurableOptions {
+            fsync: FsyncPolicy::Always,
+            ..DurableOptions::default()
+        },
+    )
+    .unwrap();
+    let rt = Runtime::builder().durable(durable).workers(2).build();
+    // Enough chained work (results past the literal bound, so they hit
+    // the log) to move every counter under test.
+    let grow = rt.register_native(
+        "obs/grow",
+        Arc::new(|ctx| {
+            let x = ctx.arg_blob(0)?.as_u64().unwrap();
+            let mut out = (x + 1).to_le_bytes().to_vec();
+            out.resize(64, 0xAB);
+            ctx.host.create_blob(out)
+        }),
+    );
+    let mut acc = rt.put_blob(Blob::from_u64(0));
+    for _ in 0..32 {
+        let t = rt
+            .apply(ResourceLimits::default_limits(), grow, &[acc])
+            .unwrap();
+        let full = rt.eval(t).unwrap();
+        acc = rt.put_blob(Blob::from_u64(u64::from_le_bytes(
+            rt.get_blob(full).unwrap().as_slice()[..8]
+                .try_into()
+                .unwrap(),
+        )));
+    }
+    rt.durable().unwrap().flush().unwrap();
+
+    let snap = rt.metrics();
+    assert_eq!(snap.counters["scheduler.work_steals"], rt.work_steals());
+    assert_eq!(
+        snap.gauges["scheduler.queued_jobs"],
+        rt.queued_jobs() as i64
+    );
+    assert_eq!(
+        snap.gauges["scheduler.submission_watchers"],
+        rt.submission_watchers() as i64
+    );
+    assert_eq!(snap.counters["engine.procedures_run"], rt.procedures_run());
+    let stats = rt.durable().unwrap().stats();
+    assert_eq!(
+        snap.counters["durable.appended_frames"],
+        stats.appended_frames
+    );
+    assert_eq!(snap.counters["durable.fsyncs"], stats.fsyncs);
+    assert!(snap.counters["durable.appended_frames"] > 0);
+    assert!(snap.counters["durable.fsyncs"] > 0);
+    assert!(snap.histograms.contains_key("durable.fsync_us"));
+}
+
+/// The serving layer's per-tenant latency decomposition closes exactly:
+/// every served request contributes one sample to each of queue-wait,
+/// service, and fill, and the global registry carries the per-tenant
+/// histograms and queue-depth gauges.
+#[test]
+fn decomposition_and_global_registry_close() {
+    let report = serve(&Runtime::builder().build(), &cfg()).expect("serve run");
+    for t in &report.tenants {
+        let served = t.latency.count();
+        assert_eq!(t.queue_wait.count(), served);
+        assert_eq!(t.service.count(), served);
+        assert_eq!(t.fill.count(), served);
+    }
+    let table = report.decomposition_table();
+    assert!(table.contains("latency decomposition"));
+    assert!(table.contains("adds"));
+    let global = obs::global().snapshot();
+    assert!(global.histograms["serve.adds.latency_us"].count() > 0);
+    assert!(global.gauges.contains_key("serve.adds.queue_depth"));
+}
