@@ -24,7 +24,15 @@
 //! every lifecycle event. The deterministic tables are asserted
 //! unchanged either way.
 
+//! The `dispatch_*` rows lift the same idea one tier up: a full
+//! multi-node dispatch run — routing, per-node queues, node backends —
+//! at 1 node, 4 nodes under memoization-affinity routing, and 4 nodes
+//! under random placement. Affinity's warm-hit-rate delta over random
+//! is printed (virtual-clock, so exact), and both 4-node tables are
+//! pinned bit-identical across repeat runs.
+
 use criterion::{criterion_group, criterion_main, Criterion};
+use fix_dispatch::{dispatch, DispatchConfig, NodeStorage, RoutingPolicy};
 use fix_serve::{serve, ArrivalProcess, RequestKind, ServeConfig, SloClass, TenantSpec};
 use fixpoint::Runtime;
 use std::hint::black_box;
@@ -65,6 +73,82 @@ fn slo_config(inflight: usize) -> ServeConfig {
     cfg.tenants[0].slo = SloClass::latency(50_000);
     cfg.tenants[1].slo = SloClass::batch();
     cfg
+}
+
+/// The dispatcher-tier traffic: the warm arrival rates over a
+/// repeat-heavy request mix (small Fib and SeBS key spaces), one driver
+/// per node — so routing, not the driver pool, is the moving part, and
+/// placement has memoization to win. The horizon is short enough that
+/// the baselines keep re-paying cold evaluations the affinity router
+/// pays once per distinct handle per node.
+fn dispatch_config(nodes: usize, policy: RoutingPolicy) -> DispatchConfig {
+    DispatchConfig {
+        base: ServeConfig {
+            drivers: 1, // per node
+            duration_us: 60_000,
+            tenants: vec![
+                TenantSpec::uniform_mix(
+                    "fibs",
+                    3,
+                    ArrivalProcess::Poisson { rate_rps: 6000.0 },
+                    RequestKind::Fib { max_n: 8 },
+                ),
+                TenantSpec::uniform_mix(
+                    "renders",
+                    1,
+                    ArrivalProcess::Poisson { rate_rps: 2000.0 },
+                    RequestKind::SebsHtml { users: 4 },
+                ),
+            ],
+            ..warm_config(2)
+        },
+        nodes,
+        policy,
+        spill_margin: 16,
+        storage: NodeStorage::Memory,
+        fault: None,
+    }
+}
+
+fn bench_dispatch_routing(c: &mut Criterion) {
+    let one = dispatch_config(1, RoutingPolicy::Affinity);
+    let affinity = dispatch_config(4, RoutingPolicy::Affinity);
+    let random = dispatch_config(4, RoutingPolicy::Random);
+
+    // Determinism pin: the virtual tables (tenant + per-node) must be
+    // bit-identical across repeat runs — wall-clock only moves time.
+    let aff = dispatch(&affinity).expect("affinity dispatch run");
+    let rnd = dispatch(&random).expect("random dispatch run");
+    for (cfg, first) in [(&affinity, &aff), (&random, &rnd)] {
+        assert_eq!(
+            first.report.to_string(),
+            dispatch(cfg)
+                .expect("repeat dispatch run")
+                .report
+                .to_string(),
+            "repeat dispatch runs must print identical tables"
+        );
+    }
+    let n: u64 = aff.report.tenants.iter().map(|t| t.admitted).sum();
+    println!(
+        "serve_throughput[dispatch]: {n} requests over 4 nodes; affinity hit \
+         rate {:.1}% vs random {:.1}% ({:+.1} points)",
+        aff.hit_rate() * 100.0,
+        rnd.hit_rate() * 100.0,
+        (aff.hit_rate() - rnd.hit_rate()) * 100.0
+    );
+
+    let mut group = c.benchmark_group("dispatch_routing");
+    for (label, cfg) in [
+        ("1node_affinity", &one),
+        ("4node_affinity", &affinity),
+        ("4node_random", &random),
+    ] {
+        group.bench_function(format!("{label}/{n}_reqs"), |b| {
+            b.iter(|| black_box(dispatch(black_box(cfg)).expect("dispatch")))
+        });
+    }
+    group.finish();
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
@@ -215,5 +299,5 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput);
+criterion_group!(benches, bench_serve_throughput, bench_dispatch_routing);
 criterion_main!(benches);

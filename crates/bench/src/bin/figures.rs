@@ -2,7 +2,7 @@
 //! evaluation section.
 //!
 //! ```text
-//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|sweep|trace|calibrate|recover|summary|all] [--quick]
+//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|sweep|trace|calibrate|recover|route|summary|all] [--quick]
 //! ```
 //!
 //! `trace` runs the serving workload with the `fix-obs` event recorder
@@ -135,6 +135,14 @@ fn main() {
             &[256, 1024, 4096]
         };
         println!("{}", fix_bench::recover::run(sizes));
+    }
+    // Affinity-vs-baseline routing hit rates and the warm-vs-cold node
+    // recovery window (deterministic tables, but the recovery half
+    // populates real durable directories — like `trace`, not part of
+    // `all`; run it explicitly).
+    if which == "route" {
+        let (scale, nodes) = if quick { (1, 4) } else { (5, 4) };
+        println!("{}", fix_bench::route::table_text(scale, nodes));
     }
     // Extension experiments (paper §6 future work, implemented here).
     if which == "all" || which == "extgc" {

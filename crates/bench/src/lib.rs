@@ -20,5 +20,6 @@ pub mod fig8a;
 pub mod fig8b;
 pub mod fig9;
 pub mod recover;
+pub mod route;
 pub mod serve_report;
 pub mod trace;

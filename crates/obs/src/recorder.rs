@@ -12,7 +12,7 @@
 
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -25,16 +25,78 @@ const PER_THREAD_CAP: usize = 1 << 20;
 /// `OnceLock`: it is one relaxed load, full stop.
 static TRACING: AtomicBool = AtomicBool::new(false);
 
+/// The sampling period when tracing is enabled: `0` means record every
+/// event ([`TracingMode::Full`]); `n ≥ 2` records one of every `n`
+/// events per thread ([`TracingMode::Sampled`]). Consulted only on the
+/// enabled path, so the disabled cost stays exactly one relaxed load of
+/// [`TRACING`].
+static SAMPLE_EVERY: AtomicU32 = AtomicU32::new(0);
+
 /// Whether tracing is currently enabled — one relaxed atomic load.
 #[inline(always)]
 pub fn tracing_enabled() -> bool {
     TRACING.load(Ordering::Relaxed)
 }
 
-/// Turns tracing on or off. Events recorded while on stay buffered
-/// until [`Recorder::drain`]; turning tracing off does not discard them.
+/// How much the recorder captures while enabled.
+///
+/// `Off` and `Full` are the original binary toggle. `Sampled(n)` keeps
+/// tracing affordable for always-on production use: each thread records
+/// one of every `n` events (a deterministic per-thread stride, counted
+/// — never silently lost) so buffer volume and drain cost shrink by
+/// `n×` while the shape of the trace survives. Sampling is uniform
+/// across event kinds, so a sampled trace is a *diagnostic* artifact:
+/// [`TraceSummary`](crate::TraceSummary) tables built from a sampled
+/// trace are not comparable across runs — use `Full` for the
+/// deterministic pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracingMode {
+    /// Nothing is recorded; instrumentation sites cost one relaxed load.
+    Off,
+    /// Every event is recorded (the deterministic-summary mode).
+    Full,
+    /// One of every `n` events per thread is recorded; the rest are
+    /// counted in [`Trace::sampled_out`]. Values `0` and `1` normalise
+    /// to `Full`.
+    Sampled(u32),
+}
+
+/// Sets the tracing mode. Events recorded so far stay buffered until
+/// [`Recorder::drain`]; switching modes does not discard them.
+pub fn set_tracing_mode(mode: TracingMode) {
+    match mode {
+        TracingMode::Off => TRACING.store(false, Ordering::SeqCst),
+        TracingMode::Full | TracingMode::Sampled(0) | TracingMode::Sampled(1) => {
+            SAMPLE_EVERY.store(0, Ordering::SeqCst);
+            TRACING.store(true, Ordering::SeqCst);
+        }
+        TracingMode::Sampled(n) => {
+            SAMPLE_EVERY.store(n, Ordering::SeqCst);
+            TRACING.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The current tracing mode.
+pub fn tracing_mode() -> TracingMode {
+    if !TRACING.load(Ordering::SeqCst) {
+        return TracingMode::Off;
+    }
+    match SAMPLE_EVERY.load(Ordering::SeqCst) {
+        0 | 1 => TracingMode::Full,
+        n => TracingMode::Sampled(n),
+    }
+}
+
+/// Turns tracing fully on or off — the binary shim over
+/// [`set_tracing_mode`] (`Full`/`Off`) that every pre-sampling call
+/// site uses.
 pub fn set_tracing(on: bool) {
-    TRACING.store(on, Ordering::SeqCst);
+    set_tracing_mode(if on {
+        TracingMode::Full
+    } else {
+        TracingMode::Off
+    });
 }
 
 /// The layer an event kind belongs to (its Chrome-trace category and
@@ -45,6 +107,8 @@ pub enum Layer {
     Scheduler,
     /// The multi-tenant serving layer (`fix-serve`).
     Serve,
+    /// The multi-node dispatcher tier (`fix-dispatch`).
+    Dispatch,
     /// The append-only persistence tier (`fix-durable`).
     Durable,
     /// The `BlockingOffload` adapter (`fix_core::api`).
@@ -57,6 +121,7 @@ impl Layer {
         match self {
             Layer::Scheduler => "scheduler",
             Layer::Serve => "serve",
+            Layer::Dispatch => "dispatch",
             Layer::Durable => "durable",
             Layer::Offload => "offload",
         }
@@ -87,6 +152,11 @@ pub enum EventKind {
     ServeExpire,
     ServeComplete,
     ServeQueueDepth,
+    // Dispatcher tier (virtual-clock routing decisions; a = node index).
+    Route,
+    Spill,
+    NodeKill,
+    NodeRestart,
     // Durable store (wall latencies in `dur_ns`).
     DurAppend,
     DurFsync,
@@ -112,6 +182,7 @@ impl EventKind {
             }
             ServeAdmit | ServeShed | ServeDispatch | ServeExpire | ServeComplete
             | ServeQueueDepth => Layer::Serve,
+            Route | Spill | NodeKill | NodeRestart => Layer::Dispatch,
             DurAppend | DurFsync | DurSnapshot | DurEvict | DurRefault => Layer::Durable,
             OffloadSubmit | OffloadDispatch | OffloadExpire | OffloadCancel => Layer::Offload,
         }
@@ -138,6 +209,10 @@ impl EventKind {
             ServeExpire => "serve.expire",
             ServeComplete => "serve.complete",
             ServeQueueDepth => "serve.queue_depth",
+            Route => "dispatch.route",
+            Spill => "dispatch.spill",
+            NodeKill => "dispatch.node_kill",
+            NodeRestart => "dispatch.node_restart",
             DurAppend => "durable.append",
             DurFsync => "durable.fsync",
             DurSnapshot => "durable.snapshot",
@@ -152,14 +227,14 @@ impl EventKind {
 
     /// Whether this kind carries deterministic virtual-clock content:
     /// only such kinds enter [`TraceSummary`](crate::TraceSummary)
-    /// tables. Serve-layer lifecycle events are emitted by the
-    /// single-threaded virtual-time simulation, so for a fixed seed
-    /// they are identical across runs, worker counts, and submitting
-    /// backends; every other layer's counts depend on wall timing
-    /// (steals, parks, fsync batching) and exports to the Chrome trace
-    /// only.
+    /// tables. Serve-layer lifecycle events and dispatcher-tier routing
+    /// decisions are emitted by single-threaded virtual-time
+    /// simulations, so for a fixed seed they are identical across runs,
+    /// worker counts, and submitting backends; every other layer's
+    /// counts depend on wall timing (steals, parks, fsync batching) and
+    /// exports to the Chrome trace only.
     pub fn deterministic(self) -> bool {
-        self.layer() == Layer::Serve
+        matches!(self.layer(), Layer::Serve | Layer::Dispatch)
     }
 
     /// Every kind, in summary-table order.
@@ -183,6 +258,10 @@ impl EventKind {
             ServeExpire,
             ServeComplete,
             ServeQueueDepth,
+            Route,
+            Spill,
+            NodeKill,
+            NodeRestart,
             DurAppend,
             DurFsync,
             DurSnapshot,
@@ -229,6 +308,11 @@ struct ThreadBuffer {
     dropped_det: AtomicU64,
     /// Diagnostic events dropped at capacity.
     dropped_diag: AtomicU64,
+    /// Monotone per-thread event tick driving the `Sampled(n)` stride
+    /// (only the owning thread increments it).
+    ticks: AtomicU64,
+    /// Events skipped by the sampling stride (deliberate, not lost).
+    sampled_out: AtomicU64,
 }
 
 /// The process-wide recorder: owns every thread's buffer and the wall
@@ -270,6 +354,8 @@ impl Recorder {
                     events: Mutex::new(Vec::new()),
                     dropped_det: AtomicU64::new(0),
                     dropped_diag: AtomicU64::new(0),
+                    ticks: AtomicU64::new(0),
+                    sampled_out: AtomicU64::new(0),
                 });
                 self.buffers.lock().push(buf.clone());
                 buf
@@ -279,10 +365,20 @@ impl Recorder {
     }
 
     /// Appends `ev` to the calling thread's buffer (dropping and
-    /// counting if the per-thread ring is full). Callers normally go
-    /// through [`emit`]/[`emit_span`], which check the toggle first.
+    /// counting if the per-thread ring is full). In `Sampled(n)` mode
+    /// only one of every `n` events per thread is appended; the rest
+    /// are counted as sampled out. Callers normally go through
+    /// [`emit`]/[`emit_span`], which check the toggle first.
     pub fn record(&self, ev: TraceEvent) {
         self.with_local(|buf| {
+            let every = SAMPLE_EVERY.load(Ordering::Relaxed);
+            if every > 1 {
+                let tick = buf.ticks.fetch_add(1, Ordering::Relaxed);
+                if tick % every as u64 != 0 {
+                    buf.sampled_out.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
             let mut events = buf.events.lock();
             if events.len() < PER_THREAD_CAP {
                 events.push(ev);
@@ -303,10 +399,12 @@ impl Recorder {
         let mut threads = Vec::new();
         let mut dropped_det = 0;
         let mut dropped_diag = 0;
+        let mut sampled_out = 0;
         buffers.retain(|buf| {
             let events = std::mem::take(&mut *buf.events.lock());
             dropped_det += buf.dropped_det.swap(0, Ordering::Relaxed);
             dropped_diag += buf.dropped_diag.swap(0, Ordering::Relaxed);
+            sampled_out += buf.sampled_out.swap(0, Ordering::Relaxed);
             if !events.is_empty() {
                 threads.push(ThreadTrace {
                     tid: buf.tid,
@@ -321,6 +419,7 @@ impl Recorder {
             threads,
             dropped_deterministic: dropped_det,
             dropped_diagnostic: dropped_diag,
+            sampled_out,
         }
     }
 
@@ -347,6 +446,9 @@ pub struct Trace {
     pub dropped_deterministic: u64,
     /// Diagnostic events lost to buffer capacity.
     pub dropped_diagnostic: u64,
+    /// Events skipped by the [`TracingMode::Sampled`] stride —
+    /// deliberate volume reduction, accounted separately from drops.
+    pub sampled_out: u64,
 }
 
 impl Trace {
@@ -470,10 +572,45 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn sampled_mode_records_every_nth_event() {
+        let _g = GLOBAL_TRACE_LOCK.lock();
+        recorder().clear();
+        set_tracing_mode(TracingMode::Sampled(4));
+        assert_eq!(tracing_mode(), TracingMode::Sampled(4));
+        for i in 0..8 {
+            emit(EventKind::SchedSubmit, 0, i, 0, 0);
+        }
+        set_tracing(false);
+        assert_eq!(tracing_mode(), TracingMode::Off);
+        let t = recorder().drain();
+        assert_eq!(t.len(), 2, "stride 4 keeps ticks 0 and 4 of 8");
+        assert_eq!(t.sampled_out, 6);
+        assert_eq!(t.dropped_diagnostic, 0, "sampling is not a drop");
+    }
+
+    #[test]
+    fn sampled_one_is_full() {
+        let _g = GLOBAL_TRACE_LOCK.lock();
+        recorder().clear();
+        set_tracing_mode(TracingMode::Sampled(1));
+        assert_eq!(tracing_mode(), TracingMode::Full);
+        for i in 0..5 {
+            emit(EventKind::ServeAdmit, i, i, 0, 0);
+        }
+        set_tracing_mode(TracingMode::Off);
+        let t = recorder().drain();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.sampled_out, 0);
+    }
+
+    #[test]
     fn kind_names_and_layers_are_consistent() {
         for &k in EventKind::all() {
             assert!(k.name().starts_with(k.layer().name()), "{:?}", k);
-            assert_eq!(k.deterministic(), k.layer() == Layer::Serve);
+            assert_eq!(
+                k.deterministic(),
+                matches!(k.layer(), Layer::Serve | Layer::Dispatch)
+            );
         }
         // `all()` really is all: names are unique.
         let mut names: Vec<_> = EventKind::all().iter().map(|k| k.name()).collect();

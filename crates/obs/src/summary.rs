@@ -62,20 +62,25 @@ impl TraceSummary {
                 row.last_us = row.last_us.max(ev.virt_us);
             }
             row.count += 1;
-            let tenant = s.tenants.entry(ev.a).or_default();
+            // Per-tenant lifecycle rows aggregate serve-layer kinds only:
+            // dispatcher-tier events carry a *node* index in `a`, which
+            // must not mint phantom tenant rows.
             match ev.kind {
-                EventKind::ServeAdmit => tenant.admitted += 1,
-                EventKind::ServeShed => tenant.shed += 1,
+                EventKind::ServeAdmit => s.tenants.entry(ev.a).or_default().admitted += 1,
+                EventKind::ServeShed => s.tenants.entry(ev.a).or_default().shed += 1,
                 EventKind::ServeDispatch => {
-                    tenant.dispatched += 1;
+                    s.tenants.entry(ev.a).or_default().dispatched += 1;
                     s.wait.record(ev.b as u64);
                 }
-                EventKind::ServeExpire => tenant.expired += 1,
+                EventKind::ServeExpire => s.tenants.entry(ev.a).or_default().expired += 1,
                 EventKind::ServeComplete => {
-                    tenant.completed += 1;
+                    s.tenants.entry(ev.a).or_default().completed += 1;
                     s.latency.record(ev.b as u64);
                 }
-                EventKind::ServeQueueDepth => tenant.max_depth = tenant.max_depth.max(ev.b),
+                EventKind::ServeQueueDepth => {
+                    let tenant = s.tenants.entry(ev.a).or_default();
+                    tenant.max_depth = tenant.max_depth.max(ev.b);
+                }
                 _ => {}
             }
         }
@@ -201,6 +206,7 @@ mod tests {
             threads: Vec::new(),
             dropped_deterministic: 0,
             dropped_diagnostic: 0,
+            sampled_out: 0,
         };
         assert!(t.summary().to_string().contains("no deterministic"));
     }

@@ -26,6 +26,7 @@
 //! the platform withdrew instead of served.
 
 use crate::loadgen::Micros;
+use crate::tenant::RequestKind;
 use fix_core::api::Priority;
 use fix_core::handle::Handle;
 use std::collections::VecDeque;
@@ -37,6 +38,15 @@ pub struct QueuedRequest {
     pub arrival_us: Micros,
     /// Owning tenant index.
     pub tenant: usize,
+    /// Tenant-stream sequence number of the arrival — with `tenant` and
+    /// `kind`, everything a [`RequestFactory`](crate::tenant::RequestFactory)
+    /// needs to re-mint the identical (content-addressed) thunk on
+    /// another backend, which is how the dispatcher moves a queued
+    /// request to a different node.
+    pub seq: u64,
+    /// The drawn request kind (prices a cold evaluation when the
+    /// request is re-routed to a node that has not memoized it).
+    pub kind: RequestKind,
     /// The thunk to evaluate.
     pub thunk: Handle,
     /// Modeled service time, µs.
@@ -304,6 +314,30 @@ impl TenantQueues {
     pub fn next_batch(&mut self, max: usize) -> Vec<QueuedRequest> {
         self.next_dispatch(max, 0).requests
     }
+
+    /// Re-enqueues a request without admission accounting: no
+    /// `offered` increment and no capacity check. This is the failover
+    /// path — the request was already admitted (and counted) once on a
+    /// node that has since died, so it must land on a survivor even if
+    /// that survivor's queue is momentarily over its bound; shedding it
+    /// here would break the offered = admitted + dropped identity.
+    pub fn requeue(&mut self, req: QueuedRequest) {
+        self.queues[req.tenant].push_back(req);
+        self.queued += 1;
+    }
+
+    /// Drains every waiting request, in (tenant, FIFO) order, leaving
+    /// the queues empty but the admission counters intact — what a
+    /// dispatcher pulls off a killed node before re-routing its backlog
+    /// to the survivors.
+    pub fn drain_all(&mut self) -> Vec<QueuedRequest> {
+        let mut all = Vec::with_capacity(self.queued);
+        for queue in &mut self.queues {
+            all.extend(queue.drain(..));
+        }
+        self.queued = 0;
+        all
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +349,8 @@ mod tests {
         QueuedRequest {
             arrival_us: arrival,
             tenant,
+            seq: arrival,
+            kind: RequestKind::Add,
             thunk: Blob::from_u64(arrival).handle(),
             service_us: 10,
             deadline_us: None,
@@ -483,6 +519,39 @@ mod tests {
         assert_eq!(d.requests.len(), 1);
         assert_eq!(d.requests[0].arrival_us, 50);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn requeue_bypasses_admission_accounting_and_capacity() {
+        let mut q = TenantQueues::weighted(vec![1], 2);
+        assert!(q.offer(req(0, 1)));
+        assert!(q.offer(req(0, 2)));
+        // The queue is full, yet failover work must still land.
+        q.requeue(req(0, 3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.offered, vec![2], "requeue never counts as offered");
+        assert_eq!(q.dropped, vec![0]);
+        let arrivals: Vec<Micros> = q.next_batch(8).iter().map(|r| r.arrival_us).collect();
+        assert_eq!(arrivals, vec![1, 2, 3], "requeued work keeps FIFO order");
+    }
+
+    #[test]
+    fn drain_all_empties_queues_but_keeps_counters() {
+        let mut q = TenantQueues::weighted(vec![1, 1], 4);
+        q.offer(req(0, 1));
+        q.offer(req(1, 2));
+        q.offer(req(0, 3));
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 3);
+        let order: Vec<(usize, Micros)> =
+            drained.iter().map(|r| (r.tenant, r.arrival_us)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 3), (1, 2)], "(tenant, FIFO) order");
+        assert!(q.is_empty());
+        assert_eq!(
+            q.offered,
+            vec![2, 1],
+            "admission counters survive the drain"
+        );
     }
 
     #[test]

@@ -172,12 +172,68 @@ pub struct DriverReport {
     pub latency: LatencyHistogram,
 }
 
+/// Per-node serving outcome for multi-node (dispatcher) runs.
+///
+/// Populated by `fix-dispatch`; a single-backend [`serve`] run leaves
+/// [`ServeReport::nodes`] empty. Every field is derived from the
+/// virtual clock, so the node table is part of the deterministic
+/// (bit-identical) report surface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeReport {
+    /// Requests routed to this node (admitted onto its queues).
+    pub routed: u64,
+    /// Requests this node served to completion.
+    pub served: u64,
+    /// Admitted requests that expired on this node's queues.
+    pub expired: u64,
+    /// Placements (admissions + failover re-routes) that found their
+    /// thunk already memoized on this node, so
+    /// `warm_hits + cold_misses == routed + rerouted_in`.
+    pub warm_hits: u64,
+    /// Placements this node had to price as cold evaluations.
+    pub cold_misses: u64,
+    /// Requests whose rendezvous target was this node but which the
+    /// load-based spill diverted elsewhere.
+    pub spilled_away: u64,
+    /// Requests re-queued onto this node after another node was killed.
+    pub rerouted_in: u64,
+    /// Virtual µs this node's drivers spent serving.
+    pub busy_us: Micros,
+    /// Times this node was killed during the run.
+    pub kills: u32,
+    /// Times this node was restarted during the run.
+    pub restarts: u32,
+}
+
+impl NodeReport {
+    /// Warm-memoization hit rate among served requests.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.cold_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.warm_hits as f64 / total as f64
+    }
+
+    /// SLO attainment on this node: served fraction of routed work
+    /// (the complement expired on its queues).
+    pub fn attainment(&self) -> f64 {
+        if self.routed == 0 {
+            return 0.0;
+        }
+        self.served as f64 / self.routed as f64
+    }
+}
+
 /// The outcome of one serve run.
 pub struct ServeReport {
     /// Per-tenant rows, in configuration order.
     pub tenants: Vec<TenantReport>,
     /// Per-driver rows.
     pub drivers: Vec<DriverReport>,
+    /// Per-node rows for multi-node (dispatcher) runs; empty for a
+    /// single-backend [`serve`] run.
+    pub nodes: Vec<NodeReport>,
     /// Virtual end-to-end makespan (origin to last completion).
     pub makespan_us: Micros,
     /// Requests that completed (ok + errors, real evaluations).
@@ -344,6 +400,45 @@ impl std::fmt::Display for ServeReport {
                     d.busy_us as f64 * 100.0 / self.makespan_us as f64
                 },
             )?;
+        }
+        if !self.nodes.is_empty() {
+            writeln!(
+                f,
+                "{:<6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>6} {:>6}",
+                "node",
+                "routed",
+                "served",
+                "expired",
+                "warm",
+                "cold",
+                "hit%",
+                "attain%",
+                "occ%",
+                "spill",
+                "kills",
+                "rstrt"
+            )?;
+            for (i, n) in self.nodes.iter().enumerate() {
+                writeln!(
+                    f,
+                    "n{i:<5} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6.1}% {:>6.1}% {:>5.0}% {:>7} {:>6} {:>6}",
+                    n.routed,
+                    n.served,
+                    n.expired,
+                    n.warm_hits,
+                    n.cold_misses,
+                    n.hit_rate() * 100.0,
+                    n.attainment() * 100.0,
+                    if self.makespan_us == 0 {
+                        0.0
+                    } else {
+                        n.busy_us as f64 * 100.0 / self.makespan_us as f64
+                    },
+                    n.spilled_away,
+                    n.kills,
+                    n.restarts,
+                )?;
+            }
         }
         Ok(())
     }
@@ -526,6 +621,8 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         if queues.offer(QueuedRequest {
             arrival_us: a.time_us,
             tenant: a.tenant,
+            seq: a.seq,
+            kind,
             thunk,
             service_us,
             deadline_us: spec.slo.deadline_us.map(|d| a.time_us + d),
@@ -765,6 +862,7 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
     Ok(ServeReport {
         tenants,
         drivers,
+        nodes: Vec::new(),
         makespan_us: makespan,
         completed,
         execution_wall,

@@ -1,0 +1,220 @@
+//! Multi-node serving end to end: rendezvous routing across node
+//! backends, a node killed mid-burst, failover, and a warm restart —
+//! all self-asserted.
+//!
+//! Two modes:
+//!
+//! * no arguments — routing demo: the same seeded traffic dispatched
+//!   across 3 nodes under affinity, round-robin, and random placement;
+//!   asserts affinity wins the warm-hit rate and every run closes its
+//!   accounting;
+//! * `--kill-node N [--dir PATH]` — failure drill: durable per-node
+//!   stores, node `N` killed at a deterministic virtual instant (its
+//!   backlog re-routes to the survivors), then restarted warm over its
+//!   own log. Runs the scenario twice — pass A on fresh directories,
+//!   pass B over the directories pass A populated — and asserts the
+//!   whole contract: accounting closure, bit-identical tables across
+//!   the two passes, failover confined to survivors, the restarted
+//!   node's second segment replaying its log, and pass B running zero
+//!   procedures (every result served from the logs).
+//!
+//! Run with: `cargo run --release --example multi_node -- --kill-node 1`
+
+use fix::dispatch::{
+    dispatch, DispatchConfig, DispatchOutcome, FaultPlan, NodeStorage, RestartKind, RoutingPolicy,
+};
+use fix::serve::{ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
+use std::path::{Path, PathBuf};
+
+/// Repeat-heavy traffic (small Fib and SeBS key spaces) so placement
+/// has memoization to win, plus a burst 100 µs before the kill instant
+/// so the killed node strands a backlog worth re-routing.
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        seed: 17,
+        duration_us: 60_000,
+        drivers: 1, // per node
+        batch: 8,
+        queue_capacity: 64,
+        batch_overhead_us: 5,
+        inflight: 2,
+        tenants: vec![
+            TenantSpec::uniform_mix(
+                "fib",
+                2,
+                ArrivalProcess::Poisson { rate_rps: 2500.0 },
+                RequestKind::Fib { max_n: 6 },
+            ),
+            TenantSpec::uniform_mix(
+                "renders",
+                1,
+                ArrivalProcess::Uniform { period_us: 500 },
+                RequestKind::SebsHtml { users: 3 },
+            ),
+            TenantSpec::uniform_mix(
+                "bursty",
+                1,
+                ArrivalProcess::Bursts {
+                    period_us: 19_900,
+                    burst: 48,
+                },
+                RequestKind::Wordcount { shard_bytes: 4096 },
+            ),
+        ],
+    }
+}
+
+fn fault_config(root: &Path, kill_node: usize) -> DispatchConfig {
+    DispatchConfig {
+        base: base_config(),
+        nodes: 3,
+        policy: RoutingPolicy::Affinity,
+        spill_margin: 16,
+        storage: NodeStorage::Durable(root.to_path_buf()),
+        fault: Some(FaultPlan {
+            node: kill_node,
+            kill_at_us: 20_000,
+            restart_at_us: 30_000,
+            restart: RestartKind::Warm,
+        }),
+    }
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Asserts everything the failure drill promises about one pass.
+fn check_fault_pass(outcome: &DispatchOutcome, kill_node: usize) {
+    outcome.assert_accounting_closure();
+    let nodes = &outcome.report.nodes;
+    assert_eq!(nodes[kill_node].kills, 1, "the kill must be recorded");
+    assert_eq!(nodes[kill_node].restarts, 1, "so must the restart");
+    let rerouted: u64 = nodes.iter().map(|n| n.rerouted_in).sum();
+    assert!(rerouted > 0, "the kill must strand work worth re-routing");
+    assert_eq!(
+        nodes[kill_node].rerouted_in, 0,
+        "failover must land on survivors only"
+    );
+    assert_eq!(
+        outcome.exec[kill_node].segments.len(),
+        2,
+        "the killed node runs two incarnations"
+    );
+    assert!(
+        outcome.recovery_window_us.is_some(),
+        "the restarted node must re-earn a warm placement"
+    );
+}
+
+fn main() {
+    if let Some(kill_node) = arg_value("--kill-node") {
+        let kill_node: usize = kill_node.parse().expect("--kill-node takes a node index");
+        let root: PathBuf = match arg_value("--dir") {
+            Some(d) => PathBuf::from(d),
+            None => {
+                // Leak the tempdir guard so the directory survives into
+                // pass B; the OS reclaims it like any other temp path.
+                let tmp = tempfile::tempdir().expect("tempdir");
+                let path = tmp.path().to_path_buf();
+                std::mem::forget(tmp);
+                path
+            }
+        };
+        std::fs::create_dir_all(&root).expect("create root");
+        let cfg = fault_config(&root, kill_node);
+        println!(
+            "== failure drill: 3 nodes over {}, kill node {kill_node} at 20 ms, \
+             warm restart at 30 ms ==\n",
+            root.display()
+        );
+
+        println!("-- pass A: fresh per-node logs --");
+        let first = dispatch(&cfg).expect("pass A dispatch");
+        check_fault_pass(&first, kill_node);
+        println!("{}", first.report);
+        println!(
+            "pass A: {} procedures run, {} requests re-routed off node \
+             {kill_node}, recovery window {} µs, warm restart replayed {} \
+             relations",
+            first.procedures_run(),
+            first
+                .report
+                .nodes
+                .iter()
+                .map(|n| n.rerouted_in)
+                .sum::<u64>(),
+            first.recovery_window_us.expect("recovery window"),
+            first.exec[kill_node].segments[1].replayed_relations,
+        );
+        assert!(
+            first.procedures_run() > 0,
+            "fresh logs mean pass A computes for real"
+        );
+        assert!(
+            first.exec[kill_node].segments[1].replayed_relations > 0,
+            "the warm restart must replay the node's own log"
+        );
+
+        println!("\n-- pass B: same directories, fully warm --");
+        let second = dispatch(&cfg).expect("pass B dispatch");
+        check_fault_pass(&second, kill_node);
+        assert_eq!(
+            second.report.to_string(),
+            first.report.to_string(),
+            "the virtual tables must be bit-identical across passes"
+        );
+        assert_eq!(
+            second.procedures_run(),
+            0,
+            "pass B must serve every request from the per-node logs"
+        );
+        println!(
+            "pass B: tables bit-identical to pass A, 0 procedures run \
+             (every result replayed from disk)"
+        );
+        println!("\nOK: multi-node failure contract holds");
+        return;
+    }
+
+    // ------------------------------------------------------------------
+    // Default: the routing demo, in memory.
+    // ------------------------------------------------------------------
+    println!("== placement policy vs memoization hit rate (3 nodes) ==\n");
+    let policies = [
+        ("affinity", RoutingPolicy::Affinity),
+        ("round-robin", RoutingPolicy::RoundRobin),
+        ("random", RoutingPolicy::Random),
+    ];
+    let mut rates = Vec::new();
+    for (label, policy) in policies {
+        let cfg = DispatchConfig {
+            base: base_config(),
+            nodes: 3,
+            policy,
+            spill_margin: 16,
+            storage: NodeStorage::Memory,
+            fault: None,
+        };
+        let outcome = dispatch(&cfg).expect("dispatch run");
+        outcome.assert_accounting_closure();
+        println!("-- {label} --\n{}", outcome.report);
+        rates.push((label, outcome.hit_rate()));
+    }
+    for &(label, rate) in &rates[1..] {
+        assert!(
+            rates[0].1 > rate,
+            "affinity ({:.3}) must beat {label} ({rate:.3})",
+            rates[0].1
+        );
+    }
+    let deltas: Vec<String> = rates
+        .iter()
+        .map(|(l, r)| format!("{l} {:.1}%", r * 100.0))
+        .collect();
+    println!("warm-hit rates: {}", deltas.join(", "));
+    println!("\nOK: affinity routing wins the warm-hit rate");
+}

@@ -31,6 +31,10 @@
 //!   content-addressed log with snapshots, lazy faulting restart,
 //!   spill-to-disk, and deterministic kill points for crash-recovery
 //!   testing;
+//! * [`dispatch`] — the multi-node serving tier: rendezvous-hash
+//!   (memoization-affinity) routing with load-based spill across N
+//!   independent node backends, per-node durable state, and
+//!   first-class node failure with warm (log-reopen) recovery;
 //! * [`obs`] — the observability layer: a structured event recorder
 //!   (one relaxed atomic load when disabled), a unified metrics
 //!   registry, deterministic virtual-clock trace summaries, and a
@@ -60,6 +64,7 @@
 pub use fix_baselines as baselines;
 pub use fix_cluster as cluster;
 pub use fix_core as core;
+pub use fix_dispatch as dispatch;
 pub use fix_durable as durable;
 pub use fix_hash as hash;
 pub use fix_netsim as netsim;

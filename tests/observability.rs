@@ -9,8 +9,9 @@
 //! `Runtime::metrics()` agree exactly with the legacy accessors,
 //! because both read the same live cells.
 
+use fix::dispatch::{dispatch, DispatchConfig, NodeStorage, RoutingPolicy};
 use fix::durable::{DurableOptions, DurableStore, FsyncPolicy};
-use fix::obs::{self, TraceSummary};
+use fix::obs::{self, TraceSummary, TracingMode};
 use fix::prelude::*;
 use fix::serve::{serve, ArrivalProcess, RequestKind, ServeConfig, TenantSpec};
 use std::sync::{Arc, Mutex};
@@ -172,6 +173,176 @@ fn metrics_snapshot_agrees_with_legacy_accessors() {
     assert!(snap.counters["durable.appended_frames"] > 0);
     assert!(snap.counters["durable.fsyncs"] > 0);
     assert!(snap.histograms.contains_key("durable.fsync_us"));
+}
+
+/// Dispatcher-tier events ride the virtual clock like the serve
+/// lifecycle: every admitted request leaves a `dispatch.route` record,
+/// node failure leaves kill/restart records, and the per-node
+/// queue-depth gauges land in the global registry — all of it
+/// deterministic (byte-identical summaries across runs).
+#[test]
+fn dispatcher_events_and_gauges_are_deterministic() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    let dcfg = DispatchConfig {
+        base: ServeConfig {
+            seed: 31,
+            duration_us: 20_000,
+            drivers: 1,
+            batch: 8,
+            queue_capacity: 48,
+            batch_overhead_us: 5,
+            inflight: 2,
+            tenants: vec![TenantSpec::uniform_mix(
+                "fibs",
+                1,
+                ArrivalProcess::Poisson { rate_rps: 3000.0 },
+                RequestKind::Fib { max_n: 6 },
+            )],
+        },
+        nodes: 3,
+        policy: RoutingPolicy::Affinity,
+        spill_margin: 8,
+        storage: NodeStorage::Memory,
+        fault: None,
+    };
+    let run = || {
+        obs::recorder().clear();
+        obs::set_tracing(true);
+        let outcome = dispatch(&dcfg).expect("traced dispatch run");
+        obs::set_tracing(false);
+        let trace = obs::recorder().drain();
+        let summary = TraceSummary::of(&trace);
+        assert_eq!(summary.dropped(), 0, "recorder must hold the whole run");
+        (outcome, trace, summary.to_string())
+    };
+    let (outcome, trace, summary) = run();
+    let routes = trace
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::Route)
+        .count() as u64;
+    let admitted: u64 = outcome.report.tenants.iter().map(|t| t.admitted).sum();
+    assert_eq!(routes, admitted, "every admitted request is routed once");
+    assert!(summary.contains("dispatch.route"));
+    assert!(
+        !summary.contains("t1 ") && !summary.contains("t2 "),
+        "node indices must not mint phantom tenant rows"
+    );
+    let global = obs::global().snapshot();
+    for n in 0..3 {
+        assert!(
+            global
+                .gauges
+                .contains_key(&format!("dispatch.node{n}.queue_depth")),
+            "node {n} gauge must be registered globally"
+        );
+    }
+    let (_, _, again) = run();
+    assert_eq!(summary, again, "dispatcher tracing must be deterministic");
+}
+
+/// Node failure leaves exactly one kill and one restart record, each
+/// carrying the node index on the virtual clock.
+#[test]
+fn node_failure_is_traced() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    let dir = tempfile::tempdir().unwrap();
+    let dcfg = DispatchConfig {
+        base: ServeConfig {
+            seed: 8,
+            duration_us: 20_000,
+            drivers: 1,
+            batch: 8,
+            queue_capacity: 64,
+            batch_overhead_us: 5,
+            inflight: 1,
+            tenants: vec![TenantSpec::uniform_mix(
+                "bursty",
+                1,
+                ArrivalProcess::Bursts {
+                    period_us: 9_900,
+                    burst: 32,
+                },
+                RequestKind::SebsHtml { users: 3 },
+            )],
+        },
+        nodes: 2,
+        policy: RoutingPolicy::Affinity,
+        spill_margin: 8,
+        storage: NodeStorage::Durable(dir.path().to_path_buf()),
+        fault: Some(fix::dispatch::FaultPlan {
+            node: 0,
+            kill_at_us: 10_000,
+            restart_at_us: 14_000,
+            restart: fix::dispatch::RestartKind::Warm,
+        }),
+    };
+    obs::recorder().clear();
+    obs::set_tracing(true);
+    let outcome = dispatch(&dcfg).expect("traced faulted dispatch run");
+    obs::set_tracing(false);
+    let trace = obs::recorder().drain();
+    let kills: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::NodeKill)
+        .collect();
+    let restarts: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::NodeRestart)
+        .collect();
+    assert_eq!(kills.len(), 1);
+    assert_eq!((kills[0].a, kills[0].virt_us), (0, 10_000));
+    assert_eq!(restarts.len(), 1);
+    assert_eq!((restarts[0].a, restarts[0].virt_us), (0, 14_000));
+    assert_eq!(restarts[0].b, 1, "warm restart is flagged");
+    outcome.assert_accounting_closure();
+}
+
+/// `TracingMode::Sampled(n)` shrinks the captured volume roughly n×
+/// while counting (never silently dropping) the sampled-out events; the
+/// untraced serve tables are unperturbed.
+#[test]
+fn sampled_tracing_counts_what_it_skips() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    let plain = serve(&Runtime::builder().build(), &cfg())
+        .expect("untraced serve run")
+        .to_string();
+
+    obs::recorder().clear();
+    obs::set_tracing_mode(TracingMode::Full);
+    serve(&Runtime::builder().build(), &cfg()).expect("fully traced run");
+    obs::set_tracing_mode(TracingMode::Off);
+    let full = obs::recorder().drain();
+
+    obs::recorder().clear();
+    obs::set_tracing_mode(TracingMode::Sampled(8));
+    let sampled_report = serve(&Runtime::builder().build(), &cfg()).expect("sampled run");
+    obs::set_tracing_mode(TracingMode::Off);
+    let sampled = obs::recorder().drain();
+
+    assert_eq!(
+        sampled_report.to_string(),
+        plain,
+        "sampling must not perturb the serve tables"
+    );
+    assert!(
+        sampled.len() < full.len() / 4,
+        "8× sampling must shrink the trace"
+    );
+    assert!(sampled.sampled_out > 0, "skips must be counted, not lost");
+
+    // The exact stride contract, pinned on a single thread: over any
+    // window of 80 consecutive per-thread ticks at stride 8, exactly 10
+    // events are captured and 70 are counted as sampled out.
+    obs::recorder().clear();
+    obs::set_tracing_mode(TracingMode::Sampled(8));
+    for i in 0..80u64 {
+        obs::emit(obs::EventKind::ServeAdmit, i, i, 0, 0);
+    }
+    obs::set_tracing_mode(TracingMode::Off);
+    let strided = obs::recorder().drain();
+    assert_eq!(strided.len(), 10);
+    assert_eq!(strided.sampled_out, 70);
+    assert_eq!(obs::tracing_mode(), TracingMode::Off);
 }
 
 /// The serving layer's per-tenant latency decomposition closes exactly:
