@@ -32,6 +32,7 @@
 //! pinned bit-identical across repeat runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fix_adapt::adaptive_serve;
 use fix_dispatch::{dispatch, DispatchConfig, NodeStorage, RoutingPolicy};
 use fix_serve::{serve, ArrivalProcess, RequestKind, ServeConfig, SloClass, TenantSpec};
 use fixpoint::Runtime;
@@ -299,5 +300,59 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput, bench_dispatch_routing);
+/// The `admission_*` rows run the `fix-adapt` flash-crowd scenario with
+/// the admission controller off (the static pool — shed by deadline
+/// expiry) and on (provably-late arrivals priced out at the door),
+/// same seed. The attainment delta is virtual-clock exact and printed;
+/// both tables are pinned bit-identical across repeat runs.
+fn bench_adaptive_admission(c: &mut Criterion) {
+    let off_cfg = fix_bench::adapt_table::static_config(1);
+    let on_cfg = fix_bench::adapt_table::adaptive_config(1);
+    let rt = Runtime::builder().build();
+    // Warm-up (pays every cold evaluation once) + determinism pin.
+    let off = adaptive_serve(&rt, &off_cfg)
+        .expect("admission-off run")
+        .serve;
+    let on = adaptive_serve(&rt, &on_cfg)
+        .expect("admission-on run")
+        .serve;
+    for (cfg, first) in [(&off_cfg, &off), (&on_cfg, &on)] {
+        assert_eq!(
+            first.to_string(),
+            adaptive_serve(&rt, cfg)
+                .expect("repeat run")
+                .serve
+                .to_string(),
+            "repeat adaptive runs must print identical tables"
+        );
+    }
+    let offered: u64 = off.tenants.iter().map(|t| t.offered).sum();
+    println!(
+        "serve_throughput[admission]: {offered} offered under the flash crowd; \
+         off attainment {:.3} ({} expired), on {:.3} ({} rejected, {} expired) \
+         ({:+.3} points)",
+        off.attainment(),
+        off.total_expired(),
+        on.attainment(),
+        on.total_rejected(),
+        on.total_expired(),
+        on.attainment() - off.attainment(),
+    );
+
+    let mut group = c.benchmark_group("adaptive_admission");
+    group.bench_function(format!("admission_off/{offered}_offered"), |b| {
+        b.iter(|| black_box(adaptive_serve(&rt, black_box(&off_cfg)).expect("serve")))
+    });
+    group.bench_function(format!("admission_on/{offered}_offered"), |b| {
+        b.iter(|| black_box(adaptive_serve(&rt, black_box(&on_cfg)).expect("serve")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serve_throughput,
+    bench_dispatch_routing,
+    bench_adaptive_admission
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! evaluation section.
 //!
 //! ```text
-//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|sweep|trace|calibrate|recover|route|summary|all] [--quick]
+//! figures [fig7a|fig7b|fig8a|fig8b|fig9|fig10|table2|comparators|serve|adapt|sweep|trace|calibrate|recover|route|summary|all] [--quick]
 //! ```
 //!
 //! `trace` runs the serving workload with the `fix-obs` event recorder
@@ -102,6 +102,12 @@ fn main() {
     if which == "all" || which == "serve" {
         let scale = if quick { 1 } else { 5 };
         println!("{}", fix_bench::serve_report::table_text(scale));
+    }
+    // Static-vs-adaptive control plane under a flash crowd (the
+    // `fix-adapt` figure: same seed, two control planes, one verdict).
+    if which == "all" || which == "adapt" {
+        let scale = if quick { 1 } else { 5 };
+        println!("{}\n", fix_bench::adapt_table::table_text(scale));
     }
     // Deterministic tracing of the serving workload (not part of `all`:
     // it re-runs the serve workload three times and writes trace files).

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt_table;
 pub mod calibrate;
 pub mod comparators;
 pub mod ext_billing;

@@ -44,6 +44,14 @@ pub struct Calibration {
     /// A warm repeat of any kind: the Fig. 7a warm-memoized path,
     /// independent of the procedure.
     pub warm_hit_us: u64,
+    /// One SNF (serverless-network-function) packet-batch step: fold a
+    /// batch of packets into a flow-state shard through a native
+    /// codelet, chained on the previous state handle. A batch that has
+    /// to catch up over `k` unprocessed predecessor batches charges
+    /// `k × snf_step_us` — the long-memoized-dependency-chain cost the
+    /// adaptive-serving scenario stresses. Priced like a native
+    /// invocation plus the argument force of the previous state.
+    pub snf_step_us: u64,
     /// The flat compute charge per simulated cluster task, used when a
     /// derived dataflow graph carries no per-kind information (the
     /// graph deriver sees thunks, not request kinds). Sits mid-range
@@ -63,6 +71,7 @@ pub const SERVICE_COSTS: Calibration = Calibration {
     wordcount_bytes_per_us: 512,
     sebs_html_cold_us: 8,
     warm_hit_us: 1,
+    snf_step_us: 5,
     task_compute_us: 40,
 };
 
@@ -75,6 +84,9 @@ mod tests {
         let c = SERVICE_COSTS;
         assert!(c.warm_hit_us < c.native_cold_us);
         assert!(c.native_cold_us < c.sebs_html_cold_us);
+        // An SNF step is a native fold plus the previous-state force:
+        // dearer than a bare native call, cheaper than a cold render.
+        assert!((c.native_cold_us..=c.sebs_html_cold_us).contains(&c.snf_step_us));
         // The flat per-task charge sits inside the span of modeled kind
         // costs: dearer than any single native invocation, cheaper than
         // a deep guest chain.

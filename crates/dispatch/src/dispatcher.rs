@@ -911,6 +911,7 @@ pub fn dispatch(cfg: &DispatchConfig) -> Result<DispatchOutcome> {
                 offered: sim.queues.iter().map(|q| q.offered[i]).sum(),
                 admitted: sim.admitted[i],
                 dropped: sim.queues.iter().map(|q| q.dropped[i]).sum(),
+                rejected: sim.queues.iter().map(|q| q.rejected[i]).sum(),
                 ok: totals.ok[i],
                 errors: totals.errors[i],
                 expired: sim.expired[i] + totals.expired[i],
@@ -928,6 +929,7 @@ pub fn dispatch(cfg: &DispatchConfig) -> Result<DispatchOutcome> {
             tenants,
             drivers: sim.drivers,
             nodes: sim.nodes,
+            scaling: Vec::new(),
             makespan_us: sim.makespan,
             completed,
             execution_wall,

@@ -109,6 +109,9 @@ pub enum Layer {
     Serve,
     /// The multi-node dispatcher tier (`fix-dispatch`).
     Dispatch,
+    /// The adaptive control plane (`fix-adapt`): admission rejections
+    /// and driver-pool scaling decisions, all on the virtual clock.
+    Control,
     /// The append-only persistence tier (`fix-durable`).
     Durable,
     /// The `BlockingOffload` adapter (`fix_core::api`).
@@ -122,6 +125,7 @@ impl Layer {
             Layer::Scheduler => "scheduler",
             Layer::Serve => "serve",
             Layer::Dispatch => "dispatch",
+            Layer::Control => "control",
             Layer::Durable => "durable",
             Layer::Offload => "offload",
         }
@@ -157,6 +161,11 @@ pub enum EventKind {
     Spill,
     NodeKill,
     NodeRestart,
+    // Adaptive control plane (virtual-clock decisions; CtrlReject:
+    // a = tenant, b = priced wait µs; CtrlScale*: a = from, b = to).
+    CtrlReject,
+    CtrlScaleUp,
+    CtrlScaleDown,
     // Durable store (wall latencies in `dur_ns`).
     DurAppend,
     DurFsync,
@@ -183,6 +192,7 @@ impl EventKind {
             ServeAdmit | ServeShed | ServeDispatch | ServeExpire | ServeComplete
             | ServeQueueDepth => Layer::Serve,
             Route | Spill | NodeKill | NodeRestart => Layer::Dispatch,
+            CtrlReject | CtrlScaleUp | CtrlScaleDown => Layer::Control,
             DurAppend | DurFsync | DurSnapshot | DurEvict | DurRefault => Layer::Durable,
             OffloadSubmit | OffloadDispatch | OffloadExpire | OffloadCancel => Layer::Offload,
         }
@@ -213,6 +223,9 @@ impl EventKind {
             Spill => "dispatch.spill",
             NodeKill => "dispatch.node_kill",
             NodeRestart => "dispatch.node_restart",
+            CtrlReject => "control.reject",
+            CtrlScaleUp => "control.scale_up",
+            CtrlScaleDown => "control.scale_down",
             DurAppend => "durable.append",
             DurFsync => "durable.fsync",
             DurSnapshot => "durable.snapshot",
@@ -227,14 +240,18 @@ impl EventKind {
 
     /// Whether this kind carries deterministic virtual-clock content:
     /// only such kinds enter [`TraceSummary`](crate::TraceSummary)
-    /// tables. Serve-layer lifecycle events and dispatcher-tier routing
-    /// decisions are emitted by single-threaded virtual-time
-    /// simulations, so for a fixed seed they are identical across runs,
-    /// worker counts, and submitting backends; every other layer's
-    /// counts depend on wall timing (steals, parks, fsync batching) and
-    /// exports to the Chrome trace only.
+    /// tables. Serve-layer lifecycle events, dispatcher-tier routing
+    /// decisions, and control-plane admission/scaling decisions are
+    /// emitted by single-threaded virtual-time simulations, so for a
+    /// fixed seed they are identical across runs, worker counts, and
+    /// submitting backends; every other layer's counts depend on wall
+    /// timing (steals, parks, fsync batching) and exports to the
+    /// Chrome trace only.
     pub fn deterministic(self) -> bool {
-        matches!(self.layer(), Layer::Serve | Layer::Dispatch)
+        matches!(
+            self.layer(),
+            Layer::Serve | Layer::Dispatch | Layer::Control
+        )
     }
 
     /// Every kind, in summary-table order.
@@ -262,6 +279,9 @@ impl EventKind {
             Spill,
             NodeKill,
             NodeRestart,
+            CtrlReject,
+            CtrlScaleUp,
+            CtrlScaleDown,
             DurAppend,
             DurFsync,
             DurSnapshot,
@@ -609,7 +629,7 @@ pub(crate) mod tests {
             assert!(k.name().starts_with(k.layer().name()), "{:?}", k);
             assert_eq!(
                 k.deterministic(),
-                matches!(k.layer(), Layer::Serve | Layer::Dispatch)
+                matches!(k.layer(), Layer::Serve | Layer::Dispatch | Layer::Control)
             );
         }
         // `all()` really is all: names are unique.

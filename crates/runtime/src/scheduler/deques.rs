@@ -84,6 +84,15 @@ pub(super) struct DequeSet {
     /// pin asserts this moves). A registry-adoptable counter so
     /// `Runtime` can name it without a second cell.
     steals: fix_obs::Counter,
+    /// Total successful pops (own-slot + steals), the denominator of
+    /// the steal rate.
+    pops: fix_obs::Counter,
+    /// Live steal rate in permille of pops (`steals × 1000 / pops`),
+    /// refreshed on every successful pop. A registry-adoptable gauge
+    /// (`sched.steal_rate`) so load controllers can read scheduler
+    /// contention like any other metric. Wall-timing dependent:
+    /// diagnostic only, never part of a deterministic table.
+    steal_rate: fix_obs::Gauge,
 }
 
 impl DequeSet {
@@ -94,6 +103,8 @@ impl DequeSet {
                 .collect(),
             queued: AtomicUsize::new(0),
             steals: fix_obs::Counter::new(),
+            pops: fix_obs::Counter::new(),
+            steal_rate: fix_obs::Gauge::new(),
         }
     }
 
@@ -115,6 +126,20 @@ impl DequeSet {
         self.steals.clone()
     }
 
+    /// The live steal-rate gauge (permille of pops), for registry
+    /// adoption under `sched.steal_rate`.
+    pub(super) fn steal_rate_gauge(&self) -> fix_obs::Gauge {
+        self.steal_rate.clone()
+    }
+
+    /// Refreshes the steal-rate gauge after a successful pop.
+    fn note_pop(&self) {
+        self.pops.inc();
+        let pops = self.pops.get();
+        self.steal_rate
+            .set((self.steals.get().saturating_mul(1000) / pops.max(1)) as i64);
+    }
+
     /// Pushes a token onto `home`'s deque for `tier`.
     pub(super) fn push(&self, home: usize, tier: usize, job: Job) {
         self.queued.fetch_add(1, Ordering::SeqCst);
@@ -131,6 +156,7 @@ impl DequeSet {
         for tier in 0..Priority::TIERS {
             if let Some(job) = self.slots[home][tier].lock().pop_back() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.note_pop();
                 if fix_obs::tracing_enabled() {
                     fix_obs::emit(
                         EventKind::SchedPop,
@@ -149,6 +175,7 @@ impl DequeSet {
                 if let Some(job) = self.slots[victim][tier].lock().pop_front() {
                     self.queued.fetch_sub(1, Ordering::SeqCst);
                     self.steals.inc();
+                    self.note_pop();
                     if fix_obs::tracing_enabled() {
                         fix_obs::emit(
                             EventKind::SchedSteal,

@@ -149,6 +149,12 @@ pub struct Scheduler {
     /// Threads currently inside [`park_unless`](Scheduler::park_unless).
     /// Notifiers skip the lock entirely while this is zero.
     sleepers: AtomicUsize,
+    /// Threads currently blocked in the condvar wait — a
+    /// registry-adoptable gauge (`sched.parked`) mirroring `sleepers`
+    /// for the waiting span only, so load controllers can read idle
+    /// capacity like any other metric. Wall-timing dependent:
+    /// diagnostic only, never part of a deterministic table.
+    parked: fix_obs::Gauge,
     /// Claims held by drivers mid-step (see [`Claim`]).
     executing: AtomicUsize,
     shutdown: AtomicBool,
@@ -182,6 +188,7 @@ impl Scheduler {
             park: Mutex::new(()),
             cv: Condvar::new(),
             sleepers: AtomicUsize::new(0),
+            parked: fix_obs::Gauge::new(),
             executing: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             workers_running: AtomicUsize::new(0),
@@ -216,6 +223,19 @@ impl Scheduler {
     /// (same cell [`steals`](Scheduler::steals) reads).
     pub fn steals_counter(&self) -> fix_obs::Counter {
         self.deques.steals_counter()
+    }
+
+    /// The live parked-threads gauge, for adoption into a metrics
+    /// registry under `sched.parked` (wall-timing dependent, so it
+    /// feeds diagnostics, never deterministic tables).
+    pub fn parked_gauge(&self) -> fix_obs::Gauge {
+        self.parked.clone()
+    }
+
+    /// The live steal-rate gauge (steals per 1000 pops), for adoption
+    /// into a metrics registry under `sched.steal_rate`.
+    pub fn steal_rate_gauge(&self) -> fix_obs::Gauge {
+        self.deques.steal_rate_gauge()
     }
 
     /// Emits a scheduler trace event for `job`. The disabled path is
@@ -1065,7 +1085,9 @@ impl Scheduler {
         let mut guard = self.park.lock();
         if !ready() {
             let t0 = fix_obs::tracing_enabled().then(Instant::now);
+            self.parked.add(1);
             self.cv.wait_for(&mut guard, cap);
+            self.parked.add(-1);
             if let Some(t0) = t0 {
                 fix_obs::emit_span(
                     EventKind::SchedPark,

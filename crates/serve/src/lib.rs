@@ -90,6 +90,8 @@ pub use fix_core::api::Priority;
 pub use loadgen::{Arrival, ArrivalProcess, Micros};
 pub use queue::{Dispatch, QueuedRequest, TenantClass, TenantQueues};
 pub use recovery::{kill_and_recover, serve_durable, RecoveryOutcome};
-pub use server::{serve, DriverReport, NodeReport, ServeConfig, ServeReport, TenantReport};
+pub use server::{
+    serve, DriverReport, NodeReport, ScaleEvent, ServeConfig, ServeReport, TenantReport,
+};
 pub use telemetry::LatencyHistogram;
 pub use tenant::{RequestFactory, RequestKind, SloClass, TenantSpec};

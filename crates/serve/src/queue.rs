@@ -93,10 +93,18 @@ pub struct TenantQueues {
     /// who goes first instead of privileging tenant 0 forever.
     cursor: usize,
     queued: usize,
-    /// Arrivals offered per tenant (admitted + dropped).
+    /// Arrivals offered per tenant (admitted + dropped + rejected).
     pub offered: Vec<u64>,
-    /// Arrivals shed at admission per tenant.
+    /// Arrivals shed at admission per tenant because the queue was at
+    /// capacity.
     pub dropped: Vec<u64>,
+    /// Arrivals shed at admission per tenant by an admission
+    /// *controller* (priced to expire before dispatch) — a policy
+    /// decision, accounted separately from capacity sheds.
+    pub rejected: Vec<u64>,
+    /// Modeled service time queued per tenant, in virtual µs: the
+    /// backlog an admission controller prices new arrivals against.
+    backlog_us: Vec<Micros>,
 }
 
 impl TenantQueues {
@@ -118,6 +126,8 @@ impl TenantQueues {
             queued: 0,
             offered: vec![0; n],
             dropped: vec![0; n],
+            rejected: vec![0; n],
+            backlog_us: vec![0; n],
         }
     }
 
@@ -152,6 +162,48 @@ impl TenantQueues {
         self.dropped[tenant] += 1;
     }
 
+    /// Records one arrival shed by an admission *controller* — the
+    /// request was priced (against the calibrated service model and the
+    /// current backlog) to expire before it could dispatch, so the
+    /// platform refuses it at the door instead of queueing dead work.
+    /// Accounted under `rejected`, separate from capacity `dropped`.
+    pub fn reject(&mut self, tenant: usize) {
+        self.offered[tenant] += 1;
+        self.rejected[tenant] += 1;
+    }
+
+    /// Modeled service time currently queued for `tenant`, in virtual
+    /// µs — the own-tenant backlog an admission controller divides by
+    /// the driver count to lower-bound a new arrival's dispatch wait.
+    pub fn tenant_backlog_us(&self, tenant: usize) -> Micros {
+        self.backlog_us[tenant]
+    }
+
+    /// Modeled service time of the tenant's queued requests *excluding*
+    /// the newest `keep_last`, in virtual µs. This is the FIFO-prefix
+    /// backlog an admission controller's provable-expiry bound divides
+    /// by the driver count: when a new arrival dispatches, at most
+    /// `drivers × batch − 1` of its FIFO predecessors can still be
+    /// co-batched or in service beside it, so every *earlier*
+    /// predecessor — the prefix this method sums — must have been served
+    /// first (see `fix-adapt`'s admission controller for the argument).
+    pub fn tenant_backlog_prefix_us(&self, tenant: usize, keep_last: usize) -> Micros {
+        let q = &self.queues[tenant];
+        if keep_last >= q.len() {
+            return 0;
+        }
+        // O(keep_last), not O(depth): the prefix is the maintained
+        // running backlog minus the newest `keep_last` — an admission
+        // controller prices every arrival, so this is on the hot path
+        // exactly when the queue is deepest.
+        self.backlog_us[tenant]
+            - q.iter()
+                .rev()
+                .take(keep_last)
+                .map(|r| r.service_us)
+                .sum::<Micros>()
+    }
+
     /// Offers one arrival: enqueues it, or sheds it if the tenant's
     /// queue is at capacity. Returns whether the request was admitted.
     pub fn offer(&mut self, req: QueuedRequest) -> bool {
@@ -160,6 +212,7 @@ impl TenantQueues {
             self.dropped[req.tenant] += 1;
             return false;
         }
+        self.backlog_us[req.tenant] += req.service_us;
         self.queues[req.tenant].push_back(req);
         self.queued += 1;
         true
@@ -216,11 +269,13 @@ impl TenantQueues {
     /// only ever looks at queue fronts.
     fn expire(&mut self, now: Micros) -> Vec<QueuedRequest> {
         let mut expired = Vec::new();
-        for queue in &mut self.queues {
+        for (t, queue) in self.queues.iter_mut().enumerate() {
             while let Some(front) = queue.front() {
                 match front.deadline_us {
                     Some(deadline) if now > deadline => {
-                        expired.push(queue.pop_front().expect("front exists"));
+                        let req = queue.pop_front().expect("front exists");
+                        self.backlog_us[t] -= req.service_us;
+                        expired.push(req);
                         self.queued -= 1;
                     }
                     _ => break,
@@ -257,6 +312,7 @@ impl TenantQueues {
                 });
             let Some(t) = pick else { break };
             let req = self.queues[t].pop_front().expect("queue is non-empty");
+            self.backlog_us[t] -= req.service_us;
             self.queued -= 1;
             batch.push(req);
         }
@@ -288,6 +344,7 @@ impl TenantQueues {
                 while self.deficits[t] > 0 && batch.len() < max {
                     match self.queues[t].pop_front() {
                         Some(req) => {
+                            self.backlog_us[t] -= req.service_us;
                             self.queued -= 1;
                             self.deficits[t] -= 1;
                             batch.push(req);
@@ -322,6 +379,7 @@ impl TenantQueues {
     /// that survivor's queue is momentarily over its bound; shedding it
     /// here would break the offered = admitted + dropped identity.
     pub fn requeue(&mut self, req: QueuedRequest) {
+        self.backlog_us[req.tenant] += req.service_us;
         self.queues[req.tenant].push_back(req);
         self.queued += 1;
     }
@@ -335,6 +393,7 @@ impl TenantQueues {
         for queue in &mut self.queues {
             all.extend(queue.drain(..));
         }
+        self.backlog_us.fill(0);
         self.queued = 0;
         all
     }
@@ -394,6 +453,40 @@ mod tests {
         assert_eq!(a.offered, b.offered);
         assert_eq!(a.dropped, b.dropped);
         assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn backlog_tracks_queued_service_and_prefix_excludes_the_tail() {
+        let mut q = TenantQueues::weighted(vec![1], 10);
+        for i in 0..5 {
+            q.offer(req(0, i)); // 10 µs each
+        }
+        assert_eq!(q.tenant_backlog_us(0), 50);
+        assert_eq!(q.tenant_backlog_prefix_us(0, 0), 50);
+        assert_eq!(q.tenant_backlog_prefix_us(0, 2), 30);
+        assert_eq!(q.tenant_backlog_prefix_us(0, 5), 0);
+        assert_eq!(q.tenant_backlog_prefix_us(0, 99), 0);
+        // Dispatch drains the backlog along with the queue.
+        let _ = q.next_batch(3);
+        assert_eq!(q.tenant_backlog_us(0), 20);
+        let _ = q.next_batch(8);
+        assert_eq!(q.tenant_backlog_us(0), 0);
+    }
+
+    #[test]
+    fn reject_accounts_separately_from_capacity_drops() {
+        let mut q = TenantQueues::weighted(vec![1, 1], 2);
+        assert!(q.offer(req(0, 1)));
+        q.reject(0);
+        assert!(q.offer(req(0, 2)));
+        assert!(!q.offer(req(0, 3)), "capacity shed");
+        q.reject(1);
+        assert_eq!(q.offered, vec![4, 1]);
+        assert_eq!(q.dropped, vec![1, 0]);
+        assert_eq!(q.rejected, vec![1, 1]);
+        // offered = queued + dropped + rejected, per tenant.
+        assert_eq!(q.tenant_depth(0), 2);
+        assert_eq!(q.tenant_depth(1), 0);
     }
 
     #[test]

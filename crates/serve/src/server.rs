@@ -133,6 +133,12 @@ pub struct TenantReport {
     pub admitted: u64,
     /// Arrivals shed at admission.
     pub dropped: u64,
+    /// Arrivals refused by an admission *controller* (priced to expire
+    /// before they could dispatch — see `fix-adapt`), accounted
+    /// separately from capacity sheds: a `dropped` arrival found no
+    /// queue space, a `rejected` one was refused on policy. Plain
+    /// [`serve`] runs have no controller, so this column is zero there.
+    pub rejected: u64,
     /// Requests that completed real evaluation successfully.
     pub ok: u64,
     /// Requests whose real evaluation returned an error.
@@ -157,6 +163,34 @@ pub struct TenantReport {
     /// request waits out. For every sample,
     /// `latency = queue_wait + service + fill` exactly.
     pub fill: LatencyHistogram,
+}
+
+impl TenantReport {
+    /// SLO attainment: the fraction of *offered* requests served to a
+    /// successful completion. Capacity sheds, admission rejections,
+    /// queue expiries, cancellations, and evaluation errors all count
+    /// against it — attainment measures what the platform delivered,
+    /// not what it excused.
+    pub fn attainment(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / self.offered as f64
+    }
+}
+
+/// One driver-pool resize in an adaptive run's deterministic scaling
+/// timeline: at virtual instant `at_us` the controller moved the active
+/// driver count `from → to`. Plain [`serve`] runs (fixed pool) carry an
+/// empty timeline; `fix-adapt` populates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// Virtual instant of the resize decision, µs.
+    pub at_us: Micros,
+    /// Active drivers before the resize.
+    pub from: usize,
+    /// Active drivers after the resize.
+    pub to: usize,
 }
 
 /// Per-driver serving outcome.
@@ -234,6 +268,12 @@ pub struct ServeReport {
     /// Per-node rows for multi-node (dispatcher) runs; empty for a
     /// single-backend [`serve`] run.
     pub nodes: Vec<NodeReport>,
+    /// The deterministic driver-pool scaling timeline, in virtual-time
+    /// order. Empty for fixed-pool [`serve`] runs; an adaptive run
+    /// (`fix-adapt`) records every controller resize here, and the
+    /// timeline prints with the table — it is part of the bit-identical
+    /// report surface.
+    pub scaling: Vec<ScaleEvent>,
     /// Virtual end-to-end makespan (origin to last completion).
     pub makespan_us: Micros,
     /// Requests that completed (ok + errors, real evaluations).
@@ -283,9 +323,25 @@ impl ServeReport {
         self.tenants.iter().map(|t| t.dropped).sum()
     }
 
+    /// Total arrivals refused by an admission controller.
+    pub fn total_rejected(&self) -> u64 {
+        self.tenants.iter().map(|t| t.rejected).sum()
+    }
+
     /// Total admitted requests expired (deadline passed in queue).
     pub fn total_expired(&self) -> u64 {
         self.tenants.iter().map(|t| t.expired).sum()
+    }
+
+    /// Run-wide SLO attainment: successfully served fraction of all
+    /// offered arrivals (see [`TenantReport::attainment`]).
+    pub fn attainment(&self) -> f64 {
+        let offered: u64 = self.tenants.iter().map(|t| t.offered).sum();
+        if offered == 0 {
+            return 0.0;
+        }
+        let ok: u64 = self.tenants.iter().map(|t| t.ok).sum();
+        ok as f64 / offered as f64
     }
 
     /// Total admitted requests cancelled mid-flight.
@@ -338,11 +394,12 @@ impl std::fmt::Display for ServeReport {
         let (p50, p90, p99, p999) = total.tail_summary();
         writeln!(
             f,
-            "served {} requests in {:.3} s virtual ({:.0} req/s), {} dropped, {} expired, {} cancelled",
+            "served {} requests in {:.3} s virtual ({:.0} req/s), {} dropped, {} rejected, {} expired, {} cancelled",
             self.completed,
             self.makespan_us as f64 / 1e6,
             self.throughput_rps(),
             self.total_dropped(),
+            self.total_rejected(),
             self.total_expired(),
             self.total_cancelled(),
         )?;
@@ -353,12 +410,13 @@ impl std::fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
-            "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>6} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8}",
+            "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8}",
             "tenant",
             "class",
             "offered",
             "admitted",
             "dropped",
+            "rejectd",
             "ok",
             "err",
             "expired",
@@ -372,12 +430,13 @@ impl std::fmt::Display for ServeReport {
             let (tp50, _, tp99, tp999) = t.latency.tail_summary();
             writeln!(
                 f,
-                "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>6} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8.0}",
+                "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7} {:>6} {:>8} {:>8} {:>8} {:>8.0}",
                 t.name,
                 t.class,
                 t.offered,
                 t.admitted,
                 t.dropped,
+                t.rejected,
                 t.ok,
                 t.errors,
                 t.expired,
@@ -386,6 +445,13 @@ impl std::fmt::Display for ServeReport {
                 tp99,
                 tp999,
                 t.latency.mean(),
+            )?;
+        }
+        for s in &self.scaling {
+            writeln!(
+                f,
+                "scale @{:>9} µs: {} -> {} drivers",
+                s.at_us, s.from, s.to
             )?;
         }
         for (i, d) in self.drivers.iter().enumerate() {
@@ -847,6 +913,7 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
                 offered: queues.offered[i],
                 admitted: admitted_per_tenant[i],
                 dropped: queues.dropped[i],
+                rejected: queues.rejected[i],
                 ok: ok[i],
                 errors: errors[i],
                 expired: expired_per_tenant[i] + expired_exec[i],
@@ -863,6 +930,7 @@ pub fn serve<A: SubmitApi + InvocationApi + Send + Sync>(
         tenants,
         drivers,
         nodes: Vec::new(),
+        scaling: Vec::new(),
         makespan_us: makespan,
         completed,
         execution_wall,

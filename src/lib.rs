@@ -38,7 +38,13 @@
 //! * [`obs`] — the observability layer: a structured event recorder
 //!   (one relaxed atomic load when disabled), a unified metrics
 //!   registry, deterministic virtual-clock trace summaries, and a
-//!   Perfetto-loadable Chrome trace export.
+//!   Perfetto-loadable Chrome trace export;
+//! * [`adapt`] — the adaptive control plane over the serving layer:
+//!   attainment-driven admission (provable-expiry pricing against the
+//!   calibrated service model), a deterministic autoscaling driver
+//!   pool, closed-loop client populations, and SNF-style streaming
+//!   tenants whose packet batches chain on strict-encoded previous
+//!   state.
 //!
 //! # Examples
 //!
@@ -61,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use fix_adapt as adapt;
 pub use fix_baselines as baselines;
 pub use fix_cluster as cluster;
 pub use fix_core as core;
